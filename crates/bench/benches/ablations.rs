@@ -1,0 +1,124 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * dynamic resource balancer on vs off (paper Section 3.1);
+//! * strict vs work-conserving decode-slot allocation;
+//! * GCT size;
+//! * load-miss-queue depth;
+//! * next-line prefetcher on vs off;
+//! * branch-predictor accuracy cost.
+//!
+//! Each ablation prints the observable the mechanism protects, then times
+//! a short simulation under both settings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p5_core::{BalancerConfig, CoreConfig, SmtCore};
+use p5_isa::{Priority, ThreadId};
+use p5_microbench::MicroBenchmark;
+use std::hint::black_box;
+
+fn victim_ipc(cfg: CoreConfig) -> f64 {
+    let mut core = SmtCore::new(cfg);
+    core.load_program(ThreadId::T0, MicroBenchmark::CpuInt.program());
+    core.load_program(ThreadId::T1, MicroBenchmark::LdintMem.program());
+    core.run_cycles(400_000);
+    core.reset_stats();
+    core.run_cycles(1_500_000);
+    core.stats().ipc(ThreadId::T0)
+}
+
+fn throughput(cfg: CoreConfig, diff_pair: (Priority, Priority)) -> f64 {
+    let mut core = SmtCore::new(cfg);
+    core.load_program(ThreadId::T0, MicroBenchmark::CpuInt.program());
+    core.load_program(ThreadId::T1, MicroBenchmark::CpuInt.program());
+    core.set_priority(ThreadId::T0, diff_pair.0);
+    core.set_priority(ThreadId::T1, diff_pair.1);
+    core.run_cycles(200_000);
+    core.reset_stats();
+    core.run_cycles(1_000_000);
+    core.stats().total_ipc()
+}
+
+fn bench(c: &mut Criterion) {
+    // Balancer ablation: a memory-bound sibling without balancing.
+    let with_bal = victim_ipc(CoreConfig::power5_like());
+    let mut cfg = CoreConfig::power5_like();
+    cfg.balancer = BalancerConfig::disabled();
+    let without_bal = victim_ipc(cfg);
+    println!(
+        "ablation balancer: cpu_int IPC vs ldint_mem — balanced {with_bal:.3}, \
+         unbalanced {without_bal:.3}"
+    );
+
+    // Aggressive-balancer ablation (deep-miss GCT cap).
+    let mut aggressive = CoreConfig::power5_like();
+    aggressive.balancer.gct_cap_deep_miss = 4;
+    let aggressive_ipc = victim_ipc(aggressive);
+    println!(
+        "ablation deep-miss cap 4: cpu_int IPC vs ldint_mem — {aggressive_ipc:.3}"
+    );
+
+    // Decode-slot stealing ablation.
+    let mut stealing = CoreConfig::power5_like();
+    stealing.steal_idle_decode_slots = true;
+    let strict = throughput(CoreConfig::power5_like(), (Priority::High, Priority::Medium));
+    let work_conserving = throughput(stealing, (Priority::High, Priority::Medium));
+    println!(
+        "ablation decode stealing at (6,4): strict {strict:.3}, \
+         work-conserving {work_conserving:.3}"
+    );
+
+    // GCT size sweep.
+    for gct in [10usize, 20, 40] {
+        let mut cfg = CoreConfig::power5_like();
+        cfg.gct_entries = gct;
+        cfg.balancer.gct_cap_per_thread = gct - 2;
+        cfg.balancer.gct_cap_deep_miss = gct - 2;
+        let ipc = victim_ipc(cfg);
+        println!("ablation GCT={gct}: cpu_int IPC vs ldint_mem — {ipc:.3}");
+    }
+
+    // LMQ depth sweep (bounds memory-level parallelism).
+    for lmq in [2usize, 8, 32] {
+        let mut cfg = CoreConfig::power5_like();
+        cfg.lmq_entries = lmq;
+        cfg.balancer.miss_cap_per_thread = lmq;
+        let mut core = SmtCore::new(cfg);
+        core.load_program(ThreadId::T0, MicroBenchmark::LdintL1.program());
+        core.run_cycles(500_000);
+        println!(
+            "ablation LMQ={lmq}: ldint_l1 ST IPC — {:.3}",
+            core.stats().ipc(ThreadId::T0)
+        );
+    }
+
+    // Prefetcher ablation on a sequential-stream workload.
+    for depth in [0u64, 2, 4] {
+        let mut cfg = CoreConfig::power5_like();
+        cfg.mem.prefetch_depth = depth;
+        let mut core = SmtCore::new(cfg);
+        core.load_program(ThreadId::T0, p5_workloads::fftlu::fft_program());
+        core.run_cycles(500_000);
+        println!(
+            "ablation prefetch depth={depth}: fft ST IPC — {:.3}",
+            core.stats().ipc(ThreadId::T0)
+        );
+    }
+
+    c.bench_function("ablation_balancer_on", |b| {
+        b.iter(|| black_box(victim_ipc(CoreConfig::power5_like())))
+    });
+    c.bench_function("ablation_balancer_off", |b| {
+        b.iter(|| {
+            let mut cfg = CoreConfig::power5_like();
+            cfg.balancer = BalancerConfig::disabled();
+            black_box(victim_ipc(cfg))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

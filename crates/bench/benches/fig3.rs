@@ -1,0 +1,36 @@
+//! Bench: regenerate paper Figure 3 (PThread slowdown under negative
+//! priorities). Renders the six sub-figures once; times one sweep cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p5_bench::bench_context;
+use p5_experiments::{fig3, priority_pair};
+use p5_microbench::MicroBenchmark;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let result = fig3::run(&ctx);
+    println!("{}", result.render());
+    assert!(
+        result.max_slowdown(MicroBenchmark::CpuInt) > 5.0,
+        "negative priorities must hurt a cpu-bound thread"
+    );
+
+    c.bench_function("fig3_cell_cpu_int_minus2", |b| {
+        b.iter(|| {
+            let report = ctx.measure_pair(
+                MicroBenchmark::CpuInt.program(),
+                MicroBenchmark::CpuInt.program(),
+                priority_pair(-2),
+            );
+            black_box(report.total_ipc())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

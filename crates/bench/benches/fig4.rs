@@ -1,0 +1,36 @@
+//! Bench: regenerate paper Figure 4 (total IPC vs priority difference,
+//! relative to the (4,4) execution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p5_bench::bench_context;
+use p5_experiments::{fig4, priority_pair};
+use p5_microbench::MicroBenchmark;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let result = fig4::run(&ctx);
+    println!("{}", result.render());
+    assert!(
+        result.best_improvement() > 1.2,
+        "some pair must gain throughput from prioritization"
+    );
+
+    c.bench_function("fig4_cell_cpu_int_vs_lng_chain_plus4", |b| {
+        b.iter(|| {
+            let report = ctx.measure_pair(
+                MicroBenchmark::CpuInt.program(),
+                MicroBenchmark::LngChainCpuint.program(),
+                priority_pair(4),
+            );
+            black_box(report.total_ipc())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

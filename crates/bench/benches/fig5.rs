@@ -1,0 +1,33 @@
+//! Bench: regenerate paper Figure 5 (SPEC pair case studies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p5_bench::bench_context;
+use p5_experiments::{fig5, priority_pair};
+use p5_workloads::SpecProxy;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let result = fig5::run(&ctx);
+    println!("{}", result.render());
+    let (_, gain) = result.h264_mcf.peak();
+    assert!(gain > 0.0, "h264ref+mcf must gain from prioritization");
+
+    c.bench_function("fig5_h264_mcf_plus2", |b| {
+        b.iter(|| {
+            let report = ctx.measure_pair(
+                SpecProxy::H264ref.program(),
+                SpecProxy::Mcf.program(),
+                priority_pair(2),
+            );
+            black_box(report.total_ipc())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench: regenerate paper Figure 6 (transparent background execution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p5_bench::bench_context;
+use p5_experiments::fig6;
+use p5_isa::Priority;
+use p5_microbench::MicroBenchmark;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let result = fig6::run(&ctx);
+    println!("{}", result.render());
+
+    c.bench_function("fig6_cell_fg_cpu_fp_bg_mem_61", |b| {
+        b.iter(|| {
+            let report = ctx.measure_pair(
+                MicroBenchmark::CpuFp.program(),
+                MicroBenchmark::LdintMem.program(),
+                (Priority::High, Priority::VeryLow),
+            );
+            black_box(report.total_ipc())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Micro-benchmarks of the simulator substrate itself: raw cycle
+//! throughput, cache access cost, TLB, branch-predictor and decode-policy
+//! primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use p5_branch::{Bimodal, BranchPredictorOps};
+use p5_core::{CoreConfig, SmtCore};
+use p5_isa::{decode_policy, Priority, ThreadId};
+use p5_mem::{Cache, CacheConfig, MemConfig, MemoryHierarchy};
+use p5_microbench::MicroBenchmark;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Whole-core cycle throughput on a busy SMT pair.
+    let mut group = c.benchmark_group("core");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("smt_pair_100k_cycles", |b| {
+        let mut core = SmtCore::new(CoreConfig::power5_like());
+        core.load_program(ThreadId::T0, MicroBenchmark::CpuInt.program());
+        core.load_program(ThreadId::T1, MicroBenchmark::LdintL1.program());
+        b.iter(|| {
+            core.run_cycles(100_000);
+            black_box(core.cycle())
+        })
+    });
+    group.bench_function("st_100k_cycles", |b| {
+        let mut core = SmtCore::new(CoreConfig::power5_like());
+        core.load_program(ThreadId::T0, MicroBenchmark::CpuInt.program());
+        b.iter(|| {
+            core.run_cycles(100_000);
+            black_box(core.cycle())
+        })
+    });
+    group.finish();
+
+    // Cache primitive.
+    let mut group = c.benchmark_group("mem");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("l1_hit", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 128,
+            associativity: 4,
+            latency: 2,
+        });
+        cache.fill(0x1000);
+        b.iter(|| black_box(cache.access(ThreadId::T0, 0x1000)))
+    });
+    group.bench_function("hierarchy_access_stream", |b| {
+        let mut mem = MemoryHierarchy::new(MemConfig::power5_like());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(128) & 0xF_FFFF;
+            black_box(mem.access(ThreadId::T0, addr, false))
+        })
+    });
+    group.finish();
+
+    // Predictor primitive.
+    c.bench_function("bimodal_predict_update", |b| {
+        let mut bht = Bimodal::new(16 * 1024);
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4);
+            let taken = bht.predict(ThreadId::T0, pc);
+            bht.update(ThreadId::T0, pc, !taken);
+            black_box(taken)
+        })
+    });
+
+    // Decode-policy arithmetic (Equation 1).
+    c.bench_function("decode_policy_eq1", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for p in 1..=6u8 {
+                for s in 1..=6u8 {
+                    let policy = decode_policy(
+                        Priority::from_level(p).unwrap(),
+                        Priority::from_level(s).unwrap(),
+                    );
+                    acc = acc.wrapping_add(policy.decode_share(ThreadId::T0) as u32);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

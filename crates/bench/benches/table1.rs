@@ -1,0 +1,21 @@
+//! Bench: regenerate paper Table 1 (priority levels / privilege /
+//! or-nop encodings) and time the structural check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the artifact once per bench run.
+    println!("{}", p5_experiments::table1::run().render());
+    println!("{}", p5_experiments::table2::run().render());
+
+    c.bench_function("table1_structural_check", |b| {
+        b.iter(|| black_box(p5_experiments::table1::run().matches_paper))
+    });
+    c.bench_function("table2_structural_check", |b| {
+        b.iter(|| black_box(p5_experiments::table2::run().all_families_ok()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

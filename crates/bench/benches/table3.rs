@@ -1,0 +1,35 @@
+//! Bench: regenerate paper Table 3 (ST + SMT(4,4) IPC matrix).
+//!
+//! The full 6 ST + 36 pair grid is rendered once; the timed unit is a
+//! single representative FAME pair measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p5_bench::bench_context;
+use p5_experiments::{priority_pair, table3};
+use p5_microbench::MicroBenchmark;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let result = table3::run(&ctx);
+    println!("{}", result.render());
+    assert!(result.shape_holds(), "Table 3 shape must hold");
+
+    c.bench_function("table3_pair_cpu_int_vs_ldint_l1", |b| {
+        b.iter(|| {
+            let report = ctx.measure_pair(
+                MicroBenchmark::CpuInt.program(),
+                MicroBenchmark::LdintL1.program(),
+                priority_pair(0),
+            );
+            black_box(report.total_ipc())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

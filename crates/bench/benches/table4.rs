@@ -1,0 +1,34 @@
+//! Bench: regenerate paper Table 4 (FFT/LU pipeline execution times).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p5_bench::bench_context;
+use p5_experiments::table4;
+use p5_isa::Priority;
+use p5_workloads::fftlu;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let result = table4::run(&ctx);
+    println!("{}", result.render());
+    assert_eq!(result.best().prio_fft, 6);
+    assert_eq!(result.best().prio_lu, 4);
+
+    c.bench_function("table4_fft_lu_64", |b| {
+        b.iter(|| {
+            let report = ctx.measure_pair(
+                fftlu::fft_program(),
+                fftlu::lu_program(),
+                (Priority::High, Priority::Medium),
+            );
+            black_box(report.total_ipc())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

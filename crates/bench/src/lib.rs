@@ -1,0 +1,31 @@
+//! # p5-bench
+//!
+//! Criterion benchmark harness regenerating each table and figure of the
+//! paper. The measurements themselves live in `p5-experiments`; the bench
+//! targets under `benches/` time and drive them at a reduced FAME
+//! fidelity so a full `cargo bench` stays tractable, and print the
+//! rendered table/figure output once per run.
+//!
+//! Run all of them with `cargo bench -p p5-bench`, or a single artifact
+//! with e.g. `cargo bench -p p5-bench --bench table3`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use p5_experiments::Experiments;
+
+/// The context used by the bench targets: quick FAME fidelity so the
+/// whole suite completes in minutes.
+#[must_use]
+pub fn bench_context() -> Experiments {
+    Experiments::quick()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_context_is_quick() {
+        let ctx = super::bench_context();
+        assert!(ctx.fame.min_repetitions <= 5);
+    }
+}

@@ -1,0 +1,262 @@
+//! Core pipeline configuration.
+
+use p5_mem::MemConfig;
+
+/// Execution latencies per instruction class, in cycles from issue to
+/// result availability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpLatencies {
+    /// Single-cycle fixed-point ops.
+    pub int_alu: u64,
+    /// Fixed-point multiply.
+    pub int_mul: u64,
+    /// Fixed-point divide.
+    pub int_div: u64,
+    /// Pipelined floating-point op.
+    pub fp_alu: u64,
+    /// Floating-point divide.
+    pub fp_div: u64,
+    /// Branch resolution.
+    pub branch: u64,
+    /// Store (address + data accepted; completion latency).
+    pub store: u64,
+    /// Issue-to-issue interval of a fixed-point multiply on one FXU
+    /// (POWER5 multiplies are not fully pipelined).
+    pub int_mul_occupancy: u64,
+    /// Issue-to-issue interval of a fixed-point divide.
+    pub int_div_occupancy: u64,
+    /// Issue-to-issue interval of a floating-point divide.
+    pub fp_div_occupancy: u64,
+}
+
+impl OpLatencies {
+    /// POWER5-like latencies.
+    #[must_use]
+    pub fn power5_like() -> OpLatencies {
+        OpLatencies {
+            int_alu: 1,
+            int_mul: 7,
+            int_div: 36,
+            fp_alu: 6,
+            fp_div: 30,
+            branch: 1,
+            store: 1,
+            int_mul_occupancy: 3,
+            int_div_occupancy: 20,
+            fp_div_occupancy: 20,
+        }
+    }
+}
+
+/// Configuration of the dynamic hardware resource balancer
+/// (paper Section 3.1).
+///
+/// POWER5 "considers that there is an unbalanced use of resources when a
+/// thread reaches a threshold of L2 cache or TLB misses, or when a thread
+/// uses too many GCT entries", and reacts by stalling the offending
+/// thread's decode or flushing its pending dispatch. The model implements
+/// both triggers as decode gates, which is steady-state equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalancerConfig {
+    /// Master switch. With the balancer off, a stalled memory-bound thread
+    /// can clog the shared GCT and starve its sibling (useful for
+    /// ablation benches).
+    pub enabled: bool,
+    /// Maximum GCT groups one thread may hold while the sibling is active;
+    /// decode of the offender stalls above this.
+    pub gct_cap_per_thread: usize,
+    /// Maximum outstanding beyond-L1 misses one thread may hold in the
+    /// load-miss queue while the sibling is active.
+    pub miss_cap_per_thread: usize,
+    /// Maximum GCT groups a thread may hold while it has an outstanding
+    /// *beyond-L2* miss and the sibling is active — the paper's
+    /// "threshold of L2 cache or TLB misses" stall/flush trigger. Lower
+    /// than `gct_cap_per_thread`, this bounds how much of the shared
+    /// window a long-latency-missing thread can clog.
+    pub gct_cap_deep_miss: usize,
+}
+
+impl BalancerConfig {
+    /// POWER5-like defaults for a 20-entry GCT and an 8-entry LMQ.
+    #[must_use]
+    pub fn power5_like() -> BalancerConfig {
+        BalancerConfig {
+            enabled: true,
+            gct_cap_per_thread: 18,
+            miss_cap_per_thread: 6,
+            // Equal to the plain GCT cap by default: the clogging pressure
+            // of a long-latency-missing thread and its decay under
+            // priority differences are what reproduce the paper's
+            // (cpu-bound, memory-bound) interactions. Lower values model a
+            // more aggressive balancer (ablation benches explore this).
+            gct_cap_deep_miss: 18,
+        }
+    }
+
+    /// Balancer disabled (ablation).
+    #[must_use]
+    pub fn disabled() -> BalancerConfig {
+        BalancerConfig {
+            enabled: false,
+            gct_cap_per_thread: usize::MAX,
+            miss_cap_per_thread: usize::MAX,
+            gct_cap_deep_miss: usize::MAX,
+        }
+    }
+}
+
+/// Full configuration of the SMT2 core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Instructions decoded per decode cycle (one context per cycle forms
+    /// one dispatch group).
+    pub decode_width: usize,
+    /// Global Completion Table entries (dispatch groups in flight, shared
+    /// between the two contexts).
+    pub gct_entries: usize,
+    /// Fixed-point units.
+    pub fxu_units: usize,
+    /// Floating-point units.
+    pub fpu_units: usize,
+    /// Load/store units.
+    pub lsu_units: usize,
+    /// Branch units.
+    pub bru_units: usize,
+    /// Fixed-point issue-queue capacity (shared).
+    pub fxq_size: usize,
+    /// Floating-point issue-queue capacity (shared).
+    pub fpq_size: usize,
+    /// Load/store issue-queue capacity (shared).
+    pub lsq_size: usize,
+    /// Branch issue-queue capacity (shared).
+    pub brq_size: usize,
+    /// Load-miss-queue (MSHR) entries shared by both contexts.
+    pub lmq_entries: usize,
+    /// Cycles from branch resolution to the first decode of redirected
+    /// instructions.
+    pub mispredict_penalty: u64,
+    /// Execution latencies.
+    pub latencies: OpLatencies,
+    /// Dynamic hardware resource balancer.
+    pub balancer: BalancerConfig,
+    /// Memory hierarchy configuration.
+    pub mem: MemConfig,
+    /// In low-power mode — both threads at priority 1 — the core decodes
+    /// one instruction every this many cycles (paper Section 3.2: 32).
+    pub low_power_decode_period: u64,
+    /// RNG seed for data-dependent branch outcomes (`br_miss`).
+    pub rng_seed: u64,
+    /// If true, a decode cycle whose designated thread cannot decode is
+    /// offered to the sibling instead of being wasted. POWER5 enforces the
+    /// priority ratio strictly; this switch exists for ablation.
+    pub steal_idle_decode_slots: bool,
+}
+
+impl CoreConfig {
+    /// A POWER5-like core: 5-wide decode, 20-entry GCT, 2×FXU/2×FPU/2×LSU,
+    /// 8-entry LMQ, 12-cycle mispredict penalty.
+    #[must_use]
+    pub fn power5_like() -> CoreConfig {
+        CoreConfig {
+            decode_width: 5,
+            gct_entries: 20,
+            fxu_units: 2,
+            fpu_units: 2,
+            lsu_units: 2,
+            bru_units: 2,
+            fxq_size: 36,
+            fpq_size: 24,
+            lsq_size: 24,
+            brq_size: 12,
+            lmq_entries: 8,
+            mispredict_penalty: 12,
+            latencies: OpLatencies::power5_like(),
+            balancer: BalancerConfig::power5_like(),
+            mem: MemConfig::power5_like(),
+            low_power_decode_period: 32,
+            rng_seed: 0x5eed_cafe_f00d_0001,
+            steal_idle_decode_slots: false,
+        }
+    }
+
+    /// A smaller, faster configuration for unit tests (tiny caches, short
+    /// latencies). Behavioural shape matches `power5_like`.
+    #[must_use]
+    pub fn tiny_for_tests() -> CoreConfig {
+        CoreConfig {
+            mem: MemConfig::tiny_for_tests(),
+            ..CoreConfig::power5_like()
+        }
+    }
+
+    /// Validates structural parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width, queue or table size is zero, or the memory
+    /// configuration is invalid.
+    pub fn validate(&self) {
+        assert!(self.decode_width > 0, "decode width must be nonzero");
+        assert!(self.gct_entries >= 2, "GCT needs at least one group per context");
+        for (name, n) in [
+            ("fxu", self.fxu_units),
+            ("fpu", self.fpu_units),
+            ("lsu", self.lsu_units),
+            ("bru", self.bru_units),
+            ("fxq", self.fxq_size),
+            ("fpq", self.fpq_size),
+            ("lsq", self.lsq_size),
+            ("brq", self.brq_size),
+            ("lmq", self.lmq_entries),
+        ] {
+            assert!(n > 0, "{name} size must be nonzero");
+        }
+        assert!(self.low_power_decode_period > 0);
+        self.mem.validate();
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::power5_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        CoreConfig::power5_like().validate();
+        CoreConfig::tiny_for_tests().validate();
+        CoreConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "decode width")]
+    fn zero_decode_width_panics() {
+        let cfg = CoreConfig {
+            decode_width: 0,
+            ..CoreConfig::power5_like()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn balancer_disabled_is_unbounded() {
+        let b = BalancerConfig::disabled();
+        assert!(!b.enabled);
+        assert_eq!(b.gct_cap_per_thread, usize::MAX);
+    }
+
+    #[test]
+    fn power5_like_shape() {
+        let c = CoreConfig::power5_like();
+        assert_eq!(c.decode_width, 5);
+        assert_eq!(c.gct_entries, 20);
+        assert_eq!(c.lmq_entries, 8);
+        assert_eq!(c.low_power_decode_period, 32);
+        assert!(c.balancer.enabled);
+    }
+}

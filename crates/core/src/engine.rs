@@ -1,0 +1,1158 @@
+//! The cycle-by-cycle SMT2 core engine.
+
+use crate::config::CoreConfig;
+use crate::queues::{ExecKind, FinishTable, IssueQueues, LoadMissQueue, QEntry};
+use crate::stats::{CoreStats, DecodeBlock, RepetitionRecord};
+use crate::thread::{Group, ThreadState};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use p5_branch::{BranchPredictorOps, BranchStats, Predictor};
+use p5_isa::{
+    decode_policy, BranchBehavior, DecodePolicy, FuClass, Op, Priority, PrivilegeLevel,
+    Program, ThreadId,
+};
+use p5_mem::{HitLevel, MemoryHierarchy};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Why a bounded run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every active thread reached its repetition target.
+    Completed,
+    /// The cycle budget was exhausted first.
+    MaxCycles,
+}
+
+/// One POWER5-like SMT2 core: two hardware thread contexts sharing a
+/// decode pipe, GCT, issue queues, execution units, load-miss queue and
+/// the whole cache hierarchy.
+///
+/// See the crate-level docs for the pipeline description and an example.
+#[derive(Debug)]
+pub struct SmtCore {
+    config: CoreConfig,
+    mem: MemoryHierarchy,
+    predictor: Predictor,
+    threads: [Option<ThreadState>; 2],
+    priorities: [Priority; 2],
+    cycle: u64,
+    next_seq: u64,
+    queues: IssueQueues,
+    finish: FinishTable,
+    lmq: LoadMissQueue,
+    /// (finish_cycle, thread index, group id) of issued instructions.
+    completions: BinaryHeap<Reverse<(u64, u8, u64)>>,
+    stats: CoreStats,
+    /// Per-class, per-unit cycle until which the unit is busy (models
+    /// unpipelined ops like fixed-point multiply).
+    fu_busy: [Vec<u64>; 4],
+    rng: u64,
+    tracer: Option<Trace>,
+    /// XORed into every stream base address; distinguishes the address
+    /// spaces of the two cores of a chip.
+    address_space_salt: u64,
+}
+
+impl SmtCore {
+    /// Creates an idle core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`CoreConfig::validate`]).
+    #[must_use]
+    pub fn new(config: CoreConfig) -> SmtCore {
+        let mem = MemoryHierarchy::new(config.mem);
+        SmtCore::with_memory(config, mem, 0)
+    }
+
+    /// Creates a core over an existing memory hierarchy (used by
+    /// [`Chip`](crate::Chip) to share L2/L3 between cores).
+    /// `address_space_salt` is XORed into stream base addresses so cores
+    /// running the same program touch disjoint data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`CoreConfig::validate`]).
+    #[must_use]
+    pub fn with_memory(
+        config: CoreConfig,
+        mem: MemoryHierarchy,
+        address_space_salt: u64,
+    ) -> SmtCore {
+        config.validate();
+        SmtCore {
+            mem,
+            predictor: Predictor::power5_like(),
+            threads: [None, None],
+            priorities: [Priority::Medium, Priority::Medium],
+            cycle: 0,
+            next_seq: 1,
+            queues: IssueQueues::new(
+                config.fxq_size,
+                config.fpq_size,
+                config.lsq_size,
+                config.brq_size,
+            ),
+            finish: FinishTable::new(16 * 1024),
+            lmq: LoadMissQueue::new(config.lmq_entries),
+            completions: BinaryHeap::new(),
+            stats: CoreStats::default(),
+            fu_busy: [
+                vec![0; config.fxu_units],
+                vec![0; config.fpu_units],
+                vec![0; config.lsu_units],
+                vec![0; config.bru_units],
+            ],
+            rng: if config.rng_seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                config.rng_seed
+            },
+            tracer: None,
+            address_space_salt,
+            config,
+        }
+    }
+
+    /// Starts recording pipeline events into a bounded ring of
+    /// `capacity` entries (replacing any previous trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Some(Trace::new(capacity));
+    }
+
+    /// Stops recording and returns the trace collected so far, if any.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.tracer.take()
+    }
+
+    /// The trace recorded so far, if tracing is enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.tracer.as_ref()
+    }
+
+    fn emit(&mut self, thread: ThreadId, seq: u64, kind: TraceKind) {
+        if let Some(t) = &mut self.tracer {
+            t.push(TraceEvent {
+                cycle: self.cycle,
+                thread,
+                seq,
+                kind,
+            });
+        }
+    }
+
+    /// The configuration this core was built with.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Loads `program` onto `thread`, resetting that context's
+    /// architectural state. The sibling context and all shared state
+    /// (caches, predictor) are untouched.
+    pub fn load_program(&mut self, thread: ThreadId, program: Program) {
+        let line = self.config.mem.l1d.line_bytes;
+        self.threads[thread.index()] = Some(ThreadState::new(
+            program,
+            line,
+            thread,
+            self.address_space_salt,
+        ));
+    }
+
+    /// Unloads the program from `thread`, switching the context off.
+    pub fn unload_program(&mut self, thread: ThreadId) {
+        self.threads[thread.index()] = None;
+    }
+
+    /// Whether `thread` has a program loaded.
+    #[must_use]
+    pub fn is_active(&self, thread: ThreadId) -> bool {
+        self.threads[thread.index()].is_some()
+    }
+
+    /// The program loaded on `thread`, if any.
+    #[must_use]
+    pub fn program(&self, thread: ThreadId) -> Option<&Program> {
+        self.threads[thread.index()].as_ref().map(|t| &t.program)
+    }
+
+    /// Sets `thread`'s software-controlled priority through the hardware
+    /// interface (no privilege check — the caller is "the hypervisor";
+    /// `p5-os` layers privilege semantics on top).
+    pub fn set_priority(&mut self, thread: ThreadId, priority: Priority) {
+        self.priorities[thread.index()] = priority;
+        self.emit(
+            thread,
+            0,
+            TraceKind::PriorityChanged {
+                level: priority.level(),
+            },
+        );
+    }
+
+    /// Current priority of `thread`.
+    #[must_use]
+    pub fn priority(&self, thread: ThreadId) -> Priority {
+        self.priorities[thread.index()]
+    }
+
+    /// Sets the privilege level governing `or X,X,X` priority requests
+    /// decoded from `thread`'s instruction stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no program is loaded on `thread`.
+    pub fn set_privilege(&mut self, thread: ThreadId, privilege: PrivilegeLevel) {
+        self.threads[thread.index()]
+            .as_mut()
+            .expect("cannot set privilege on an empty context")
+            .privilege = privilege;
+    }
+
+    /// Current cycle count.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Simulation statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// The shared memory hierarchy (for statistics inspection).
+    #[must_use]
+    pub fn mem(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// Branch-predictor statistics.
+    #[must_use]
+    pub fn branch_stats(&self) -> &BranchStats {
+        self.predictor.stats()
+    }
+
+    /// Current GCT occupancy in groups (both threads).
+    #[must_use]
+    pub fn gct_occupancy(&self) -> usize {
+        self.threads
+            .iter()
+            .flatten()
+            .map(|t| t.groups.len())
+            .sum()
+    }
+
+    /// Current load-miss-queue occupancy.
+    #[must_use]
+    pub fn lmq_occupancy(&self) -> usize {
+        self.lmq.occupancy()
+    }
+
+    /// Instructions currently waiting in all issue queues.
+    #[must_use]
+    pub fn issue_queue_occupancy(&self) -> usize {
+        self.queues.occupancy()
+    }
+
+    /// Clears statistics (core, memory, TLB) while leaving all
+    /// microarchitectural and architectural state warm — the measurement
+    /// model the FAME methodology requires.
+    pub fn reset_stats(&mut self) {
+        self.stats = CoreStats::default();
+        self.mem.reset_stats();
+    }
+
+    /// The decode policy currently in force, accounting for inactive
+    /// contexts (a context with no program behaves as switched off).
+    #[must_use]
+    pub fn effective_policy(&self) -> DecodePolicy {
+        match (self.is_active(ThreadId::T0), self.is_active(ThreadId::T1)) {
+            (false, false) => DecodePolicy::BothOff,
+            (true, false) => DecodePolicy::SingleThread {
+                runner: ThreadId::T0,
+            },
+            (false, true) => DecodePolicy::SingleThread {
+                runner: ThreadId::T1,
+            },
+            (true, true) => decode_policy(self.priorities[0], self.priorities[1]),
+        }
+    }
+
+    /// Advances the simulation by `n` cycles.
+    pub fn run_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Runs until every active thread has completed at least its target
+    /// number of program repetitions, or `max_cycles` elapse.
+    pub fn run_until_repetitions(&mut self, target: [usize; 2], max_cycles: u64) -> RunOutcome {
+        let deadline = self.cycle + max_cycles;
+        while self.cycle < deadline {
+            let done = ThreadId::ALL.iter().all(|&t| {
+                !self.is_active(t)
+                    || self.stats.threads[t.index()].repetitions.len() >= target[t.index()]
+            });
+            if done {
+                return RunOutcome::Completed;
+            }
+            self.step();
+        }
+        RunOutcome::MaxCycles
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        let now = self.cycle;
+
+        self.lmq.expire(now);
+        self.drain_completions(now);
+        self.issue(now);
+        self.decode(now);
+        self.retire();
+    }
+
+    fn drain_completions(&mut self, now: u64) {
+        while let Some(&Reverse((finish, tidx, gid))) = self.completions.peek() {
+            if finish > now {
+                break;
+            }
+            self.completions.pop();
+            if let Some(thread) = self.threads[tidx as usize].as_mut() {
+                thread.group_mut(gid).completed += 1;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- issue
+
+    fn issue(&mut self, now: u64) {
+        for (class_idx, class) in FuClass::ALL.into_iter().enumerate() {
+            let mut free_units: usize = self.fu_busy[class_idx]
+                .iter()
+                .filter(|&&busy_until| busy_until <= now)
+                .count();
+            if free_units == 0 {
+                continue;
+            }
+            let mut queue = std::mem::take(self.queues.queue(class));
+            let mut i = 0usize;
+            while i < queue.len() && free_units > 0 {
+                let entry = queue[i];
+                match self.try_issue(now, entry) {
+                    Some(occupancy) => {
+                        queue.remove(i);
+                        free_units -= 1;
+                        // Claim a free unit for `occupancy` cycles.
+                        let unit = self.fu_busy[class_idx]
+                            .iter_mut()
+                            .find(|busy_until| **busy_until <= now)
+                            .expect("free unit counted above");
+                        *unit = now + occupancy.max(1);
+                    }
+                    None => i += 1,
+                }
+            }
+            *self.queues.queue(class) = queue;
+        }
+    }
+
+    /// Attempts to issue one entry; on success returns the number of
+    /// cycles the functional unit stays occupied.
+    fn try_issue(&mut self, now: u64, entry: QEntry) -> Option<u64> {
+        if !self.finish.ready(entry.dep1, now) || !self.finish.ready(entry.dep2, now) {
+            return None;
+        }
+        let tid = entry.thread;
+        let mut occupancy = 1u64;
+        let finish = match entry.kind {
+            ExecKind::Fixed {
+                latency,
+                occupancy: occ,
+            } => {
+                occupancy = occ;
+                now + latency.max(1)
+            }
+            ExecKind::MispredictedBranch { latency } => {
+                let finish = now + latency.max(1);
+                let thread = self.threads[tid.index()]
+                    .as_mut()
+                    .expect("branch issued from empty context");
+                thread.fetch_stall_until = finish + self.config.mispredict_penalty;
+                if thread.redirect_pending == Some(entry.seq) {
+                    thread.redirect_pending = None;
+                }
+                let resume_cycle = thread.fetch_stall_until;
+                self.emit(tid, entry.seq, TraceKind::Redirect { resume_cycle });
+                finish
+            }
+            ExecKind::Load { addr } => {
+                let will_miss_l1 = !self.mem.probe_l1(addr);
+                if will_miss_l1 {
+                    if !self.lmq.has_room() {
+                        return None;
+                    }
+                    if self.config.balancer.enabled
+                        && self.both_active()
+                        && self.lmq.outstanding(tid) >= self.config.balancer.miss_cap_per_thread
+                    {
+                        // Dynamic balancing: the offending thread's misses
+                        // are throttled so it cannot monopolize the LMQ.
+                        return None;
+                    }
+                }
+                let access = self.mem.access(tid, addr, false);
+                let latency = access.latency.max(1);
+                if access.level != HitLevel::L1 {
+                    let deep = matches!(access.level, HitLevel::L3 | HitLevel::Memory);
+                    self.lmq.push(now + latency, tid, deep);
+                }
+                self.stats.threads[tid.index()].loads += 1;
+                now + latency
+            }
+            ExecKind::Store { addr } => {
+                // Stores allocate in the hierarchy but complete quickly
+                // from the pipeline's perspective (store queue drains in
+                // the background).
+                let _ = self.mem.access(tid, addr, true);
+                self.stats.threads[tid.index()].stores += 1;
+                now + self.config.latencies.store.max(1)
+            }
+        };
+        self.finish.set(entry.seq, finish);
+        self.completions
+            .push(Reverse((finish, tid.index() as u8, entry.group_id)));
+        self.emit(tid, entry.seq, TraceKind::Issued { finish_cycle: finish });
+        Some(occupancy)
+    }
+
+    // ---------------------------------------------------------------- decode
+
+    /// Which context owns this decode cycle, and how wide the decode is.
+    fn designated(&mut self, now: u64) -> Option<(ThreadId, usize)> {
+        match self.effective_policy() {
+            DecodePolicy::BothOff => None,
+            DecodePolicy::SingleThread { runner } => Some((runner, self.config.decode_width)),
+            DecodePolicy::LowPower => {
+                let period = self.config.low_power_decode_period;
+                if now % period == 0 {
+                    let t = ThreadId::from_index(((now / period) % 2) as usize);
+                    // Low-power mode decodes a single instruction.
+                    Some((t, 1))
+                } else {
+                    None
+                }
+            }
+            DecodePolicy::Ratio {
+                favoured,
+                favoured_slots,
+                period,
+            } => {
+                let slot = (now % u64::from(period)) as u32;
+                let t = if slot < favoured_slots {
+                    favoured
+                } else {
+                    favoured.other()
+                };
+                Some((t, self.config.decode_width))
+            }
+        }
+    }
+
+    fn both_active(&self) -> bool {
+        self.is_active(ThreadId::T0) && self.is_active(ThreadId::T1)
+    }
+
+    fn decode(&mut self, now: u64) {
+        let Some((tid, width)) = self.designated(now) else {
+            return;
+        };
+        self.stats.threads[tid.index()].decode_cycles_granted += 1;
+        let decoded = self.try_decode(now, tid, width);
+        if decoded {
+            self.stats.threads[tid.index()].decode_cycles_used += 1;
+        } else if self.config.steal_idle_decode_slots {
+            let other = tid.other();
+            if self.is_active(other) && self.try_decode(now, other, width) {
+                self.stats.threads[other.index()].decode_cycles_used += 1;
+            }
+        }
+    }
+
+    /// Attempts to decode up to `width` instructions from `tid` into one
+    /// dispatch group. Returns whether anything was decoded.
+    fn try_decode(&mut self, now: u64, tid: ThreadId, width: usize) -> bool {
+        // Gates that stop the whole decode cycle for this thread.
+        {
+            let Some(thread) = self.threads[tid.index()].as_ref() else {
+                self.stats.threads[tid.index()].note_block(DecodeBlock::Inactive);
+                return false;
+            };
+            if thread.redirect_pending.is_some() || thread.fetch_stall_until >= now {
+                self.stats.threads[tid.index()].note_block(DecodeBlock::BranchStall);
+                return false;
+            }
+            if self.config.balancer.enabled && self.both_active() {
+                let cap = if self.lmq.outstanding_deep(tid) > 0 {
+                    self.config.balancer.gct_cap_deep_miss
+                } else {
+                    self.config.balancer.gct_cap_per_thread
+                };
+                if thread.groups.len() >= cap {
+                    self.stats.threads[tid.index()].note_block(DecodeBlock::Balancer);
+                    return false;
+                }
+            }
+        }
+        if self.gct_occupancy() >= self.config.gct_entries {
+            self.stats.threads[tid.index()].note_block(DecodeBlock::GctFull);
+            return false;
+        }
+
+        let group_id = self.threads[tid.index()]
+            .as_ref()
+            .expect("checked active above")
+            .next_group_id;
+        let mut decoded = 0u32;
+        let mut rep_ends = 0u32;
+
+        for _ in 0..width {
+            let Some(thread) = self.threads[tid.index()].as_mut() else {
+                break;
+            };
+            let inst = thread.program.body()[thread.pc];
+            let class = inst.op.fu_class();
+            if !self.queues.has_room(class) {
+                if decoded == 0 {
+                    self.stats.threads[tid.index()].note_block(DecodeBlock::QueueFull);
+                }
+                break;
+            }
+
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            let dep1 = inst
+                .src1
+                .map_or(0, |r| thread.reg_producer[r.index()]);
+            let dep2 = inst
+                .src2
+                .map_or(0, |r| thread.reg_producer[r.index()]);
+
+            let is_branch = inst.op.is_branch();
+            let kind = match inst.op {
+                Op::IntAlu => ExecKind::Fixed {
+                    latency: self.config.latencies.int_alu,
+                    occupancy: 1,
+                },
+                Op::IntMul => ExecKind::Fixed {
+                    latency: self.config.latencies.int_mul,
+                    occupancy: self.config.latencies.int_mul_occupancy,
+                },
+                Op::IntDiv => ExecKind::Fixed {
+                    latency: self.config.latencies.int_div,
+                    occupancy: self.config.latencies.int_div_occupancy,
+                },
+                Op::FpAlu => ExecKind::Fixed {
+                    latency: self.config.latencies.fp_alu,
+                    occupancy: 1,
+                },
+                Op::FpDiv => ExecKind::Fixed {
+                    latency: self.config.latencies.fp_div,
+                    occupancy: self.config.latencies.fp_div_occupancy,
+                },
+                Op::Nop => ExecKind::Fixed {
+                    latency: 1,
+                    occupancy: 1,
+                },
+                Op::OrNop(requested) => {
+                    // The priority change takes effect as the or-nop flows
+                    // through decode — or is silently ignored without the
+                    // required privilege (paper Section 3.2).
+                    if requested.settable_by(thread.privilege) {
+                        self.priorities[tid.index()] = requested;
+                        self.stats.threads[tid.index()].priority_changes += 1;
+                    } else {
+                        self.stats.threads[tid.index()].priority_nops += 1;
+                    }
+                    ExecKind::Fixed {
+                        latency: 1,
+                        occupancy: 1,
+                    }
+                }
+                Op::Load { stream, .. } => {
+                    let addr = thread.cursors[stream.index()].next_load_addr();
+                    ExecKind::Load { addr }
+                }
+                Op::Store { stream, .. } => {
+                    let addr = thread.cursors[stream.index()].store_addr();
+                    ExecKind::Store { addr }
+                }
+                Op::Branch(behavior) => {
+                    let pc_addr = 0x1_0000 + (thread.pc as u64) * 4;
+                    let taken = match behavior {
+                        BranchBehavior::LoopBack => {
+                            thread.iter + 1 < thread.program.iterations()
+                        }
+                        BranchBehavior::ConstantTaken => true,
+                        BranchBehavior::ConstantNotTaken => false,
+                        BranchBehavior::Random { taken_permille } => {
+                            // xorshift64* inlined: `self.rng` is disjoint
+                            // from the thread borrow.
+                            let mut x = self.rng;
+                            x ^= x >> 12;
+                            x ^= x << 25;
+                            x ^= x >> 27;
+                            self.rng = x;
+                            (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % 1000)
+                                < u64::from(taken_permille)
+                        }
+                    };
+                    let predicted = self.predictor.predict(tid, pc_addr);
+                    self.predictor.update(tid, pc_addr, taken);
+                    let mispredicted = predicted != taken;
+                    self.predictor.record(tid, mispredicted);
+                    let st = &mut self.stats.threads[tid.index()];
+                    st.branches += 1;
+                    if mispredicted {
+                        st.mispredicts += 1;
+                        thread.redirect_pending = Some(seq);
+                        ExecKind::MispredictedBranch {
+                            latency: self.config.latencies.branch,
+                        }
+                    } else {
+                        ExecKind::Fixed {
+                            latency: self.config.latencies.branch,
+                            occupancy: 1,
+                        }
+                    }
+                }
+            };
+
+            let thread = self.threads[tid.index()].as_mut().expect("active");
+            if let Some(dst) = inst.dst {
+                thread.reg_producer[dst.index()] = seq;
+            }
+            if thread.at_repetition_end() {
+                rep_ends += 1;
+            }
+            thread.advance();
+
+            self.queues.queue(class).push(QEntry {
+                seq,
+                thread: tid,
+                group_id,
+                dep1,
+                dep2,
+                kind,
+            });
+            self.emit(tid, seq, TraceKind::Decoded { group_id });
+            decoded += 1;
+            self.stats.threads[tid.index()].decoded += 1;
+
+            // Dispatch groups end at branches, as on POWER5.
+            if is_branch {
+                break;
+            }
+        }
+
+        if decoded > 0 {
+            let thread = self.threads[tid.index()].as_mut().expect("active");
+            thread.next_group_id += 1;
+            thread.groups.push_back(Group {
+                id: group_id,
+                total: decoded,
+                completed: 0,
+                rep_ends,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---------------------------------------------------------------- retire
+
+    fn retire(&mut self) {
+        // Repetition boundaries are stamped with the since-reset cycle so
+        // FAME measurements exclude warm-up time.
+        let stat_cycle = self.stats.cycles;
+        for tid in ThreadId::ALL {
+            let i = tid.index();
+            let Some(thread) = self.threads[i].as_mut() else {
+                continue;
+            };
+            // One group per thread per cycle.
+            let Some(head) = thread.groups.front() else {
+                continue;
+            };
+            if head.completed == head.total {
+                let head = thread.groups.pop_front().expect("front checked");
+                if let Some(t) = &mut self.tracer {
+                    t.push(TraceEvent {
+                        cycle: self.cycle,
+                        thread: tid,
+                        seq: 0,
+                        kind: TraceKind::GroupRetired {
+                            group_id: head.id,
+                            instructions: head.total,
+                        },
+                    });
+                }
+                let st = &mut self.stats.threads[i];
+                st.committed += u64::from(head.total);
+                for _ in 0..head.rep_ends {
+                    let committed = st.committed;
+                    st.repetitions.push(RepetitionRecord {
+                        end_cycle: stat_cycle,
+                        committed_at_end: committed,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BalancerConfig;
+    use p5_isa::{DataKind, Reg, StaticInst, StreamSpec};
+
+    /// `n` independent single-cycle integer ops per iteration.
+    fn cpu_program(n: usize, iters: u64) -> Program {
+        let mut b = Program::builder("cpu");
+        for i in 0..n {
+            b.push(StaticInst::new(Op::IntAlu).dst(Reg::new((i % 32) as u8 + 32)));
+        }
+        b.push(StaticInst::new(Op::Branch(BranchBehavior::LoopBack)));
+        b.iterations(iters);
+        b.build().unwrap()
+    }
+
+    /// A serial dependency chain of multiplies: low IPC.
+    fn chain_program(n: usize, iters: u64) -> Program {
+        let acc = Reg::new(0);
+        let mut b = Program::builder("chain");
+        for _ in 0..n {
+            b.push(StaticInst::new(Op::IntMul).dst(acc).src1(acc));
+        }
+        b.push(StaticInst::new(Op::Branch(BranchBehavior::LoopBack)));
+        b.iterations(iters);
+        b.build().unwrap()
+    }
+
+    /// Pointer-chase loads over `footprint` bytes: memory-latency bound.
+    fn chase_program(footprint: u64, iters: u64) -> Program {
+        let ptr = Reg::new(1);
+        let mut b = Program::builder("chase");
+        let s = b.stream(StreamSpec::pointer_chase(footprint));
+        b.push(
+            StaticInst::new(Op::Load {
+                stream: s,
+                kind: DataKind::Int,
+            })
+            .dst(ptr)
+            .src1(ptr),
+        );
+        b.push(StaticInst::new(Op::IntAlu).dst(Reg::new(2)).src1(ptr));
+        b.push(StaticInst::new(Op::Branch(BranchBehavior::LoopBack)));
+        b.iterations(iters);
+        b.build().unwrap()
+    }
+
+    fn core() -> SmtCore {
+        SmtCore::new(CoreConfig::tiny_for_tests())
+    }
+
+    #[test]
+    fn single_thread_commits_and_records_repetitions() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, cpu_program(9, 10)); // 100 insts/rep
+        let outcome = c.run_until_repetitions([3, 0], 100_000);
+        assert_eq!(outcome, RunOutcome::Completed);
+        let st = c.stats().thread(ThreadId::T0);
+        assert!(st.repetitions.len() >= 3);
+        assert_eq!(st.repetitions[0].committed_at_end % 100, 0);
+        assert!(st.committed >= 300);
+        assert_eq!(c.stats().committed(ThreadId::T1), 0);
+    }
+
+    #[test]
+    fn repetition_cycle_deltas_are_stable_in_steady_state() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, cpu_program(9, 50));
+        c.run_until_repetitions([6, 0], 1_000_000);
+        let reps = &c.stats().thread(ThreadId::T0).repetitions;
+        let d1 = reps[4].end_cycle - reps[3].end_cycle;
+        let d2 = reps[5].end_cycle - reps[4].end_cycle;
+        assert_eq!(d1, d2, "steady-state repetitions take identical time");
+    }
+
+    #[test]
+    fn equal_priorities_split_decode_evenly() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, cpu_program(9, 100));
+        c.load_program(ThreadId::T1, cpu_program(9, 100));
+        c.run_cycles(20_000);
+        let g0 = c.stats().thread(ThreadId::T0).decode_cycles_granted;
+        let g1 = c.stats().thread(ThreadId::T1).decode_cycles_granted;
+        assert_eq!(g0, g1, "equal priorities alternate decode cycles");
+        let ipc0 = c.stats().ipc(ThreadId::T0);
+        let ipc1 = c.stats().ipc(ThreadId::T1);
+        assert!((ipc0 - ipc1).abs() < 0.05 * ipc0.max(ipc1));
+    }
+
+    #[test]
+    fn positive_priority_shifts_throughput() {
+        let mut base = core();
+        base.load_program(ThreadId::T0, cpu_program(9, 100));
+        base.load_program(ThreadId::T1, cpu_program(9, 100));
+        base.run_cycles(20_000);
+        let base_ipc = base.stats().ipc(ThreadId::T0);
+
+        let mut c = core();
+        c.load_program(ThreadId::T0, cpu_program(9, 100));
+        c.load_program(ThreadId::T1, cpu_program(9, 100));
+        c.set_priority(ThreadId::T0, Priority::High); // +2
+        c.run_cycles(20_000);
+        assert!(
+            c.stats().ipc(ThreadId::T0) > base_ipc,
+            "favoured thread must speed up: {} vs {}",
+            c.stats().ipc(ThreadId::T0),
+            base_ipc
+        );
+        assert!(c.stats().ipc(ThreadId::T1) < base_ipc);
+    }
+
+    #[test]
+    fn priority_ratio_grants_decode_slots_per_equation_1() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, cpu_program(9, 100));
+        c.load_program(ThreadId::T1, cpu_program(9, 100));
+        c.set_priority(ThreadId::T0, Priority::High); // 6
+        c.set_priority(ThreadId::T1, Priority::VeryLow); // 1 -> diff 5, R = 64
+        c.run_cycles(64_000);
+        let g0 = c.stats().thread(ThreadId::T0).decode_cycles_granted;
+        let g1 = c.stats().thread(ThreadId::T1).decode_cycles_granted;
+        assert_eq!(g0 + g1, 64_000);
+        assert_eq!(g1, 1_000, "background gets exactly 1 of 64 slots");
+    }
+
+    #[test]
+    fn priority_seven_runs_single_thread() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, cpu_program(9, 100));
+        c.load_program(ThreadId::T1, cpu_program(9, 100));
+        c.set_priority(ThreadId::T0, Priority::VeryHigh);
+        c.run_cycles(5_000);
+        assert!(c.stats().committed(ThreadId::T0) > 0);
+        assert_eq!(c.stats().committed(ThreadId::T1), 0);
+    }
+
+    #[test]
+    fn priority_zero_switches_context_off() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, cpu_program(9, 100));
+        c.load_program(ThreadId::T1, cpu_program(9, 100));
+        c.set_priority(ThreadId::T1, Priority::Off);
+        c.run_cycles(5_000);
+        assert_eq!(c.stats().committed(ThreadId::T1), 0);
+        assert!(c.stats().committed(ThreadId::T0) > 0);
+    }
+
+    #[test]
+    fn low_power_mode_decodes_one_inst_per_period() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, cpu_program(9, 100));
+        c.load_program(ThreadId::T1, cpu_program(9, 100));
+        c.set_priority(ThreadId::T0, Priority::VeryLow);
+        c.set_priority(ThreadId::T1, Priority::VeryLow);
+        c.run_cycles(32_000);
+        let total = c.stats().committed(ThreadId::T0) + c.stats().committed(ThreadId::T1);
+        // One instruction per 32 cycles, modulo pipeline fill.
+        assert!(total <= 1_000, "low-power mode must throttle: {total}");
+        assert!(total >= 900, "low-power mode still progresses: {total}");
+    }
+
+    #[test]
+    fn single_thread_ipc_exceeds_smt_per_thread_ipc() {
+        let mut st = core();
+        st.load_program(ThreadId::T0, cpu_program(9, 100));
+        st.run_cycles(20_000);
+        let st_ipc = st.stats().ipc(ThreadId::T0);
+
+        let mut smt = core();
+        smt.load_program(ThreadId::T0, cpu_program(9, 100));
+        smt.load_program(ThreadId::T1, cpu_program(9, 100));
+        smt.run_cycles(20_000);
+        let smt_ipc = smt.stats().ipc(ThreadId::T0);
+        assert!(st_ipc > smt_ipc, "{st_ipc} !> {smt_ipc}");
+    }
+
+    #[test]
+    fn dependency_chain_bounds_ipc() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, chain_program(10, 100));
+        c.run_cycles(50_000);
+        let ipc = c.stats().ipc(ThreadId::T0);
+        let mul = c.config().latencies.int_mul as f64;
+        // Serial multiplies: one result per `mul` cycles (plus loop branch).
+        assert!(
+            ipc < 1.5 / mul + 0.2,
+            "chain IPC {ipc} should sit near 1/{mul}"
+        );
+        assert!(ipc > 0.05);
+    }
+
+    #[test]
+    fn chase_beyond_cache_is_memory_latency_bound() {
+        let mut c = core();
+        // Footprint 4x the tiny L3 (64 KiB): every chase load hits memory.
+        c.load_program(ThreadId::T0, chase_program(256 * 1024, 1_000));
+        c.run_cycles(100_000);
+        let ipc = c.stats().ipc(ThreadId::T0);
+        // ~3 instructions per ~100-cycle memory access.
+        assert!(ipc < 0.1, "memory chase must crawl, got IPC {ipc}");
+        let s = c.mem().stats();
+        assert!(s.memory_accesses(ThreadId::T0) > 500);
+    }
+
+    #[test]
+    fn chase_within_l1_is_fast() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, chase_program(512, 1_000)); // fits tiny L1
+        c.run_cycles(50_000);
+        let ipc = c.stats().ipc(ThreadId::T0);
+        assert!(ipc > 0.5, "L1-resident chase should be quick, got {ipc}");
+    }
+
+    #[test]
+    fn random_branches_cost_performance() {
+        let mk = |behavior| {
+            let mut b = Program::builder("br");
+            b.push(StaticInst::new(Op::IntAlu).dst(Reg::new(40)));
+            b.push(StaticInst::new(Op::Branch(behavior)));
+            b.push(StaticInst::new(Op::IntAlu).dst(Reg::new(41)));
+            b.push(StaticInst::new(Op::Branch(BranchBehavior::LoopBack)));
+            b.iterations(1_000);
+            b.build().unwrap()
+        };
+        let mut hit = core();
+        hit.load_program(ThreadId::T0, mk(BranchBehavior::ConstantTaken));
+        hit.run_cycles(30_000);
+        let mut miss = core();
+        miss.load_program(ThreadId::T0, mk(BranchBehavior::Random { taken_permille: 500 }));
+        miss.run_cycles(30_000);
+        let ipc_hit = hit.stats().ipc(ThreadId::T0);
+        let ipc_miss = miss.stats().ipc(ThreadId::T0);
+        assert!(
+            ipc_hit > 1.5 * ipc_miss,
+            "mispredicts must hurt: {ipc_hit} vs {ipc_miss}"
+        );
+        assert!(miss.branch_stats().mispredict_ratio(ThreadId::T0) > 0.2);
+        assert!(hit.branch_stats().mispredict_ratio(ThreadId::T0) < 0.05);
+    }
+
+    #[test]
+    fn or_nop_changes_priority_with_privilege() {
+        let mut b = Program::builder("prio");
+        b.push(StaticInst::new(Op::OrNop(Priority::High)));
+        for _ in 0..8 {
+            b.push(StaticInst::new(Op::IntAlu).dst(Reg::new(50)));
+        }
+        b.iterations(100);
+        let prog = b.build().unwrap();
+
+        let mut c = core();
+        c.load_program(ThreadId::T0, prog.clone());
+        c.set_privilege(ThreadId::T0, PrivilegeLevel::Supervisor);
+        c.run_cycles(100);
+        assert_eq!(c.priority(ThreadId::T0), Priority::High);
+        assert!(c.stats().thread(ThreadId::T0).priority_changes > 0);
+
+        // Without privilege the or-nop is "simply treated as a nop".
+        let mut c = core();
+        c.load_program(ThreadId::T0, prog);
+        c.set_privilege(ThreadId::T0, PrivilegeLevel::User);
+        c.run_cycles(100);
+        assert_eq!(c.priority(ThreadId::T0), Priority::Medium);
+        assert!(c.stats().thread(ThreadId::T0).priority_nops > 0);
+    }
+
+    #[test]
+    fn balancer_protects_cpu_thread_from_memory_hog() {
+        let run = |balancer_on: bool| {
+            let mut cfg = CoreConfig::tiny_for_tests();
+            if !balancer_on {
+                cfg.balancer = BalancerConfig::disabled();
+            }
+            let mut c = SmtCore::new(cfg);
+            c.load_program(ThreadId::T0, cpu_program(9, 100));
+            c.load_program(ThreadId::T1, chase_program(256 * 1024, 1_000));
+            c.run_cycles(50_000);
+            c.stats().ipc(ThreadId::T0)
+        };
+        let with = run(true);
+        let without = run(false);
+        assert!(
+            with >= without,
+            "balancer must not hurt the victim thread: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn gct_occupancy_bounded() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, chase_program(256 * 1024, 1_000));
+        c.load_program(ThreadId::T1, cpu_program(9, 100));
+        for _ in 0..10_000 {
+            c.step();
+            assert!(c.gct_occupancy() <= c.config().gct_entries);
+        }
+    }
+
+    #[test]
+    fn lmq_bounds_outstanding_misses() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, chase_program(256 * 1024, 1_000));
+        for _ in 0..10_000 {
+            c.step();
+            assert!(c.lmq_occupancy() <= c.config().lmq_entries);
+        }
+    }
+
+    #[test]
+    fn run_until_repetitions_times_out() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, cpu_program(9, u64::MAX / 1024));
+        let outcome = c.run_until_repetitions([1, 0], 1_000);
+        assert_eq!(outcome, RunOutcome::MaxCycles);
+    }
+
+    #[test]
+    fn reset_stats_preserves_warm_state() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, chase_program(512, 100));
+        c.run_cycles(5_000);
+        c.reset_stats();
+        assert_eq!(c.stats().cycles, 0);
+        c.run_cycles(5_000);
+        // Warm caches: post-reset IPC should be at least as good as a cold
+        // run of the same length.
+        let warm_ipc = c.stats().ipc(ThreadId::T0);
+        let mut cold = core();
+        cold.load_program(ThreadId::T0, chase_program(512, 100));
+        cold.run_cycles(5_000);
+        assert!(warm_ipc >= cold.stats().ipc(ThreadId::T0) * 0.99);
+    }
+
+    #[test]
+    fn unload_program_switches_to_single_thread() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, cpu_program(9, 100));
+        c.load_program(ThreadId::T1, cpu_program(9, 100));
+        c.run_cycles(1_000);
+        c.unload_program(ThreadId::T1);
+        assert_eq!(
+            c.effective_policy(),
+            DecodePolicy::SingleThread {
+                runner: ThreadId::T0
+            }
+        );
+        let before = c.stats().committed(ThreadId::T1);
+        c.run_cycles(1_000);
+        assert_eq!(c.stats().committed(ThreadId::T1), before);
+    }
+
+    #[test]
+    fn trace_records_full_instruction_lifecycle() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, cpu_program(9, 10));
+        c.enable_trace(4096);
+        c.run_cycles(500);
+        let trace = c.take_trace().expect("tracing was enabled");
+        assert!(!trace.is_empty());
+        let kinds: Vec<_> = trace.iter().map(|e| e.kind).collect();
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, crate::trace::TraceKind::Decoded { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, crate::trace::TraceKind::Issued { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, crate::trace::TraceKind::GroupRetired { .. })));
+        // Decode of a given seq precedes its issue.
+        let decode_cycle = trace
+            .iter()
+            .find(|e| matches!(e.kind, crate::trace::TraceKind::Decoded { .. }) && e.seq == 1)
+            .map(|e| e.cycle)
+            .expect("seq 1 decoded");
+        let issue_cycle = trace
+            .iter()
+            .find(|e| matches!(e.kind, crate::trace::TraceKind::Issued { .. }) && e.seq == 1)
+            .map(|e| e.cycle)
+            .expect("seq 1 issued");
+        assert!(issue_cycle > decode_cycle);
+        // Disabled tracing costs nothing and returns None.
+        assert!(c.trace().is_none());
+    }
+
+    #[test]
+    fn trace_captures_priority_changes_and_redirects() {
+        let mut c = core();
+        let mut b = Program::builder("br");
+        b.push(StaticInst::new(Op::Branch(BranchBehavior::Random { taken_permille: 500 })));
+        b.iterations(50);
+        c.load_program(ThreadId::T0, b.build().unwrap());
+        c.enable_trace(4096);
+        c.set_priority(ThreadId::T0, Priority::High);
+        c.run_cycles(2_000);
+        let trace = c.take_trace().unwrap();
+        assert!(trace.iter().any(|e| matches!(
+            e.kind,
+            crate::trace::TraceKind::PriorityChanged { level: 6 }
+        )));
+        assert!(trace.iter().any(|e| matches!(
+            e.kind,
+            crate::trace::TraceKind::Redirect { .. }
+        )));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut c = core();
+            c.load_program(ThreadId::T0, cpu_program(9, 100));
+            c.load_program(
+                ThreadId::T1,
+                {
+                    let mut b = Program::builder("rand-br");
+                    b.push(StaticInst::new(Op::Branch(BranchBehavior::Random {
+                        taken_permille: 500,
+                    })));
+                    b.push(StaticInst::new(Op::Branch(BranchBehavior::LoopBack)));
+                    b.iterations(100);
+                    b.build().unwrap()
+                },
+            );
+            c.run_cycles(10_000);
+            (
+                c.stats().committed(ThreadId::T0),
+                c.stats().committed(ThreadId::T1),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,69 @@
+//! # p5-core
+//!
+//! A cycle-level, execution-driven model of one POWER5-like SMT2 core,
+//! built to reproduce the software-controlled thread-priority
+//! characterization of Boneti et al. (ISCA 2008).
+//!
+//! The model implements the two levels of thread control the paper
+//! describes:
+//!
+//! 1. **Software-controlled priorities** (paper Section 3.2): the decode
+//!    stage divides its cycles between the two contexts according to
+//!    Equation 1, `R = 2^(|PrioP − PrioS| + 1)`, with the special cases for
+//!    priority 0 (context off), priority 7 (single-thread mode) and (1,1)
+//!    (low-power mode). Priorities are changed by `or X,X,X` nops flowing
+//!    through decode, subject to the privilege rules of Table 1, or
+//!    directly by the embedding software layer (`p5-os`).
+//! 2. **Dynamic hardware resource balancing** (paper Section 3.1): a
+//!    balancer monitors per-thread Global Completion Table (GCT) occupancy
+//!    and outstanding long-latency misses, and throttles the decode of an
+//!    offending thread until the congestion clears.
+//!
+//! The pipeline: per-thread program cursors feed a shared decode stage
+//! (one context per cycle, `decode_width` instructions into one GCT
+//! group); instructions wait in per-class issue queues, issue out-of-order
+//! onto FXU/FPU/LSU/BRU pipes once their producers have finished, loads
+//! walk the shared `p5-mem` hierarchy subject to a shared load-miss queue,
+//! and groups retire in order, one per thread per cycle.
+//!
+//! # Example
+//!
+//! ```
+//! use p5_core::{CoreConfig, SmtCore};
+//! use p5_isa::{Priority, ThreadId, Program, StaticInst, Op};
+//!
+//! // A tiny all-integer program.
+//! let mut b = Program::builder("toy");
+//! for _ in 0..10 {
+//!     b.push(StaticInst::new(Op::IntAlu));
+//! }
+//! b.iterations(100);
+//! let prog = b.build()?;
+//!
+//! let mut core = SmtCore::new(CoreConfig::power5_like());
+//! core.load_program(ThreadId::T0, prog.clone());
+//! core.load_program(ThreadId::T1, prog);
+//! core.set_priority(ThreadId::T0, Priority::High);   // +2 over default
+//! core.run_cycles(10_000);
+//! let s = core.stats();
+//! assert!(s.committed(ThreadId::T0) > s.committed(ThreadId::T1));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod chip;
+mod config;
+mod engine;
+mod queues;
+mod stats;
+mod thread;
+mod trace;
+
+pub use chip::{Chip, CoreId};
+pub use config::{BalancerConfig, CoreConfig, OpLatencies};
+pub use engine::{RunOutcome, SmtCore};
+pub use stats::{CoreStats, DecodeBlock, RepetitionRecord, ThreadStats};
+pub use thread::stream_base_address;
+pub use trace::{Trace, TraceEvent, TraceKind};

@@ -1,0 +1,161 @@
+//! Simulation statistics.
+
+use p5_isa::ThreadId;
+
+/// Why a granted decode cycle was not used by its designated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeBlock {
+    /// The thread's program cursor was stalled behind an unresolved or
+    /// mispredicted branch.
+    BranchStall,
+    /// No free GCT group.
+    GctFull,
+    /// The needed issue queue was full.
+    QueueFull,
+    /// The dynamic resource balancer gated the thread.
+    Balancer,
+    /// No program loaded or thread switched off.
+    Inactive,
+}
+
+/// One completed program repetition (the FAME unit of measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepetitionRecord {
+    /// Cycle at which the repetition's last instruction retired.
+    pub end_cycle: u64,
+    /// Instructions committed by the thread up to and including this
+    /// repetition.
+    pub committed_at_end: u64,
+}
+
+/// Per-thread counters.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadStats {
+    /// Instructions committed (retired).
+    pub committed: u64,
+    /// Decode cycles in which this thread was the designated context.
+    pub decode_cycles_granted: u64,
+    /// Granted decode cycles in which at least one instruction was
+    /// decoded.
+    pub decode_cycles_used: u64,
+    /// Instructions decoded.
+    pub decoded: u64,
+    /// Granted decode cycles lost, by reason.
+    pub blocked_branch: u64,
+    /// See [`DecodeBlock::GctFull`].
+    pub blocked_gct: u64,
+    /// See [`DecodeBlock::QueueFull`].
+    pub blocked_queue: u64,
+    /// See [`DecodeBlock::Balancer`].
+    pub blocked_balancer: u64,
+    /// Conditional branches committed.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// Priority-change requests that took effect.
+    pub priority_changes: u64,
+    /// Priority-change requests ignored for insufficient privilege.
+    pub priority_nops: u64,
+    /// Completed program repetitions.
+    pub repetitions: Vec<RepetitionRecord>,
+}
+
+impl ThreadStats {
+    /// Records a lost decode cycle.
+    pub(crate) fn note_block(&mut self, why: DecodeBlock) {
+        match why {
+            DecodeBlock::BranchStall => self.blocked_branch += 1,
+            DecodeBlock::GctFull => self.blocked_gct += 1,
+            DecodeBlock::QueueFull => self.blocked_queue += 1,
+            DecodeBlock::Balancer => self.blocked_balancer += 1,
+            DecodeBlock::Inactive => {}
+        }
+    }
+}
+
+/// Whole-core statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Per-context counters.
+    pub threads: [ThreadStats; 2],
+}
+
+impl CoreStats {
+    /// Instructions committed by `thread`.
+    #[must_use]
+    pub fn committed(&self, thread: ThreadId) -> u64 {
+        self.threads[thread.index()].committed
+    }
+
+    /// Whole-run IPC of `thread` (committed / cycles).
+    #[must_use]
+    pub fn ipc(&self, thread: ThreadId) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed(thread) as f64 / self.cycles as f64
+        }
+    }
+
+    /// Combined IPC of both contexts.
+    #[must_use]
+    pub fn total_ipc(&self) -> f64 {
+        self.ipc(ThreadId::T0) + self.ipc(ThreadId::T1)
+    }
+
+    /// Counters for one context.
+    #[must_use]
+    pub fn thread(&self, thread: ThreadId) -> &ThreadStats {
+        &self.threads[thread.index()]
+    }
+
+    /// Completed repetitions of `thread`.
+    #[must_use]
+    pub fn repetition_count(&self, thread: ThreadId) -> usize {
+        self.threads[thread.index()].repetitions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_is_zero_before_any_cycle() {
+        let s = CoreStats::default();
+        assert_eq!(s.ipc(ThreadId::T0), 0.0);
+        assert_eq!(s.total_ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_arithmetic() {
+        let mut s = CoreStats::default();
+        s.cycles = 100;
+        s.threads[0].committed = 150;
+        s.threads[1].committed = 50;
+        assert!((s.ipc(ThreadId::T0) - 1.5).abs() < 1e-12);
+        assert!((s.ipc(ThreadId::T1) - 0.5).abs() < 1e-12);
+        assert!((s.total_ipc() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn note_block_routes_counters() {
+        let mut t = ThreadStats::default();
+        t.note_block(DecodeBlock::BranchStall);
+        t.note_block(DecodeBlock::GctFull);
+        t.note_block(DecodeBlock::GctFull);
+        t.note_block(DecodeBlock::QueueFull);
+        t.note_block(DecodeBlock::Balancer);
+        t.note_block(DecodeBlock::Inactive);
+        assert_eq!(t.blocked_branch, 1);
+        assert_eq!(t.blocked_gct, 2);
+        assert_eq!(t.blocked_queue, 1);
+        assert_eq!(t.blocked_balancer, 1);
+    }
+}

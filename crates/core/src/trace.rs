@@ -1,0 +1,249 @@
+//! Pipeline tracing: an optional, bounded recorder of per-instruction
+//! pipeline events, for debugging workloads and for the textual pipeline
+//! diagrams the examples print.
+//!
+//! Tracing is off by default and costs nothing when disabled (a `None`
+//! check per event site). When enabled, events land in a bounded ring —
+//! the most recent `capacity` events are kept.
+
+use p5_isa::ThreadId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What happened to an instruction (or a thread) at a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Instruction decoded/dispatched into a GCT group.
+    Decoded {
+        /// Group the instruction joined.
+        group_id: u64,
+    },
+    /// Instruction issued to a functional unit; execution finishes at
+    /// `finish_cycle`.
+    Issued {
+        /// Cycle the result becomes available.
+        finish_cycle: u64,
+    },
+    /// A dispatch group retired.
+    GroupRetired {
+        /// The retired group.
+        group_id: u64,
+        /// Instructions it held.
+        instructions: u32,
+    },
+    /// The thread's fetch was redirected by a mispredicted branch; decode
+    /// resumes at `resume_cycle`.
+    Redirect {
+        /// First cycle decode may run again.
+        resume_cycle: u64,
+    },
+    /// The thread's software-controlled priority changed (or-nop or
+    /// external set).
+    PriorityChanged {
+        /// The new level (0–7).
+        level: u8,
+    },
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle the event occurred.
+    pub cycle: u64,
+    /// Context it belongs to.
+    pub thread: ThreadId,
+    /// Instruction sequence number (0 for thread-level events).
+    pub seq: u64,
+    /// The event.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] {} ", self.cycle, self.thread)?;
+        match self.kind {
+            TraceKind::Decoded { group_id } => {
+                write!(f, "decode  seq {:>6} -> group {group_id}", self.seq)
+            }
+            TraceKind::Issued { finish_cycle } => {
+                write!(f, "issue   seq {:>6} (finish @{finish_cycle})", self.seq)
+            }
+            TraceKind::GroupRetired {
+                group_id,
+                instructions,
+            } => write!(f, "retire  group {group_id} ({instructions} insts)"),
+            TraceKind::Redirect { resume_cycle } => {
+                write!(f, "redirect (resume @{resume_cycle})")
+            }
+            TraceKind::PriorityChanged { level } => {
+                write!(f, "priority -> {level}")
+            }
+        }
+    }
+}
+
+/// A bounded ring of [`TraceEvent`]s.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Trace {
+        assert!(capacity > 0, "trace capacity must be nonzero");
+        Trace {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The recorded events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted from the ring because it was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events belonging to one context.
+    pub fn for_thread(&self, thread: ThreadId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.thread == thread)
+    }
+
+    /// Renders the trace as one line per event.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+        }
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, seq: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            thread: ThreadId::T0,
+            seq,
+            kind: TraceKind::Decoded { group_id: 1 },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.push(ev(i, i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let cycles: Vec<u64> = t.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn filter_by_thread() {
+        let mut t = Trace::new(8);
+        t.push(ev(1, 1));
+        t.push(TraceEvent {
+            thread: ThreadId::T1,
+            ..ev(2, 2)
+        });
+        assert_eq!(t.for_thread(ThreadId::T0).count(), 1);
+        assert_eq!(t.for_thread(ThreadId::T1).count(), 1);
+    }
+
+    #[test]
+    fn render_formats_each_kind() {
+        let mut t = Trace::new(8);
+        t.push(ev(1, 7));
+        t.push(TraceEvent {
+            cycle: 2,
+            thread: ThreadId::T0,
+            seq: 7,
+            kind: TraceKind::Issued { finish_cycle: 9 },
+        });
+        t.push(TraceEvent {
+            cycle: 9,
+            thread: ThreadId::T0,
+            seq: 0,
+            kind: TraceKind::GroupRetired {
+                group_id: 1,
+                instructions: 4,
+            },
+        });
+        t.push(TraceEvent {
+            cycle: 10,
+            thread: ThreadId::T1,
+            seq: 0,
+            kind: TraceKind::Redirect { resume_cycle: 22 },
+        });
+        t.push(TraceEvent {
+            cycle: 11,
+            thread: ThreadId::T1,
+            seq: 0,
+            kind: TraceKind::PriorityChanged { level: 6 },
+        });
+        let s = t.render();
+        assert!(s.contains("decode"));
+        assert!(s.contains("issue"));
+        assert!(s.contains("retire"));
+        assert!(s.contains("redirect"));
+        assert!(s.contains("priority -> 6"));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = Trace::new(0);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let t = Trace::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+}

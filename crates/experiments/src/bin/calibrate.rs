@@ -1,0 +1,56 @@
+//! Calibration helper: prints single-thread IPCs and the SMT(4,4) matrix
+//! for the six presented micro-benchmarks next to the paper's Table 3.
+//!
+//! Run with `cargo run --release -p p5-experiments --bin calibrate`.
+
+use p5_core::{CoreConfig, SmtCore};
+use p5_isa::ThreadId;
+use p5_microbench::MicroBenchmark;
+
+fn st_ipc(bench: MicroBenchmark) -> f64 {
+    let mut core = SmtCore::new(CoreConfig::power5_like());
+    core.load_program(ThreadId::T0, bench.program());
+    // Warm caches/TLB/predictor, then measure.
+    core.run_cycles(4_000_000);
+    core.reset_stats();
+    core.run_until_repetitions([10, 0], 50_000_000);
+    core.stats().ipc(ThreadId::T0)
+}
+
+fn smt_ipc(a: MicroBenchmark, b: MicroBenchmark) -> (f64, f64) {
+    let mut core = SmtCore::new(CoreConfig::power5_like());
+    core.load_program(ThreadId::T0, a.program());
+    core.load_program(ThreadId::T1, b.program());
+    core.run_cycles(6_000_000);
+    core.reset_stats();
+    core.run_until_repetitions([10, 10], 100_000_000);
+    (core.stats().ipc(ThreadId::T0), core.stats().ipc(ThreadId::T1))
+}
+
+fn main() {
+    println!("== Single-thread IPC (paper Table 3 ST column) ==");
+    for b in MicroBenchmark::PRESENTED {
+        let ipc = st_ipc(b);
+        println!(
+            "{:<18} measured {:>6.3}   paper {:>5.2}",
+            b.name(),
+            ipc,
+            b.paper_st_ipc().unwrap()
+        );
+    }
+
+    println!("\n== SMT (4,4) PThread IPC matrix (rows: PThread) ==");
+    print!("{:<18}", "");
+    for b in MicroBenchmark::PRESENTED {
+        print!("{:>10}", &b.name()[..b.name().len().min(9)]);
+    }
+    println!();
+    for a in MicroBenchmark::PRESENTED {
+        print!("{:<18}", a.name());
+        for b in MicroBenchmark::PRESENTED {
+            let (pa, _) = smt_ipc(a, b);
+            print!("{pa:>10.3}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,173 @@
+//! Full reproduction run: regenerates every table and figure of the paper
+//! and checks the headline claims.
+//!
+//! ```text
+//! cargo run --release -p p5-experiments --bin repro            # full fidelity
+//! cargo run --release -p p5-experiments --bin repro -- --quick # smoke run
+//! cargo run --release -p p5-experiments --bin repro -- --only table3,fig5
+//! cargo run --release -p p5-experiments --bin repro -- --csv-dir results/
+//! ```
+
+use p5_experiments::{
+    claims, export, fig2, fig3, fig4, fig5, fig6, mpi, noise, sweep, table1, table2, table3,
+    table4, Experiments,
+};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn write_csv(dir: Option<&PathBuf>, name: &str, contents: &str) {
+    let Some(dir) = dir else { return };
+    let path = dir.join(name);
+    if let Err(e) = std::fs::write(&path, contents) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("   wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let only: Option<HashSet<String>> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| list.split(',').map(str::to_string).collect());
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let wants = |name: &str| only.as_ref().is_none_or(|set| set.contains(name));
+
+    let ctx = if quick {
+        Experiments::quick()
+    } else {
+        Experiments::paper()
+    };
+    println!(
+        "== POWER5 software-controlled priority reproduction ({} fidelity) ==\n",
+        if quick { "quick" } else { "paper" }
+    );
+
+    let t0 = Instant::now();
+
+    if wants("table1") {
+        section("Table 1", || table1::run().render());
+    }
+    if wants("table2") {
+        section("Table 2", || table2::run().render());
+    }
+    if wants("table3") {
+        let t = Instant::now();
+        let r = table3::run(&ctx);
+        println!("{}   (Table 3 took {:.1?})\n", r.render(), t.elapsed());
+        write_csv(csv_dir.as_ref(), "table3.csv", &export::table3_csv(&r));
+    }
+
+    // Figures 2-4 and the claims share one sweep.
+    let needs_sweep =
+        wants("fig2") || wants("fig3") || wants("fig4") || wants("claims");
+    let mut fig2_result = None;
+    let mut fig3_result = None;
+    let mut fig4_result = None;
+    if needs_sweep {
+        let t = Instant::now();
+        println!("-- priority sweep (-5..=+5 over all 36 pairs) --");
+        let sweep = sweep::run(&ctx, &[-5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5]);
+        println!("   ({:.1?})\n", t.elapsed());
+        if wants("fig2") {
+            let r = fig2::Fig2Result::from_sweep(&sweep);
+            println!("{}", r.render());
+            write_csv(csv_dir.as_ref(), "fig2.csv", &export::fig2_csv(&r));
+            fig2_result = Some(r);
+        } else if wants("claims") {
+            fig2_result = Some(fig2::Fig2Result::from_sweep(&sweep));
+        }
+        if wants("fig3") {
+            let r = fig3::Fig3Result::from_sweep(&sweep);
+            println!("{}", r.render());
+            write_csv(csv_dir.as_ref(), "fig3.csv", &export::fig3_csv(&r));
+            fig3_result = Some(r);
+        } else if wants("claims") {
+            fig3_result = Some(fig3::Fig3Result::from_sweep(&sweep));
+        }
+        if wants("fig4") {
+            let r = fig4::Fig4Result::from_sweep(&sweep);
+            println!("{}", r.render());
+            write_csv(csv_dir.as_ref(), "fig4.csv", &export::fig4_csv(&r));
+            fig4_result = Some(r);
+        } else if wants("claims") {
+            fig4_result = Some(fig4::Fig4Result::from_sweep(&sweep));
+        }
+    }
+
+    let mut fig5_result = None;
+    if wants("fig5") || wants("claims") {
+        let t = Instant::now();
+        let r = fig5::run(&ctx);
+        if wants("fig5") {
+            println!("{}   ({:.1?})\n", r.render(), t.elapsed());
+            write_csv(csv_dir.as_ref(), "fig5.csv", &export::fig5_csv(&r));
+        }
+        fig5_result = Some(r);
+    }
+
+    let mut table4_result = None;
+    if wants("table4") || wants("claims") {
+        let t = Instant::now();
+        let r = table4::run(&ctx);
+        if wants("table4") {
+            println!("{}   ({:.1?})\n", r.render(), t.elapsed());
+            write_csv(csv_dir.as_ref(), "table4.csv", &export::table4_csv(&r));
+        }
+        table4_result = Some(r);
+    }
+
+    let mut fig6_result = None;
+    if wants("fig6") || wants("claims") {
+        let t = Instant::now();
+        let r = fig6::run(&ctx);
+        if wants("fig6") {
+            println!("{}   ({:.1?})\n", r.render(), t.elapsed());
+            write_csv(csv_dir.as_ref(), "fig6.csv", &export::fig6_csv(&r));
+        }
+        fig6_result = Some(r);
+    }
+
+    if wants("mpi") {
+        section("MPI re-balancing", || mpi::run(&ctx).render());
+    }
+
+    if wants("noise") {
+        section("Measurement isolation", || noise::run(&ctx).render());
+    }
+
+    if wants("claims") {
+        if let (Some(f2), Some(f3), Some(f4), Some(f5), Some(f6), Some(t4)) = (
+            fig2_result.as_ref(),
+            fig3_result.as_ref(),
+            fig4_result.as_ref(),
+            fig5_result.as_ref(),
+            fig6_result.as_ref(),
+            table4_result.as_ref(),
+        ) {
+            println!("{}", claims::evaluate(f2, f3, f4, f5, f6, t4).render());
+        }
+    }
+
+    println!("total: {:.1?}", t0.elapsed());
+}
+
+fn section(name: &str, run: impl FnOnce() -> String) {
+    let t = Instant::now();
+    let body = run();
+    println!("{body}   ({name} took {:.1?})\n", t.elapsed());
+}

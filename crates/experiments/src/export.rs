@@ -1,0 +1,233 @@
+//! CSV export of experiment results, for plotting the figures outside
+//! the terminal (gnuplot, matplotlib, spreadsheets).
+//!
+//! Every exporter returns the CSV text; the `repro` binary's `--csv-dir`
+//! flag writes one file per artifact.
+
+use crate::fig2::{Fig2Result, DIFFS as FIG2_DIFFS};
+use crate::fig3::{Fig3Result, DIFFS as FIG3_DIFFS};
+use crate::fig4::{Fig4Result, DIFFS as FIG4_DIFFS};
+use crate::fig5::Fig5Result;
+use crate::fig6::Fig6Result;
+use crate::table3::Table3Result;
+use crate::table4::Table4Result;
+use p5_microbench::MicroBenchmark;
+use std::fmt::Write as _;
+
+fn bench_names() -> Vec<&'static str> {
+    MicroBenchmark::PRESENTED.iter().map(|b| b.name()).collect()
+}
+
+/// Table 3 as CSV: one row per (pthread, sthread) cell plus the ST rows.
+#[must_use]
+pub fn table3_csv(r: &Table3Result) -> String {
+    let names = bench_names();
+    let mut out = String::from("pthread,sthread,pt_ipc,total_ipc\n");
+    for (i, a) in names.iter().enumerate() {
+        let _ = writeln!(out, "{a},ST,{:.6},{:.6}", r.st[i], r.st[i]);
+        for (j, b) in names.iter().enumerate() {
+            let _ = writeln!(out, "{a},{b},{:.6},{:.6}", r.pt[i][j], r.tt[i][j]);
+        }
+    }
+    out
+}
+
+/// Figure 2 as CSV: one row per (pthread, sthread, difference).
+#[must_use]
+pub fn fig2_csv(r: &Fig2Result) -> String {
+    let names = bench_names();
+    let mut out = String::from("pthread,sthread,diff,speedup\n");
+    for (i, a) in names.iter().enumerate() {
+        for (j, b) in names.iter().enumerate() {
+            for (k, d) in FIG2_DIFFS.iter().enumerate() {
+                let _ = writeln!(out, "{a},{b},{d},{:.6}", r.speedup[i][j][k]);
+            }
+        }
+    }
+    out
+}
+
+/// Figure 3 as CSV: one row per (pthread, sthread, difference).
+#[must_use]
+pub fn fig3_csv(r: &Fig3Result) -> String {
+    let names = bench_names();
+    let mut out = String::from("pthread,sthread,diff,slowdown\n");
+    for (i, a) in names.iter().enumerate() {
+        for (j, b) in names.iter().enumerate() {
+            for (k, d) in FIG3_DIFFS.iter().enumerate() {
+                let _ = writeln!(out, "{a},{b},{d},{:.6}", r.slowdown[i][j][k]);
+            }
+        }
+    }
+    out
+}
+
+/// Figure 4 as CSV: one row per (pthread, sthread, difference).
+#[must_use]
+pub fn fig4_csv(r: &Fig4Result) -> String {
+    let names = bench_names();
+    let mut out = String::from("pthread,sthread,diff,relative_throughput,baseline_total_ipc\n");
+    for (i, a) in names.iter().enumerate() {
+        for (j, b) in names.iter().enumerate() {
+            for (k, d) in FIG4_DIFFS.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{a},{b},{d},{:.6},{:.6}",
+                    r.relative[i][j][k], r.baseline_total[i][j]
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Figure 5 as CSV: one row per (pair, difference).
+#[must_use]
+pub fn fig5_csv(r: &Fig5Result) -> String {
+    let mut out = String::from("pair,diff,primary_ipc,secondary_ipc,total_ipc\n");
+    for case in [&r.h264_mcf, &r.applu_equake] {
+        let pair = format!("{}+{}", case.primary.name(), case.secondary.name());
+        for &(d, p, s, t) in &case.points {
+            let _ = writeln!(out, "{pair},{d},{p:.6},{s:.6},{t:.6}");
+        }
+    }
+    out
+}
+
+/// Table 4 as CSV.
+#[must_use]
+pub fn table4_csv(r: &Table4Result) -> String {
+    let mut out = String::from("prio_fft,prio_lu,fft_cycles,lu_cycles,iteration_cycles\n");
+    let _ = writeln!(
+        out,
+        "ST,ST,{:.1},{:.1},{:.1}",
+        r.fft_st_cycles,
+        r.lu_st_cycles,
+        r.st_iteration_cycles()
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            out,
+            "{},{},{:.1},{:.1},{:.1}",
+            row.prio_fft,
+            row.prio_lu,
+            row.fft_cycles,
+            row.lu_cycles,
+            row.iteration_cycles()
+        );
+    }
+    out
+}
+
+/// Figure 6 as CSV: relative foreground time and background IPC per
+/// (foreground priority, foreground, background).
+#[must_use]
+pub fn fig6_csv(r: &Fig6Result) -> String {
+    let names = bench_names();
+    let mut out = String::from("fg_priority,foreground,background,fg_relative_time,bg_ipc\n");
+    for (prio, grid) in [(6u8, &r.fg6), (5u8, &r.fg5)] {
+        for (i, fg) in names.iter().enumerate() {
+            for (j, bg) in names.iter().enumerate() {
+                let (t, ipc) = grid[i][j];
+                let _ = writeln!(out, "{prio},{fg},{bg},{t:.6},{ipc:.6}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig5::CaseStudy;
+    use crate::table4::Table4Row;
+    use p5_workloads::SpecProxy;
+
+    #[test]
+    fn table3_csv_shape() {
+        let r = Table3Result {
+            st: [1.0; 6],
+            pt: [[0.5; 6]; 6],
+            tt: [[1.0; 6]; 6],
+        };
+        let csv = table3_csv(&r);
+        // header + 6 ST rows + 36 cells
+        assert_eq!(csv.lines().count(), 1 + 6 + 36);
+        assert!(csv.starts_with("pthread,sthread,"));
+        assert!(csv.contains("ldint_l1,ST,"));
+    }
+
+    #[test]
+    fn fig2_csv_shape() {
+        let r = Fig2Result {
+            speedup: [[[1.0; 5]; 6]; 6],
+        };
+        assert_eq!(fig2_csv(&r).lines().count(), 1 + 36 * 5);
+    }
+
+    #[test]
+    fn fig3_csv_shape() {
+        let r = Fig3Result {
+            slowdown: [[[2.0; 5]; 6]; 6],
+        };
+        let csv = fig3_csv(&r);
+        assert_eq!(csv.lines().count(), 1 + 36 * 5);
+        assert!(csv.contains(",-5,"));
+    }
+
+    #[test]
+    fn fig4_csv_shape() {
+        let r = Fig4Result {
+            relative: [[[1.0; 9]; 6]; 6],
+            baseline_total: [[1.5; 6]; 6],
+        };
+        assert_eq!(fig4_csv(&r).lines().count(), 1 + 36 * 9);
+    }
+
+    #[test]
+    fn fig5_csv_contains_both_pairs() {
+        let case = |p, s| CaseStudy {
+            primary: p,
+            secondary: s,
+            points: vec![(0, 0.9, 0.1, 1.0), (2, 1.0, 0.08, 1.08)],
+        };
+        let r = Fig5Result {
+            h264_mcf: case(SpecProxy::H264ref, SpecProxy::Mcf),
+            applu_equake: case(SpecProxy::Applu, SpecProxy::Equake),
+        };
+        let csv = fig5_csv(&r);
+        assert!(csv.contains("h264ref+mcf,0,"));
+        assert!(csv.contains("applu+equake,2,"));
+    }
+
+    #[test]
+    fn table4_csv_includes_st_row() {
+        let r = Table4Result {
+            fft_st_cycles: 100.0,
+            lu_st_cycles: 10.0,
+            rows: vec![Table4Row {
+                prio_fft: 4,
+                prio_lu: 4,
+                fft_cycles: 110.0,
+                lu_cycles: 20.0,
+            }],
+        };
+        let csv = table4_csv(&r);
+        assert!(csv.contains("ST,ST,100.0,10.0,110.0"));
+        assert!(csv.contains("4,4,110.0,20.0,110.0"));
+    }
+
+    #[test]
+    fn fig6_csv_covers_both_priorities() {
+        let r = Fig6Result {
+            st_ipc: [1.0; 6],
+            fg6: [[(1.0, 0.1); 6]; 6],
+            fg5: [[(1.1, 0.2); 6]; 6],
+            worst_case: vec![],
+        };
+        let csv = fig6_csv(&r);
+        assert_eq!(csv.lines().count(), 1 + 2 * 36);
+        assert!(csv.contains("6,ldint_l1,ldint_l1,"));
+        assert!(csv.contains("5,ldint_l1,ldint_l1,"));
+    }
+}

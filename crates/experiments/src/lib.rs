@@ -1,0 +1,203 @@
+//! # p5-experiments
+//!
+//! The per-table / per-figure reproduction harness for Boneti et al.
+//! (ISCA 2008). One module per paper artifact:
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`table1`] | Table 1 — priority levels, privilege, or-nop encodings |
+//! | [`table2`] | Table 2 — micro-benchmark loop bodies |
+//! | [`table3`] | Table 3 — ST and SMT(4,4) IPC matrix |
+//! | [`fig2`]   | Figure 2 — PThread speedup under positive priorities |
+//! | [`fig3`]   | Figure 3 — PThread slowdown under negative priorities |
+//! | [`fig4`]   | Figure 4 — throughput vs. priority difference |
+//! | [`fig5`]   | Figure 5 — SPEC pair case studies (total IPC) |
+//! | [`table4`] | Table 4 — FFT/LU pipeline execution times |
+//! | [`fig6`]   | Figure 6 — transparent (background) execution |
+//! | [`mpi`]    | Section 5.4 — MPI imbalance re-balancing |
+//! | [`noise`]  | Section 4.1 — measurement isolation on the dual-core chip |
+//! | [`claims`] | headline quantitative claims, checked programmatically |
+//!
+//! Every experiment takes an [`Experiments`] context (core configuration +
+//! FAME measurement configuration), returns a typed result, and renders a
+//! text report comparing measured values against the paper where the paper
+//! gives numbers.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use p5_experiments::{Experiments, table3};
+//!
+//! let ctx = Experiments::quick();
+//! let result = table3::run(&ctx);
+//! println!("{}", result.render());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod claims;
+pub mod export;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod mpi;
+pub mod noise;
+pub mod report;
+pub mod sweep;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use p5_core::{CoreConfig, SmtCore};
+use p5_fame::{FameConfig, FameReport, FameRunner};
+use p5_isa::{Priority, Program, ThreadId};
+
+/// Shared context for all experiments: the simulated machine and the
+/// measurement methodology.
+#[derive(Debug, Clone)]
+pub struct Experiments {
+    /// Core configuration (the simulated POWER5).
+    pub core: CoreConfig,
+    /// FAME measurement configuration.
+    pub fame: FameConfig,
+}
+
+impl Experiments {
+    /// Full-fidelity configuration: POWER5-like core, the paper's FAME
+    /// parameters (MAIV 1%, ≥10 repetitions). This is what regenerates
+    /// EXPERIMENTS.md.
+    #[must_use]
+    pub fn paper() -> Experiments {
+        Experiments {
+            core: CoreConfig::power5_like(),
+            fame: FameConfig::paper(),
+        }
+    }
+
+    /// Reduced-fidelity configuration for smoke tests and CI: same core,
+    /// fewer repetitions, looser MAIV, tighter cycle caps.
+    #[must_use]
+    pub fn quick() -> Experiments {
+        Experiments {
+            core: CoreConfig::power5_like(),
+            fame: FameConfig {
+                maiv: 0.05,
+                stable_window: 2,
+                min_repetitions: 3,
+                max_cycles: 30_000_000,
+                warmup_max_cycles: 10_000_000,
+                warmup_ring_passes: 1,
+                warmup_min_cycles: 20_000,
+            },
+        }
+    }
+
+    /// Builds an idle core with this context's configuration.
+    #[must_use]
+    pub fn new_core(&self) -> SmtCore {
+        SmtCore::new(self.core.clone())
+    }
+
+    /// FAME-measures a single program in single-thread mode.
+    #[must_use]
+    pub fn measure_single(&self, program: Program) -> FameReport {
+        let mut core = self.new_core();
+        core.load_program(ThreadId::T0, program);
+        FameRunner::new(self.fame).measure(&mut core)
+    }
+
+    /// FAME-measures a pair of programs under the given priorities.
+    #[must_use]
+    pub fn measure_pair(
+        &self,
+        primary: Program,
+        secondary: Program,
+        priorities: (Priority, Priority),
+    ) -> FameReport {
+        let mut core = self.new_core();
+        core.load_program(ThreadId::T0, primary);
+        core.load_program(ThreadId::T1, secondary);
+        core.set_priority(ThreadId::T0, priorities.0);
+        core.set_priority(ThreadId::T1, priorities.1);
+        FameRunner::new(self.fame).measure(&mut core)
+    }
+}
+
+impl Default for Experiments {
+    fn default() -> Self {
+        Experiments::paper()
+    }
+}
+
+/// The priority pair used for a given priority *difference*, following the
+/// paper's figures: positive differences raise the PThread toward 6 and
+/// then lower the SThread; negative differences mirror that.
+///
+/// | diff | pair |
+/// |------|------|
+/// | 0    | (4,4) |
+/// | +1   | (5,4) |
+/// | +2   | (6,4) |
+/// | +3   | (6,3) |
+/// | +4   | (6,2) |
+/// | +5   | (6,1) |
+///
+/// # Panics
+///
+/// Panics if `diff` is outside `-5..=5`.
+#[must_use]
+pub fn priority_pair(diff: i32) -> (Priority, Priority) {
+    let (p, s) = match diff.abs() {
+        0 => (4, 4),
+        1 => (5, 4),
+        2 => (6, 4),
+        3 => (6, 3),
+        4 => (6, 2),
+        5 => (6, 1),
+        _ => panic!("priority difference {diff} outside the paper's -5..=+5 range"),
+    };
+    let (p, s) = if diff >= 0 { (p, s) } else { (s, p) };
+    (
+        Priority::from_level(p).expect("levels 1..=6 are valid"),
+        Priority::from_level(s).expect("levels 1..=6 are valid"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_pairs_match_paper_convention() {
+        assert_eq!(priority_pair(0), (Priority::Medium, Priority::Medium));
+        assert_eq!(priority_pair(2), (Priority::High, Priority::Medium));
+        assert_eq!(priority_pair(5), (Priority::High, Priority::VeryLow));
+        assert_eq!(priority_pair(-2), (Priority::Medium, Priority::High));
+        assert_eq!(priority_pair(-5), (Priority::VeryLow, Priority::High));
+    }
+
+    #[test]
+    fn priority_pair_differences_are_correct() {
+        for d in -5i32..=5 {
+            let (p, s) = priority_pair(d);
+            assert_eq!(i32::from(p.level()) - i32::from(s.level()), d, "diff {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the paper's")]
+    fn out_of_range_diff_panics() {
+        let _ = priority_pair(6);
+    }
+
+    #[test]
+    fn quick_context_builds_core() {
+        let ctx = Experiments::quick();
+        let core = ctx.new_core();
+        assert_eq!(core.cycle(), 0);
+    }
+}

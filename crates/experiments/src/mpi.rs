@@ -1,0 +1,182 @@
+//! Section 5.4 — re-balancing an imbalanced bulk-synchronous (MPI-style)
+//! application with priorities.
+//!
+//! Two ranks share the core; the barrier waits for the slower one, so the
+//! superstep time is `max(heavy, light)`. Raising the heavy rank's
+//! priority shifts time from the idle-waiting light rank to the critical
+//! path — until over-rotation flips the imbalance, as in the FFT/LU case
+//! study.
+
+use crate::report::{f2, pct, TextTable};
+use crate::Experiments;
+use p5_isa::{Priority, ThreadId};
+use p5_workloads::mpi::ImbalancedApp;
+
+/// Priority pairs applied to (heavy, light): the default plus increasing
+/// boosts of the heavy rank.
+pub const PRIORITY_PAIRS: [(u8, u8); 4] = [(4, 4), (5, 4), (6, 4), (6, 3)];
+
+/// One measured configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MpiRow {
+    /// Heavy-rank priority.
+    pub prio_heavy: u8,
+    /// Light-rank priority.
+    pub prio_light: u8,
+    /// Average heavy-rank superstep time (cycles).
+    pub heavy_cycles: f64,
+    /// Average light-rank superstep time (cycles).
+    pub light_cycles: f64,
+}
+
+impl MpiRow {
+    /// Barrier-to-barrier superstep time.
+    #[must_use]
+    pub fn superstep_cycles(&self) -> f64 {
+        self.heavy_cycles.max(self.light_cycles)
+    }
+}
+
+/// Measured result.
+#[derive(Debug, Clone)]
+pub struct MpiResult {
+    /// The modeled imbalance (heavy work / light work).
+    pub imbalance: f64,
+    /// Measured rows, one per [`PRIORITY_PAIRS`] entry.
+    pub rows: Vec<MpiRow>,
+}
+
+impl MpiResult {
+    /// The best row by superstep time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rows were measured.
+    #[must_use]
+    pub fn best(&self) -> &MpiRow {
+        self.rows
+            .iter()
+            .min_by(|a, b| a.superstep_cycles().total_cmp(&b.superstep_cycles()))
+            .expect("rows measured")
+    }
+
+    /// Superstep improvement of the best configuration over (4,4).
+    #[must_use]
+    pub fn improvement(&self) -> f64 {
+        let default = self.rows[0].superstep_cycles();
+        1.0 - self.best().superstep_cycles() / default
+    }
+
+    /// Renders the report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "priorities".into(),
+            "heavy rank".into(),
+            "light rank".into(),
+            "superstep".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                format!("({},{})", r.prio_heavy, r.prio_light),
+                f2(r.heavy_cycles),
+                f2(r.light_cycles),
+                f2(r.superstep_cycles()),
+            ]);
+        }
+        format!(
+            "MPI imbalance re-balancing (imbalance {:.2})\n{}best: ({},{}) — {} vs (4,4)\n",
+            self.imbalance,
+            t.render(),
+            self.best().prio_heavy,
+            self.best().prio_light,
+            pct(self.improvement())
+        )
+    }
+}
+
+/// Runs the experiment on a 30%-imbalanced two-rank application.
+#[must_use]
+pub fn run(ctx: &Experiments) -> MpiResult {
+    run_with(ctx, ImbalancedApp::default())
+}
+
+/// Runs the experiment on a caller-supplied application.
+#[must_use]
+pub fn run_with(ctx: &Experiments, app: ImbalancedApp) -> MpiResult {
+    let rows = PRIORITY_PAIRS
+        .iter()
+        .map(|&(ph, pl)| {
+            let report = ctx.measure_pair(
+                app.heavy_rank(),
+                app.light_rank(),
+                (
+                    Priority::from_level(ph).expect("valid level"),
+                    Priority::from_level(pl).expect("valid level"),
+                ),
+            );
+            MpiRow {
+                prio_heavy: ph,
+                prio_light: pl,
+                heavy_cycles: report
+                    .thread(ThreadId::T0)
+                    .expect("active")
+                    .avg_repetition_cycles,
+                light_cycles: report
+                    .thread(ThreadId::T1)
+                    .expect("active")
+                    .avg_repetition_cycles,
+            }
+        })
+        .collect();
+    MpiResult {
+        imbalance: app.heavy_iterations as f64 / app.light_iterations as f64,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic() -> MpiResult {
+        MpiResult {
+            imbalance: 1.3,
+            rows: vec![
+                MpiRow {
+                    prio_heavy: 4,
+                    prio_light: 4,
+                    heavy_cycles: 1300.0,
+                    light_cycles: 1000.0,
+                },
+                MpiRow {
+                    prio_heavy: 6,
+                    prio_light: 4,
+                    heavy_cycles: 1150.0,
+                    light_cycles: 1120.0,
+                },
+                MpiRow {
+                    prio_heavy: 6,
+                    prio_light: 3,
+                    heavy_cycles: 1100.0,
+                    light_cycles: 1700.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn best_and_improvement() {
+        let r = synthetic();
+        assert_eq!(r.best().prio_heavy, 6);
+        assert_eq!(r.best().prio_light, 4);
+        assert!((r.improvement() - (1.0 - 1150.0 / 1300.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_smoke() {
+        let s = synthetic().render();
+        assert!(s.contains("superstep"));
+        assert!(s.contains("best: (6,4)"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Shared priority sweep over all pairs of presented micro-benchmarks.
+//!
+//! Figures 2, 3 and 4 all derive from the same grid of measurements: for
+//! every (PThread, SThread) pair of the six presented benchmarks and every
+//! priority difference, the per-thread and combined IPCs. Running the
+//! sweep once and projecting three figures out of it keeps the full
+//! reproduction run affordable.
+
+use crate::{priority_pair, Experiments};
+use p5_isa::ThreadId;
+use p5_microbench::MicroBenchmark;
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCell {
+    /// PThread (T0) IPC.
+    pub pt_ipc: f64,
+    /// SThread (T1) IPC.
+    pub st_ipc: f64,
+    /// Combined IPC.
+    pub total_ipc: f64,
+}
+
+/// The full grid: for each priority difference, a 6×6 matrix of cells
+/// indexed `[pthread][sthread]` over [`MicroBenchmark::PRESENTED`].
+#[derive(Debug, Clone)]
+pub struct PrioritySweep {
+    /// The differences measured, in the order of `grids`.
+    pub diffs: Vec<i32>,
+    /// One 6×6 grid per difference.
+    pub grids: Vec<[[SweepCell; 6]; 6]>,
+}
+
+impl PrioritySweep {
+    /// The cell for `(diff, pthread index, sthread index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diff` was not part of the sweep.
+    #[must_use]
+    pub fn cell(&self, diff: i32, pthread: usize, sthread: usize) -> &SweepCell {
+        let k = self
+            .diffs
+            .iter()
+            .position(|&d| d == diff)
+            .unwrap_or_else(|| panic!("difference {diff} was not swept"));
+        &self.grids[k][pthread][sthread]
+    }
+
+    /// The (4,4) baseline cell for a pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if difference 0 was not part of the sweep.
+    #[must_use]
+    pub fn baseline(&self, pthread: usize, sthread: usize) -> &SweepCell {
+        self.cell(0, pthread, sthread)
+    }
+
+    /// Index of a benchmark within [`MicroBenchmark::PRESENTED`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bench` is not one of the six presented benchmarks.
+    #[must_use]
+    pub fn index(bench: MicroBenchmark) -> usize {
+        MicroBenchmark::PRESENTED
+            .iter()
+            .position(|&b| b == bench)
+            .unwrap_or_else(|| panic!("{bench} is not in the presented set"))
+    }
+}
+
+/// Runs the sweep for the given priority differences (each in `-5..=5`).
+#[must_use]
+pub fn run(ctx: &Experiments, diffs: &[i32]) -> PrioritySweep {
+    let benches = MicroBenchmark::PRESENTED;
+    let mut grids = Vec::with_capacity(diffs.len());
+    for &diff in diffs {
+        let priorities = priority_pair(diff);
+        let mut grid = [[SweepCell {
+            pt_ipc: 0.0,
+            st_ipc: 0.0,
+            total_ipc: 0.0,
+        }; 6]; 6];
+        for (i, a) in benches.iter().enumerate() {
+            for (j, b) in benches.iter().enumerate() {
+                let report = ctx.measure_pair(a.program(), b.program(), priorities);
+                let pt = report.thread(ThreadId::T0).expect("active").ipc;
+                let st = report.thread(ThreadId::T1).expect("active").ipc;
+                grid[i][j] = SweepCell {
+                    pt_ipc: pt,
+                    st_ipc: st,
+                    total_ipc: pt + st,
+                };
+            }
+        }
+        grids.push(grid);
+    }
+    PrioritySweep {
+        diffs: diffs.to_vec(),
+        grids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_sweep() -> PrioritySweep {
+        let cell = |v: f64| SweepCell {
+            pt_ipc: v,
+            st_ipc: v / 2.0,
+            total_ipc: v * 1.5,
+        };
+        PrioritySweep {
+            diffs: vec![0, 2],
+            grids: vec![[[cell(1.0); 6]; 6], [[cell(2.0); 6]; 6]],
+        }
+    }
+
+    #[test]
+    fn cell_lookup_by_diff() {
+        let s = dummy_sweep();
+        assert_eq!(s.cell(0, 0, 0).pt_ipc, 1.0);
+        assert_eq!(s.cell(2, 3, 4).pt_ipc, 2.0);
+        assert_eq!(s.baseline(1, 1).pt_ipc, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not swept")]
+    fn missing_diff_panics() {
+        let s = dummy_sweep();
+        let _ = s.cell(5, 0, 0);
+    }
+
+    #[test]
+    fn bench_indexing() {
+        assert_eq!(PrioritySweep::index(MicroBenchmark::LdintL1), 0);
+        assert_eq!(PrioritySweep::index(MicroBenchmark::LngChainCpuint), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the presented set")]
+    fn non_presented_bench_panics() {
+        let _ = PrioritySweep::index(MicroBenchmark::BrHit);
+    }
+}

@@ -1,0 +1,136 @@
+//! Table 2 — the micro-benchmark loop bodies.
+//!
+//! A structural experiment: for each of the fifteen micro-benchmarks it
+//! renders the paper's source-level loop body next to the generated
+//! instruction mix, and verifies each benchmark stresses the processor
+//! characteristic its family claims.
+
+use crate::report::TextTable;
+use p5_isa::FuClass;
+use p5_microbench::{BenchGroup, MicroBenchmark};
+
+/// One row of the structural report.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// The benchmark.
+    pub bench: MicroBenchmark,
+    /// Instructions in the loop body.
+    pub body_len: usize,
+    /// Load / store / branch / int / fp counts.
+    pub mix: p5_isa::BodyMix,
+    /// Whether the body's dominant class matches the family.
+    pub family_ok: bool,
+}
+
+/// Result of the Table 2 experiment.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// Per-benchmark rows, in Table 2 order.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2Result {
+    /// Whether every benchmark's body matches its family.
+    #[must_use]
+    pub fn all_families_ok(&self) -> bool {
+        self.rows.iter().all(|r| r.family_ok)
+    }
+
+    /// Renders the report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "name".into(),
+            "group".into(),
+            "body".into(),
+            "loads".into(),
+            "stores".into(),
+            "branches".into(),
+            "int".into(),
+            "fp".into(),
+            "ok".into(),
+            "loop body (paper)".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.bench.name().into(),
+                r.bench.group().to_string(),
+                r.body_len.to_string(),
+                r.mix.loads.to_string(),
+                r.mix.stores.to_string(),
+                r.mix.branches.to_string(),
+                r.mix.int_ops.to_string(),
+                r.mix.fp_ops.to_string(),
+                if r.family_ok { "yes" } else { "NO" }.into(),
+                r.bench.loop_body_source().into(),
+            ]);
+        }
+        format!(
+            "Table 2 — micro-benchmark loop bodies\n{}\nall bodies match their family: {}\n",
+            t.render(),
+            self.all_families_ok()
+        )
+    }
+}
+
+/// Checks that a benchmark's generated body is dominated by the
+/// instruction class its Table 2 family names.
+fn family_matches(bench: MicroBenchmark) -> bool {
+    let program = bench.program();
+    let body = program.body();
+    let total = body.len().max(1);
+    let count = |class: FuClass| body.iter().filter(|i| i.op.fu_class() == class).count();
+    match bench.group() {
+        BenchGroup::Integer => count(FuClass::Fxu) * 10 >= total * 9,
+        BenchGroup::FloatingPoint => count(FuClass::Fpu) * 2 >= total,
+        // Memory benchmarks: at least a third of the body touches memory
+        // (load + store per element, plus the update op and loop branch).
+        BenchGroup::Memory => {
+            let mix = program.body_mix();
+            (mix.loads + mix.stores) * 3 >= total && mix.loads == mix.stores
+        }
+        // Branch benchmarks: a conditional branch every few instructions.
+        BenchGroup::Branch => count(FuClass::Bru) * 4 >= total,
+    }
+}
+
+/// Builds the structural report for all fifteen benchmarks.
+#[must_use]
+pub fn run() -> Table2Result {
+    let rows = MicroBenchmark::ALL
+        .into_iter()
+        .map(|bench| {
+            let program = bench.program();
+            Table2Row {
+                bench,
+                body_len: program.body().len(),
+                mix: program.body_mix(),
+                family_ok: family_matches(bench),
+            }
+        })
+        .collect();
+    Table2Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fifteen_benchmarks_are_structurally_sound() {
+        let r = run();
+        assert_eq!(r.rows.len(), 15);
+        for row in &r.rows {
+            assert!(row.family_ok, "{} violates its family", row.bench);
+        }
+        assert!(r.all_families_ok());
+    }
+
+    #[test]
+    fn render_mentions_every_benchmark() {
+        let s = run().render();
+        for b in MicroBenchmark::ALL {
+            assert!(s.contains(b.name()), "missing {b}");
+        }
+    }
+}

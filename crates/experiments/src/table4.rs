@@ -1,0 +1,244 @@
+//! Table 4 — execution time of the FFT→LU software pipeline under
+//! priorities (Section 5.4.1).
+//!
+//! The paper reports, per priority pair, the FFT time, the LU time, and
+//! the pipeline iteration time (the max of the two), plus the
+//! single-thread-mode sequential execution (FFT then LU). The best case
+//! is (6,4); (6,3) over-rotates, inverting the imbalance.
+
+use crate::report::{f2, pct, TextTable};
+use crate::Experiments;
+use p5_isa::{Priority, ThreadId};
+use p5_workloads::fftlu;
+
+/// One measured configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Table4Row {
+    /// FFT thread priority.
+    pub prio_fft: u8,
+    /// LU thread priority.
+    pub prio_lu: u8,
+    /// Average FFT repetition time in cycles.
+    pub fft_cycles: f64,
+    /// Average LU repetition time in cycles.
+    pub lu_cycles: f64,
+}
+
+impl Table4Row {
+    /// Pipeline iteration time: the slower stage bounds the iteration.
+    #[must_use]
+    pub fn iteration_cycles(&self) -> f64 {
+        fftlu::iteration_time(self.fft_cycles, self.lu_cycles)
+    }
+}
+
+/// Measured Table 4.
+#[derive(Debug, Clone)]
+pub struct Table4Result {
+    /// FFT single-thread repetition time.
+    pub fft_st_cycles: f64,
+    /// LU single-thread repetition time.
+    pub lu_st_cycles: f64,
+    /// SMT rows in the paper's order: (4,4), (5,4), (6,4), (6,3).
+    pub rows: Vec<Table4Row>,
+}
+
+impl Table4Result {
+    /// Sequential single-thread-mode iteration time (FFT then LU).
+    #[must_use]
+    pub fn st_iteration_cycles(&self) -> f64 {
+        self.fft_st_cycles + self.lu_st_cycles
+    }
+
+    /// The row with the best (smallest) iteration time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rows were measured.
+    #[must_use]
+    pub fn best(&self) -> &Table4Row {
+        self.rows
+            .iter()
+            .min_by(|a, b| {
+                a.iteration_cycles()
+                    .total_cmp(&b.iteration_cycles())
+            })
+            .expect("rows measured")
+    }
+
+    /// Improvement of the best row over the (4,4) default, as a fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (4,4) row was not measured.
+    #[must_use]
+    pub fn improvement_over_default(&self) -> f64 {
+        let default = self
+            .rows
+            .iter()
+            .find(|r| r.prio_fft == 4 && r.prio_lu == 4)
+            .expect("default row measured");
+        1.0 - self.best().iteration_cycles() / default.iteration_cycles()
+    }
+
+    /// Improvement of the best row over sequential single-thread mode.
+    #[must_use]
+    pub fn improvement_over_st(&self) -> f64 {
+        1.0 - self.best().iteration_cycles() / self.st_iteration_cycles()
+    }
+
+    /// Renders measured cycles next to the paper's seconds.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "priorities".into(),
+            "FFT cycles".into(),
+            "LU cycles".into(),
+            "iteration".into(),
+            "paper (FFT s, LU s, iter s)".into(),
+        ]);
+        t.row(vec![
+            "single-thread".into(),
+            f2(self.fft_st_cycles),
+            f2(self.lu_st_cycles),
+            f2(self.st_iteration_cycles()),
+            format!(
+                "({}, {}, {})",
+                fftlu::PAPER_FFT_ST_SECONDS,
+                fftlu::PAPER_LU_ST_SECONDS,
+                fftlu::PAPER_FFT_ST_SECONDS + fftlu::PAPER_LU_ST_SECONDS
+            ),
+        ]);
+        for (row, paper) in self.rows.iter().zip(fftlu::PAPER_TABLE4.iter()) {
+            let (pp, pl, pf, plu, pit) = *paper;
+            t.row(vec![
+                format!("({},{})", row.prio_fft, row.prio_lu),
+                f2(row.fft_cycles),
+                f2(row.lu_cycles),
+                f2(row.iteration_cycles()),
+                format!("({pp},{pl}): ({pf}, {plu}, {pit})"),
+            ]);
+        }
+        format!(
+            "Table 4 — FFT/LU pipeline execution times\n{}best: ({},{}) — {} vs default, {} vs single-thread mode (paper: 9.3%, 10%)\n",
+            t.render(),
+            self.best().prio_fft,
+            self.best().prio_lu,
+            pct(self.improvement_over_default()),
+            pct(self.improvement_over_st())
+        )
+    }
+}
+
+/// Runs the single-thread and four SMT configurations.
+#[must_use]
+pub fn run(ctx: &Experiments) -> Table4Result {
+    let fft_st = ctx
+        .measure_single(fftlu::fft_program())
+        .thread(ThreadId::T0)
+        .expect("active")
+        .avg_repetition_cycles;
+    let lu_st = ctx
+        .measure_single(fftlu::lu_program())
+        .thread(ThreadId::T0)
+        .expect("active")
+        .avg_repetition_cycles;
+
+    let rows = fftlu::PAPER_TABLE4
+        .iter()
+        .map(|&(pf, pl, ..)| {
+            let report = ctx.measure_pair(
+                fftlu::fft_program(),
+                fftlu::lu_program(),
+                (
+                    Priority::from_level(pf).expect("valid level"),
+                    Priority::from_level(pl).expect("valid level"),
+                ),
+            );
+            Table4Row {
+                prio_fft: pf,
+                prio_lu: pl,
+                fft_cycles: report
+                    .thread(ThreadId::T0)
+                    .expect("active")
+                    .avg_repetition_cycles,
+                lu_cycles: report
+                    .thread(ThreadId::T1)
+                    .expect("active")
+                    .avg_repetition_cycles,
+            }
+        })
+        .collect();
+
+    Table4Result {
+        fft_st_cycles: fft_st,
+        lu_st_cycles: lu_st,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic() -> Table4Result {
+        Table4Result {
+            fft_st_cycles: 1860.0,
+            lu_st_cycles: 260.0,
+            rows: vec![
+                Table4Row {
+                    prio_fft: 4,
+                    prio_lu: 4,
+                    fft_cycles: 2050.0,
+                    lu_cycles: 420.0,
+                },
+                Table4Row {
+                    prio_fft: 5,
+                    prio_lu: 4,
+                    fft_cycles: 2020.0,
+                    lu_cycles: 480.0,
+                },
+                Table4Row {
+                    prio_fft: 6,
+                    prio_lu: 4,
+                    fft_cycles: 1910.0,
+                    lu_cycles: 640.0,
+                },
+                Table4Row {
+                    prio_fft: 6,
+                    prio_lu: 3,
+                    fft_cycles: 1870.0,
+                    lu_cycles: 2330.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn matches_paper_arithmetic() {
+        let r = synthetic();
+        assert_eq!(r.best().prio_fft, 6);
+        assert_eq!(r.best().prio_lu, 4);
+        // Paper: "9.3% of improvement over the default priorities" and
+        // ~10% over single-thread mode.
+        assert!((r.improvement_over_default() - (1.0 - 1910.0 / 2050.0)).abs() < 1e-12);
+        assert!((r.improvement_over_st() - (1.0 - 1910.0 / 2120.0)).abs() < 1e-12);
+        assert!(r.improvement_over_default() > 0.06);
+        assert!(r.improvement_over_st() > 0.09);
+    }
+
+    #[test]
+    fn over_rotation_detected() {
+        let r = synthetic();
+        let last = r.rows.last().unwrap();
+        assert!(last.iteration_cycles() > r.rows[0].iteration_cycles());
+    }
+
+    #[test]
+    fn render_smoke() {
+        let s = synthetic().render();
+        assert!(s.contains("(6,4)"));
+        assert!(s.contains("single-thread"));
+        assert!(s.contains("paper"));
+    }
+}

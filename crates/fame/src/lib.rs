@@ -1,0 +1,480 @@
+//! # p5-fame
+//!
+//! The FAME methodology — *FAirly MEasuring Multithreaded Architectures*
+//! (Vera et al., PACT 2007) — as used by Boneti et al. (ISCA 2008),
+//! Section 4.1.
+//!
+//! FAME's premise: the average accumulated IPC of a program in a
+//! multithreaded workload is representative only once it is within a
+//! threshold — the *Maximum Allowable IPC Variation* (MAIV) — of the
+//! steady-state IPC. Each benchmark in the workload is therefore
+//! re-executed until its running average IPC stabilizes, and "the
+//! execution of the entire workload stops when all benchmarks have
+//! executed as many times as needed to accomplish a given MAIV value".
+//! For the paper's setup a MAIV of 1% requires at least 10 repetitions
+//! per benchmark. The average execution time of a thread is the total
+//! accounted time divided by the number of *complete* repetitions — the
+//! trailing incomplete repetition is discarded (paper Figure 1).
+//!
+//! # Example
+//!
+//! ```
+//! use p5_core::{CoreConfig, SmtCore};
+//! use p5_fame::{FameConfig, FameRunner};
+//! use p5_isa::{Op, Program, StaticInst, ThreadId};
+//!
+//! let mut b = Program::builder("toy");
+//! for _ in 0..10 { b.push(StaticInst::new(Op::IntAlu)); }
+//! b.iterations(50);
+//! let prog = b.build()?;
+//!
+//! let mut core = SmtCore::new(CoreConfig::tiny_for_tests());
+//! core.load_program(ThreadId::T0, prog);
+//! let report = FameRunner::new(FameConfig::quick()).measure(&mut core);
+//! let m = report.thread(ThreadId::T0).unwrap();
+//! assert!(m.converged);
+//! assert!(m.ipc > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use p5_core::SmtCore;
+use p5_isa::{AccessPattern, ThreadId};
+
+/// Parameters of a FAME measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FameConfig {
+    /// Maximum Allowable IPC Variation: the measurement of a thread is
+    /// converged once its running average IPC changes by less than this
+    /// relative fraction over `stable_window` consecutive repetitions.
+    pub maiv: f64,
+    /// Repetitions over which the MAIV criterion must hold.
+    pub stable_window: usize,
+    /// Minimum repetitions per thread regardless of MAIV (the paper's
+    /// setup needs at least 10 for MAIV = 1%).
+    pub min_repetitions: usize,
+    /// Hard cycle budget for the measurement phase; if exhausted the
+    /// report is marked unconverged.
+    pub max_cycles: u64,
+    /// Hard cycle budget for the warm-up phase.
+    pub warmup_max_cycles: u64,
+    /// Ring passes each pointer-chase stream should complete during
+    /// warm-up (subject to `warmup_max_cycles`).
+    pub warmup_ring_passes: u64,
+    /// Minimum warm-up cycles even for cache-light programs (fills the
+    /// pipeline, trains the predictor).
+    pub warmup_min_cycles: u64,
+}
+
+impl FameConfig {
+    /// The paper's configuration: MAIV 1%, at least 10 repetitions.
+    #[must_use]
+    pub fn paper() -> FameConfig {
+        FameConfig {
+            maiv: 0.01,
+            stable_window: 3,
+            min_repetitions: 10,
+            max_cycles: 200_000_000,
+            warmup_max_cycles: 60_000_000,
+            warmup_ring_passes: 2,
+            warmup_min_cycles: 100_000,
+        }
+    }
+
+    /// A reduced configuration for unit tests and smoke runs.
+    #[must_use]
+    pub fn quick() -> FameConfig {
+        FameConfig {
+            maiv: 0.05,
+            stable_window: 2,
+            min_repetitions: 3,
+            max_cycles: 5_000_000,
+            warmup_max_cycles: 500_000,
+            warmup_ring_passes: 1,
+            warmup_min_cycles: 5_000,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `maiv` is not in `(0, 1)` or any count is zero.
+    pub fn validate(&self) {
+        assert!(self.maiv > 0.0 && self.maiv < 1.0, "MAIV must be in (0,1)");
+        assert!(self.stable_window > 0);
+        assert!(self.min_repetitions > 0);
+        assert!(self.max_cycles > 0);
+    }
+}
+
+impl Default for FameConfig {
+    fn default() -> Self {
+        FameConfig::paper()
+    }
+}
+
+/// Measurement of one thread under FAME.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadMeasurement {
+    /// Complete repetitions observed during the measurement phase.
+    pub repetitions: usize,
+    /// Average cycles per complete repetition (incomplete tail discarded).
+    pub avg_repetition_cycles: f64,
+    /// Average accumulated IPC at the last complete repetition boundary.
+    pub ipc: f64,
+    /// Whether the MAIV criterion was met within the cycle budget.
+    pub converged: bool,
+}
+
+/// Result of one FAME measurement of a core (one or two active threads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FameReport {
+    /// Per-context measurements (`None` for inactive contexts).
+    pub threads: [Option<ThreadMeasurement>; 2],
+    /// Cycles spent in the measurement phase.
+    pub measured_cycles: u64,
+    /// Cycles spent warming up.
+    pub warmup_cycles: u64,
+}
+
+impl FameReport {
+    /// Measurement for one context.
+    #[must_use]
+    pub fn thread(&self, thread: ThreadId) -> Option<&ThreadMeasurement> {
+        self.threads[thread.index()].as_ref()
+    }
+
+    /// Combined IPC of the active contexts (the paper's "total IPC").
+    #[must_use]
+    pub fn total_ipc(&self) -> f64 {
+        self.threads
+            .iter()
+            .flatten()
+            .map(|m| m.ipc)
+            .sum()
+    }
+
+    /// Whether every active thread converged.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.threads.iter().flatten().all(|m| m.converged)
+    }
+}
+
+/// Runs FAME measurements over a prepared [`SmtCore`] (programs loaded,
+/// priorities set).
+#[derive(Debug, Clone)]
+pub struct FameRunner {
+    config: FameConfig,
+}
+
+impl FameRunner {
+    /// Creates a runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`FameConfig::validate`]).
+    #[must_use]
+    pub fn new(config: FameConfig) -> FameRunner {
+        config.validate();
+        FameRunner { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &FameConfig {
+        &self.config
+    }
+
+    /// Warm-up cycles needed so each pointer-chase ring is walked
+    /// `warmup_ring_passes` times (estimated optimistically at one access
+    /// per ~`memory_latency` cycles), bounded by the configured caps.
+    fn warmup_budget(&self, core: &SmtCore) -> u64 {
+        let mem = &core.config().mem;
+        let line = mem.l1d.line_bytes;
+        // A serial chase warms at one access per cold-miss round trip.
+        let cold_access = mem.memory_latency + mem.dtlb.miss_penalty;
+        // Rings that exceed the L3 never warm — their steady state is
+        // permanently cold, so warming them would only waste budget.
+        let l3_lines = mem.l3.size_bytes / line;
+        let mut budget = self.config.warmup_min_cycles;
+        for t in ThreadId::ALL {
+            if let Some(program) = core.program(t) {
+                for spec in program.streams() {
+                    if matches!(spec.pattern, AccessPattern::PointerChase) {
+                        let lines = (spec.footprint_bytes / line).max(1);
+                        if lines <= l3_lines {
+                            budget = budget
+                                .max(self.config.warmup_ring_passes * lines * cold_access);
+                        }
+                    }
+                }
+            }
+        }
+        budget.min(self.config.warmup_max_cycles)
+    }
+
+    /// Runs the warm-up and measurement phases and reports per-thread
+    /// averages. The core is left in its post-measurement state (warm),
+    /// with statistics covering the measurement phase only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no context has a program loaded.
+    pub fn measure(&self, core: &mut SmtCore) -> FameReport {
+        assert!(
+            ThreadId::ALL.iter().any(|&t| core.is_active(t)),
+            "FAME needs at least one active thread"
+        );
+
+        let warmup = self.warmup_budget(core);
+        core.run_cycles(warmup);
+        core.reset_stats();
+
+        // Measurement: run until every active thread satisfies MAIV and
+        // the minimum repetition count.
+        let mut last_ipc: [Option<f64>; 2] = [None, None];
+        let mut stable: [usize; 2] = [0, 0];
+        let mut done: [bool; 2] = [
+            !core.is_active(ThreadId::T0),
+            !core.is_active(ThreadId::T1),
+        ];
+        let mut seen_reps: [usize; 2] = [0, 0];
+
+        let check_period: u64 = 256;
+        let deadline = self.config.max_cycles;
+        while !(done[0] && done[1]) && core.stats().cycles < deadline {
+            core.run_cycles(check_period);
+            for t in ThreadId::ALL {
+                let i = t.index();
+                if done[i] {
+                    continue;
+                }
+                let reps = &core.stats().thread(t).repetitions;
+                if reps.len() <= seen_reps[i] {
+                    continue;
+                }
+                seen_reps[i] = reps.len();
+                let last = reps[reps.len() - 1];
+                let ipc = last.committed_at_end as f64 / last.end_cycle.max(1) as f64;
+                if let Some(prev) = last_ipc[i] {
+                    let delta = if prev > 0.0 {
+                        ((ipc - prev) / prev).abs()
+                    } else {
+                        1.0
+                    };
+                    if delta < self.config.maiv {
+                        stable[i] += 1;
+                    } else {
+                        stable[i] = 0;
+                    }
+                }
+                last_ipc[i] = Some(ipc);
+                if reps.len() >= self.config.min_repetitions
+                    && stable[i] >= self.config.stable_window
+                {
+                    done[i] = true;
+                }
+            }
+        }
+
+        let measured_cycles = core.stats().cycles;
+        let mut threads: [Option<ThreadMeasurement>; 2] = [None, None];
+        for t in ThreadId::ALL {
+            let i = t.index();
+            if !core.is_active(t) {
+                continue;
+            }
+            let reps = &core.stats().thread(t).repetitions;
+            // The first boundary after the stats reset closes a partial
+            // repetition (the thread was mid-loop when measurement
+            // started); average over the complete repetitions between the
+            // first and last boundaries, as the paper's Figure 1 does
+            // with its discarded tail.
+            let measurement = if reps.len() >= 2 {
+                let first = reps[0];
+                let last = reps[reps.len() - 1];
+                let span_cycles = (last.end_cycle - first.end_cycle).max(1) as f64;
+                let span_insts = (last.committed_at_end - first.committed_at_end) as f64;
+                let complete = (reps.len() - 1) as f64;
+                ThreadMeasurement {
+                    repetitions: reps.len(),
+                    avg_repetition_cycles: span_cycles / complete,
+                    ipc: span_insts / span_cycles,
+                    converged: done[i],
+                }
+            } else if let Some(last) = reps.last() {
+                ThreadMeasurement {
+                    repetitions: reps.len(),
+                    avg_repetition_cycles: last.end_cycle as f64,
+                    ipc: last.committed_at_end as f64 / last.end_cycle.max(1) as f64,
+                    converged: done[i],
+                }
+            } else {
+                // Not even one complete repetition: fall back to raw IPC.
+                ThreadMeasurement {
+                    repetitions: 0,
+                    avg_repetition_cycles: measured_cycles as f64,
+                    ipc: core.stats().ipc(t),
+                    converged: false,
+                }
+            };
+            threads[i] = Some(measurement);
+        }
+
+        FameReport {
+            threads,
+            measured_cycles,
+            warmup_cycles: warmup,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p5_core::CoreConfig;
+    use p5_isa::{DataKind, Op, Program, Reg, StaticInst, StreamSpec};
+
+    fn cpu_program(iters: u64) -> Program {
+        let mut b = Program::builder("cpu");
+        for i in 0..10 {
+            b.push(StaticInst::new(Op::IntAlu).dst(Reg::new(32 + i)));
+        }
+        b.iterations(iters);
+        b.build().unwrap()
+    }
+
+    fn chase_program(footprint: u64, iters: u64) -> Program {
+        let mut b = Program::builder("chase");
+        let s = b.stream(StreamSpec::pointer_chase(footprint));
+        let ptr = Reg::new(1);
+        b.push(
+            StaticInst::new(Op::Load {
+                stream: s,
+                kind: DataKind::Int,
+            })
+            .dst(ptr)
+            .src1(ptr),
+        );
+        b.iterations(iters);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_thread_measurement_converges() {
+        let mut core = SmtCore::new(CoreConfig::tiny_for_tests());
+        core.load_program(ThreadId::T0, cpu_program(50));
+        let report = FameRunner::new(FameConfig::quick()).measure(&mut core);
+        let m = report.thread(ThreadId::T0).unwrap();
+        assert!(m.converged, "steady program must converge: {m:?}");
+        assert!(m.repetitions >= 3);
+        assert!(m.ipc > 0.5);
+        assert!(m.avg_repetition_cycles > 0.0);
+        assert!(report.thread(ThreadId::T1).is_none());
+        assert!(report.converged());
+    }
+
+    #[test]
+    fn pair_measurement_requires_min_reps_of_both() {
+        let mut core = SmtCore::new(CoreConfig::tiny_for_tests());
+        core.load_program(ThreadId::T0, cpu_program(50));
+        core.load_program(ThreadId::T1, cpu_program(500)); // 10x longer reps
+        let report = FameRunner::new(FameConfig::quick()).measure(&mut core);
+        let fast = report.thread(ThreadId::T0).unwrap();
+        let slow = report.thread(ThreadId::T1).unwrap();
+        assert!(fast.repetitions >= 3);
+        assert!(slow.repetitions >= 3);
+        // The faster benchmark re-executes more often (paper Figure 1).
+        assert!(fast.repetitions > slow.repetitions);
+    }
+
+    #[test]
+    fn total_ipc_sums_threads() {
+        let mut core = SmtCore::new(CoreConfig::tiny_for_tests());
+        core.load_program(ThreadId::T0, cpu_program(50));
+        core.load_program(ThreadId::T1, cpu_program(50));
+        let report = FameRunner::new(FameConfig::quick()).measure(&mut core);
+        let sum = report.thread(ThreadId::T0).unwrap().ipc
+            + report.thread(ThreadId::T1).unwrap().ipc;
+        assert!((report.total_ipc() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unconverged() {
+        let cfg = FameConfig {
+            min_repetitions: 1000,
+            max_cycles: 20_000,
+            ..FameConfig::quick()
+        };
+        let mut core = SmtCore::new(CoreConfig::tiny_for_tests());
+        core.load_program(ThreadId::T0, cpu_program(50));
+        let report = FameRunner::new(cfg).measure(&mut core);
+        assert!(!report.thread(ThreadId::T0).unwrap().converged);
+        assert!(!report.converged());
+    }
+
+    #[test]
+    fn warmup_scales_with_chase_footprint() {
+        let runner = FameRunner::new(FameConfig::quick());
+        let mut small = SmtCore::new(CoreConfig::tiny_for_tests());
+        small.load_program(ThreadId::T0, chase_program(4 * 1024, 100));
+        let mut large = SmtCore::new(CoreConfig::tiny_for_tests());
+        large.load_program(ThreadId::T0, chase_program(32 * 1024, 100));
+        assert!(runner.warmup_budget(&large) > runner.warmup_budget(&small));
+        // And is capped.
+        assert!(runner.warmup_budget(&large) <= FameConfig::quick().warmup_max_cycles);
+        // A ring that cannot fit the L3 never warms: no budget is spent.
+        let mut huge = SmtCore::new(CoreConfig::tiny_for_tests());
+        huge.load_program(ThreadId::T0, chase_program(512 * 1024, 100));
+        assert_eq!(
+            runner.warmup_budget(&huge),
+            FameConfig::quick().warmup_min_cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one active thread")]
+    fn measuring_idle_core_panics() {
+        let mut core = SmtCore::new(CoreConfig::tiny_for_tests());
+        let _ = FameRunner::new(FameConfig::quick()).measure(&mut core);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAIV")]
+    fn invalid_maiv_panics() {
+        let _ = FameRunner::new(FameConfig {
+            maiv: 0.0,
+            ..FameConfig::quick()
+        });
+    }
+
+    #[test]
+    fn zero_repetition_fallback() {
+        // A program whose single repetition never completes in budget.
+        let cfg = FameConfig {
+            max_cycles: 5_000,
+            warmup_min_cycles: 100,
+            warmup_max_cycles: 100,
+            ..FameConfig::quick()
+        };
+        let mut core = SmtCore::new(CoreConfig::tiny_for_tests());
+        core.load_program(ThreadId::T0, cpu_program(1_000_000));
+        let report = FameRunner::new(cfg).measure(&mut core);
+        let m = report.thread(ThreadId::T0).unwrap();
+        assert_eq!(m.repetitions, 0);
+        assert!(!m.converged);
+        assert!(m.ipc > 0.0, "falls back to raw IPC");
+    }
+
+    #[test]
+    fn paper_config_defaults() {
+        let c = FameConfig::paper();
+        assert!((c.maiv - 0.01).abs() < 1e-12);
+        assert_eq!(c.min_repetitions, 10);
+        assert_eq!(FameConfig::default(), c);
+    }
+}

@@ -1,0 +1,491 @@
+//! Loop-structured programs and their memory address streams.
+
+use crate::inst::{Op, StaticInst};
+use std::fmt;
+use std::sync::Arc;
+
+/// Whether a memory access targets integer or floating-point data
+/// (the paper's `ldint_*` vs `ldfp_*` micro-benchmark families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataKind {
+    /// Integer data.
+    Int,
+    /// Floating-point data ("in the case of fp benchmarks, `a` is an array
+    /// of floats", paper Table 2).
+    Float,
+}
+
+/// Identifier of an address stream within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(u16);
+
+impl StreamId {
+    /// Creates a stream identifier.
+    #[must_use]
+    pub fn new(index: u16) -> StreamId {
+        StreamId(index)
+    }
+
+    /// Zero-based index of the stream.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// How successive dynamic accesses of a stream generate addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Independent strided accesses: the `k`-th access touches byte
+    /// `(k * stride) % footprint`. Models the paper's `a[i+s] = a[i+s]+1`
+    /// loops when the address is available early (index arithmetic), so
+    /// accesses can overlap freely in the out-of-order window.
+    Sequential {
+        /// Distance in bytes between consecutive accesses.
+        stride: u64,
+    },
+    /// Dependent accesses: each access's address is produced by the value
+    /// the previous access loaded (a pointer chase over a full-period
+    /// permutation of the footprint's cache lines). Models working sets
+    /// whose address stream defeats both the hardware prefetcher and
+    /// memory-level parallelism, as the paper's cache-level-targeted
+    /// benchmarks empirically behaved (their measured IPCs imply the
+    /// per-access latency is exposed serially; see DESIGN.md).
+    PointerChase,
+}
+
+/// Specification of one address stream: a footprint walked with a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamSpec {
+    /// Total bytes the stream touches before wrapping. Determines which
+    /// cache level the stream "fits" in.
+    pub footprint_bytes: u64,
+    /// Address-generation pattern.
+    pub pattern: AccessPattern,
+}
+
+impl StreamSpec {
+    /// A sequential stream over `footprint_bytes` with the given stride.
+    #[must_use]
+    pub fn sequential(footprint_bytes: u64, stride: u64) -> StreamSpec {
+        StreamSpec {
+            footprint_bytes,
+            pattern: AccessPattern::Sequential { stride },
+        }
+    }
+
+    /// A pointer-chase stream over `footprint_bytes`.
+    #[must_use]
+    pub fn pointer_chase(footprint_bytes: u64) -> StreamSpec {
+        StreamSpec {
+            footprint_bytes,
+            pattern: AccessPattern::PointerChase,
+        }
+    }
+
+    /// Whether accesses of this stream are address-dependent on the
+    /// previous access (serializing them at memory latency).
+    #[must_use]
+    pub fn is_dependent(&self) -> bool {
+        matches!(self.pattern, AccessPattern::PointerChase)
+    }
+}
+
+/// Error returned by [`ProgramBuilder::build`] when the program is
+/// malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The loop body is empty.
+    EmptyBody,
+    /// `iterations` is zero.
+    ZeroIterations,
+    /// An instruction references a stream that was never declared.
+    UnknownStream {
+        /// Position of the offending instruction in the body.
+        inst_index: usize,
+        /// The undeclared stream.
+        stream: StreamId,
+    },
+    /// A stream has a zero-byte footprint.
+    EmptyFootprint {
+        /// The offending stream.
+        stream: StreamId,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::EmptyBody => write!(f, "program loop body is empty"),
+            ProgramError::ZeroIterations => write!(f, "program iteration count is zero"),
+            ProgramError::UnknownStream { inst_index, stream } => write!(
+                f,
+                "instruction {inst_index} references undeclared stream {stream}"
+            ),
+            ProgramError::EmptyFootprint { stream } => {
+                write!(f, "stream {stream} has an empty footprint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A loop-structured program: a straight-line loop body executed
+/// `iterations` times per repetition, plus the address streams its memory
+/// instructions walk.
+///
+/// "All the micro-benchmarks have the same structure. They iterate several
+/// times on their loop body ... One execution of the loop body is called a
+/// micro-iteration." (paper Section 4.2)
+///
+/// Programs are immutable and cheaply cloneable (the body and streams are
+/// reference-counted), so the same program can be loaded on both contexts.
+#[derive(Debug, Clone)]
+pub struct Program {
+    name: Arc<str>,
+    body: Arc<[StaticInst]>,
+    streams: Arc<[StreamSpec]>,
+    iterations: u64,
+}
+
+impl Program {
+    /// Starts building a program with the given display name.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder::new(name)
+    }
+
+    /// The program's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The loop body.
+    #[must_use]
+    pub fn body(&self) -> &[StaticInst] {
+        &self.body
+    }
+
+    /// Declared address streams.
+    #[must_use]
+    pub fn streams(&self) -> &[StreamSpec] {
+        &self.streams
+    }
+
+    /// Specification of one stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream was not declared (cannot happen for ids handed
+    /// out by the builder of this program).
+    #[must_use]
+    pub fn stream(&self, id: StreamId) -> &StreamSpec {
+        &self.streams[id.index()]
+    }
+
+    /// Micro-iterations per repetition.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Dynamic instruction count of one full repetition.
+    #[must_use]
+    pub fn instructions_per_repetition(&self) -> u64 {
+        self.body.len() as u64 * self.iterations
+    }
+
+    /// Returns a copy of this program scaled to a different micro-iteration
+    /// count (used by the measurement harness to trade accuracy for run
+    /// time without altering per-iteration behaviour).
+    #[must_use]
+    pub fn with_iterations(&self, iterations: u64) -> Program {
+        assert!(iterations > 0, "iteration count must be positive");
+        Program {
+            name: Arc::clone(&self.name),
+            body: Arc::clone(&self.body),
+            streams: Arc::clone(&self.streams),
+            iterations,
+        }
+    }
+
+    /// Static mix of the loop body: fraction of instructions that are
+    /// loads, stores, branches, integer, and floating-point ops. Used by
+    /// the Table 2 experiment to verify each micro-benchmark stresses what
+    /// it claims to.
+    #[must_use]
+    pub fn body_mix(&self) -> BodyMix {
+        let mut mix = BodyMix::default();
+        for inst in self.body.iter() {
+            match inst.op {
+                Op::Load { .. } => mix.loads += 1,
+                Op::Store { .. } => mix.stores += 1,
+                Op::Branch(_) => mix.branches += 1,
+                Op::IntAlu | Op::IntMul | Op::IntDiv => mix.int_ops += 1,
+                Op::FpAlu | Op::FpDiv => mix.fp_ops += 1,
+                Op::OrNop(_) | Op::Nop => mix.other += 1,
+            }
+        }
+        mix
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} insts/iter x {} iters)",
+            self.name,
+            self.body.len(),
+            self.iterations
+        )
+    }
+}
+
+/// Static instruction-class counts of a loop body (see
+/// [`Program::body_mix`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BodyMix {
+    /// Number of load instructions.
+    pub loads: usize,
+    /// Number of store instructions.
+    pub stores: usize,
+    /// Number of conditional branches.
+    pub branches: usize,
+    /// Number of fixed-point compute instructions.
+    pub int_ops: usize,
+    /// Number of floating-point compute instructions.
+    pub fp_ops: usize,
+    /// Nops and or-nops.
+    pub other: usize,
+}
+
+impl BodyMix {
+    /// Total instruction count.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.loads + self.stores + self.branches + self.int_ops + self.fp_ops + self.other
+    }
+}
+
+/// Incrementally builds a [`Program`] (loop body, streams, iteration
+/// count), validating the result.
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    body: Vec<StaticInst>,
+    streams: Vec<StreamSpec>,
+    iterations: u64,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            body: Vec::new(),
+            streams: Vec::new(),
+            iterations: 1,
+        }
+    }
+
+    /// Declares an address stream and returns its id.
+    pub fn stream(&mut self, spec: StreamSpec) -> StreamId {
+        let id = StreamId::new(
+            u16::try_from(self.streams.len()).expect("more than 65535 streams declared"),
+        );
+        self.streams.push(spec);
+        id
+    }
+
+    /// Appends an instruction to the loop body.
+    pub fn push(&mut self, inst: StaticInst) -> &mut ProgramBuilder {
+        self.body.push(inst);
+        self
+    }
+
+    /// Appends every instruction of `insts`.
+    pub fn extend(&mut self, insts: impl IntoIterator<Item = StaticInst>) -> &mut ProgramBuilder {
+        self.body.extend(insts);
+        self
+    }
+
+    /// Sets the number of micro-iterations per repetition.
+    pub fn iterations(&mut self, iterations: u64) -> &mut ProgramBuilder {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Current length of the loop body (useful while generating bodies).
+    #[must_use]
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Validates and builds the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if the body is empty, the iteration count
+    /// is zero, an instruction references an undeclared stream, or a stream
+    /// footprint is empty.
+    pub fn build(&self) -> Result<Program, ProgramError> {
+        if self.body.is_empty() {
+            return Err(ProgramError::EmptyBody);
+        }
+        if self.iterations == 0 {
+            return Err(ProgramError::ZeroIterations);
+        }
+        for (i, spec) in self.streams.iter().enumerate() {
+            if spec.footprint_bytes == 0 {
+                return Err(ProgramError::EmptyFootprint {
+                    stream: StreamId::new(i as u16),
+                });
+            }
+        }
+        for (i, inst) in self.body.iter().enumerate() {
+            if let Some(stream) = inst.op.stream() {
+                if stream.index() >= self.streams.len() {
+                    return Err(ProgramError::UnknownStream {
+                        inst_index: i,
+                        stream,
+                    });
+                }
+            }
+        }
+        Ok(Program {
+            name: Arc::from(self.name.as_str()),
+            body: Arc::from(self.body.as_slice()),
+            streams: Arc::from(self.streams.as_slice()),
+            iterations: self.iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Op;
+
+    fn simple_program() -> Program {
+        let mut b = Program::builder("test");
+        let s = b.stream(StreamSpec::sequential(4096, 8));
+        b.push(StaticInst::new(Op::Load {
+            stream: s,
+            kind: DataKind::Int,
+        }));
+        b.push(StaticInst::new(Op::IntAlu));
+        b.iterations(100);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_and_accessors() {
+        let p = simple_program();
+        assert_eq!(p.name(), "test");
+        assert_eq!(p.body().len(), 2);
+        assert_eq!(p.iterations(), 100);
+        assert_eq!(p.instructions_per_repetition(), 200);
+        assert_eq!(p.streams().len(), 1);
+        assert_eq!(p.stream(StreamId::new(0)).footprint_bytes, 4096);
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let b = Program::builder("empty");
+        assert_eq!(b.build().unwrap_err(), ProgramError::EmptyBody);
+    }
+
+    #[test]
+    fn zero_iterations_rejected() {
+        let mut b = Program::builder("zero");
+        b.push(StaticInst::new(Op::Nop)).iterations(0);
+        assert_eq!(b.build().unwrap_err(), ProgramError::ZeroIterations);
+    }
+
+    #[test]
+    fn unknown_stream_rejected() {
+        let mut b = Program::builder("bad-stream");
+        b.push(StaticInst::new(Op::Load {
+            stream: StreamId::new(3),
+            kind: DataKind::Int,
+        }));
+        let err = b.build().unwrap_err();
+        assert_eq!(
+            err,
+            ProgramError::UnknownStream {
+                inst_index: 0,
+                stream: StreamId::new(3)
+            }
+        );
+        assert!(err.to_string().contains("undeclared stream s3"));
+    }
+
+    #[test]
+    fn empty_footprint_rejected() {
+        let mut b = Program::builder("bad-footprint");
+        let s = b.stream(StreamSpec::pointer_chase(0));
+        b.push(StaticInst::new(Op::Load {
+            stream: s,
+            kind: DataKind::Int,
+        }));
+        assert_eq!(
+            b.build().unwrap_err(),
+            ProgramError::EmptyFootprint {
+                stream: StreamId::new(0)
+            }
+        );
+    }
+
+    #[test]
+    fn with_iterations_rescales() {
+        let p = simple_program().with_iterations(7);
+        assert_eq!(p.iterations(), 7);
+        assert_eq!(p.instructions_per_repetition(), 14);
+        assert_eq!(p.body().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn with_zero_iterations_panics() {
+        let _ = simple_program().with_iterations(0);
+    }
+
+    #[test]
+    fn body_mix_counts() {
+        let p = simple_program();
+        let mix = p.body_mix();
+        assert_eq!(mix.loads, 1);
+        assert_eq!(mix.int_ops, 1);
+        assert_eq!(mix.total(), 2);
+    }
+
+    #[test]
+    fn stream_spec_dependency() {
+        assert!(StreamSpec::pointer_chase(1024).is_dependent());
+        assert!(!StreamSpec::sequential(1024, 8).is_dependent());
+    }
+
+    #[test]
+    fn display() {
+        let p = simple_program();
+        assert_eq!(p.to_string(), "test (2 insts/iter x 100 iters)");
+        assert_eq!(StreamId::new(4).to_string(), "s4");
+    }
+
+    #[test]
+    fn program_clone_shares_body() {
+        let p = simple_program();
+        let q = p.clone();
+        assert_eq!(p.body().as_ptr(), q.body().as_ptr());
+    }
+}

@@ -1,0 +1,74 @@
+//! Architectural register identifiers.
+
+use std::fmt;
+
+/// An architectural register identifier.
+///
+/// The simulator uses a flat register space (the micro-benchmarks of the
+/// paper use only a handful of integer and floating-point accumulators, so
+/// no distinction between GPR and FPR files is needed for dependency
+/// tracking; the functional-unit class of the producing instruction carries
+/// that information instead).
+///
+/// ```
+/// use p5_isa::Reg;
+/// let r = Reg::new(3);
+/// assert_eq!(r.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers available to programs.
+    pub const COUNT: usize = 128;
+
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Reg::COUNT`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < Reg::COUNT,
+            "register index {index} out of range 0..{}",
+            Reg::COUNT
+        );
+        Reg(index)
+    }
+
+    /// The zero-based index of the register.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_roundtrip() {
+        for i in [0u8, 1, 64, 127] {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(128);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::new(7).to_string(), "r7");
+    }
+}

@@ -1,0 +1,409 @@
+//! The three-level shared hierarchy.
+
+use crate::cache::{Cache, CacheStats};
+use crate::config::MemConfig;
+use crate::tlb::{Tlb, TlbStats};
+use p5_isa::ThreadId;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// The level that served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HitLevel {
+    /// First-level data cache.
+    L1,
+    /// Second-level cache.
+    L2,
+    /// Third-level cache.
+    L3,
+    /// Main memory.
+    Memory,
+}
+
+impl fmt::Display for HitLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HitLevel::L1 => write!(f, "L1"),
+            HitLevel::L2 => write!(f, "L2"),
+            HitLevel::L3 => write!(f, "L3"),
+            HitLevel::Memory => write!(f, "memory"),
+        }
+    }
+}
+
+/// Result of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The level that served the data.
+    pub level: HitLevel,
+    /// Total load-to-use latency in cycles, including any TLB-walk
+    /// penalty.
+    pub latency: u64,
+    /// Whether the access walked the TLB.
+    pub tlb_miss: bool,
+}
+
+/// Per-thread counters aggregated across the hierarchy, consumed by the
+/// core's dynamic resource balancer ("a thread reaches a threshold of L2
+/// cache or TLB misses", paper Section 3.1) and the experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Demand accesses per context.
+    pub accesses: [u64; 2],
+    /// Accesses served by each level, per context (indexed L1/L2/L3/Mem).
+    pub served_by: [[u64; 2]; 4],
+}
+
+impl MemStats {
+    /// Accesses by `thread` that missed the L2 (i.e. were served by L3 or
+    /// memory) — the balancer's "L2 miss" signal.
+    #[must_use]
+    pub fn l2_misses(&self, thread: ThreadId) -> u64 {
+        let i = thread.index();
+        self.served_by[2][i] + self.served_by[3][i]
+    }
+
+    /// Accesses by `thread` served by main memory.
+    #[must_use]
+    pub fn memory_accesses(&self, thread: ThreadId) -> u64 {
+        self.served_by[3][thread.index()]
+    }
+}
+
+/// Handles to the cache levels POWER5 shares *between cores* of the
+/// dual-core chip: the L2, the L3, and (for modeling simplicity) the
+/// TLB. Build one with [`SharedCaches::new`] and hand clones of it to the
+/// hierarchies of both cores; the single-core [`MemoryHierarchy::new`]
+/// constructor creates a private set.
+///
+/// Statistics inside the shared caches attribute accesses by context
+/// index only, so in a two-core chip the same-numbered contexts of both
+/// cores are merged there; the per-hierarchy [`MemStats`] remain
+/// per-core.
+#[derive(Debug, Clone)]
+pub struct SharedCaches {
+    l2: Rc<RefCell<Cache>>,
+    l3: Rc<RefCell<Cache>>,
+    dtlb: Rc<RefCell<Tlb>>,
+}
+
+impl SharedCaches {
+    /// Creates a cold set of shared levels for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    #[must_use]
+    pub fn new(config: &MemConfig) -> SharedCaches {
+        config.validate();
+        SharedCaches {
+            l2: Rc::new(RefCell::new(Cache::new(config.l2))),
+            l3: Rc::new(RefCell::new(Cache::new(config.l3))),
+            dtlb: Rc::new(RefCell::new(Tlb::new(config.dtlb))),
+        }
+    }
+}
+
+/// The full data-side memory hierarchy seen by one core: a private L1D
+/// plus the (potentially cross-core) shared L2, L3 and data TLB, and a
+/// next-line prefetcher. Within a core, both SMT contexts share every
+/// level, as on POWER5.
+///
+/// See the crate docs for the functional-with-latency contract.
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    config: MemConfig,
+    l1d: Cache,
+    shared: SharedCaches,
+    stats: MemStats,
+    /// Last line accessed per context, to detect sequential streams for
+    /// the prefetcher.
+    last_line: [Option<u64>; 2],
+}
+
+impl MemoryHierarchy {
+    /// Creates a cold hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`MemConfig::validate`]).
+    #[must_use]
+    pub fn new(config: MemConfig) -> MemoryHierarchy {
+        let shared = SharedCaches::new(&config);
+        MemoryHierarchy::with_shared(config, shared)
+    }
+
+    /// Creates a hierarchy whose L2/L3/TLB are the given shared levels —
+    /// this is how the two cores of a chip (`p5-core`'s `Chip`) see one
+    /// another's traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    #[must_use]
+    pub fn with_shared(config: MemConfig, shared: SharedCaches) -> MemoryHierarchy {
+        config.validate();
+        MemoryHierarchy {
+            l1d: Cache::new(config.l1d),
+            shared,
+            stats: MemStats::default(),
+            last_line: [None; 2],
+            config,
+        }
+    }
+
+    /// The configuration this hierarchy was built with.
+    #[must_use]
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Aggregated per-thread statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// L1 cache statistics (private to this core).
+    #[must_use]
+    pub fn l1_stats(&self) -> &CacheStats {
+        self.l1d.stats()
+    }
+
+    /// L2 cache statistics (merged across cores if the level is shared).
+    #[must_use]
+    pub fn l2_stats(&self) -> CacheStats {
+        *self.shared.l2.borrow().stats()
+    }
+
+    /// L3 cache statistics (merged across cores if the level is shared).
+    #[must_use]
+    pub fn l3_stats(&self) -> CacheStats {
+        *self.shared.l3.borrow().stats()
+    }
+
+    /// TLB statistics (merged across cores if the level is shared).
+    #[must_use]
+    pub fn tlb_stats(&self) -> TlbStats {
+        *self.shared.dtlb.borrow().stats()
+    }
+
+    /// Resets all statistics; cache and TLB contents are preserved (the
+    /// FAME methodology measures with warm state).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+        self.l1d.reset_stats();
+        self.shared.l2.borrow_mut().reset_stats();
+        self.shared.l3.borrow_mut().reset_stats();
+        self.shared.dtlb.borrow_mut().reset_stats();
+    }
+
+    /// Performs a demand access (load or store; the model allocates on
+    /// write like POWER5's store-through-L1/allocate-L2 simplified to
+    /// allocate-everywhere) and returns where it was served and its
+    /// total latency.
+    pub fn access(&mut self, thread: ThreadId, addr: u64, _is_store: bool) -> Access {
+        let i = thread.index();
+        self.stats.accesses[i] += 1;
+
+        let tlb_penalty = self.shared.dtlb.borrow_mut().access(thread, addr);
+        let tlb_miss = tlb_penalty > 0;
+
+        let (level, base_latency) = if self.l1d.access(thread, addr) {
+            (HitLevel::L1, self.config.l1d.latency)
+        } else if self.shared.l2.borrow_mut().access(thread, addr) {
+            self.l1d.fill(addr);
+            (HitLevel::L2, self.config.l2.latency)
+        } else if self.shared.l3.borrow_mut().access(thread, addr) {
+            self.l1d.fill(addr);
+            self.shared.l2.borrow_mut().fill(addr);
+            (HitLevel::L3, self.config.l3.latency)
+        } else {
+            self.l1d.fill(addr);
+            self.shared.l2.borrow_mut().fill(addr);
+            self.shared.l3.borrow_mut().fill(addr);
+            (HitLevel::Memory, self.config.memory_latency)
+        };
+
+        self.stats.served_by[level_index(level)][i] += 1;
+
+        // Next-line prefetch: on an L1 miss that continues a sequential
+        // line stream, pull the following lines into L2.
+        if level != HitLevel::L1 && self.config.prefetch_depth > 0 {
+            let line = addr / self.config.l1d.line_bytes;
+            if self.last_line[i] == Some(line.wrapping_sub(1)) {
+                let mut l2 = self.shared.l2.borrow_mut();
+                for k in 1..=self.config.prefetch_depth {
+                    let paddr = (line + k) * self.config.l1d.line_bytes;
+                    if !l2.probe(paddr) {
+                        l2.fill_prefetch(paddr);
+                    }
+                }
+            }
+            self.last_line[i] = Some(line);
+        } else if level != HitLevel::L1 {
+            self.last_line[i] = Some(addr / self.config.l1d.line_bytes);
+        }
+
+        Access {
+            level,
+            latency: base_latency + tlb_penalty,
+            tlb_miss,
+        }
+    }
+
+    /// Checks, without disturbing any state, whether `addr` would hit the
+    /// L1. The core's load/store unit uses this to decide if an access
+    /// needs a load-miss-queue entry *before* performing it.
+    #[must_use]
+    pub fn probe_l1(&self, addr: u64) -> bool {
+        self.l1d.probe(addr)
+    }
+
+    /// Invalidates all cache levels (not the TLB).
+    pub fn invalidate_caches(&mut self) {
+        self.l1d.invalidate_all();
+        self.shared.l2.borrow_mut().invalidate_all();
+        self.shared.l3.borrow_mut().invalidate_all();
+        self.last_line = [None; 2];
+    }
+}
+
+fn level_index(level: HitLevel) -> usize {
+    match level {
+        HitLevel::L1 => 0,
+        HitLevel::L2 => 1,
+        HitLevel::L3 => 2,
+        HitLevel::Memory => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MemoryHierarchy {
+        MemoryHierarchy::new(MemConfig::tiny_for_tests())
+    }
+
+    #[test]
+    fn cold_miss_goes_to_memory_then_l1() {
+        let mut m = tiny();
+        let a = m.access(ThreadId::T0, 0x4000, false);
+        assert_eq!(a.level, HitLevel::Memory);
+        assert!(a.tlb_miss);
+        assert!(a.latency >= m.config().memory_latency);
+        let b = m.access(ThreadId::T0, 0x4000, false);
+        assert_eq!(b.level, HitLevel::L1);
+        assert!(!b.tlb_miss);
+        assert_eq!(b.latency, m.config().l1d.latency);
+    }
+
+    #[test]
+    fn l1_eviction_leaves_line_in_l2() {
+        let mut m = tiny(); // L1 1KiB (16 lines of 64B), L2 8KiB
+        // Fill 32 distinct lines: more than L1, less than L2.
+        for i in 0..32u64 {
+            m.access(ThreadId::T0, i * 64, false);
+        }
+        // The first line fell out of L1 but must still be in L2.
+        let a = m.access(ThreadId::T0, 0, false);
+        assert_eq!(a.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn l2_eviction_leaves_line_in_l3() {
+        let mut m = tiny(); // L2 8KiB = 128 lines; L3 64KiB = 1024 lines
+        for i in 0..512u64 {
+            m.access(ThreadId::T0, i * 64, false);
+        }
+        let a = m.access(ThreadId::T0, 0, false);
+        assert_eq!(a.level, HitLevel::L3);
+    }
+
+    #[test]
+    fn footprint_beyond_l3_hits_memory_steadily() {
+        let mut m = tiny(); // L3 64KiB
+        let lines = 4096u64; // 256 KiB footprint
+        for round in 0..2 {
+            for i in 0..lines {
+                let a = m.access(ThreadId::T0, i * 64, false);
+                if round == 1 {
+                    // LRU + working set 4x the L3: every revisit misses.
+                    assert_eq!(a.level, HitLevel::Memory, "line {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threads_share_and_evict_each_other() {
+        let mut m = tiny();
+        // T0 loads a working set that exactly fits L1 (16 lines).
+        for i in 0..16u64 {
+            m.access(ThreadId::T0, i * 64, false);
+        }
+        for i in 0..16u64 {
+            assert_eq!(m.access(ThreadId::T0, i * 64, false).level, HitLevel::L1);
+        }
+        // T1 streams through a disjoint 16-line set, displacing T0.
+        for i in 0..16u64 {
+            m.access(ThreadId::T1, 0x10000 + i * 64, false);
+        }
+        let relegated = (0..16u64)
+            .filter(|i| m.access(ThreadId::T0, i * 64, false).level != HitLevel::L1)
+            .count();
+        assert!(relegated > 0, "sharing must cause cross-thread eviction");
+    }
+
+    #[test]
+    fn stats_attribute_levels_per_thread() {
+        let mut m = tiny();
+        m.access(ThreadId::T0, 0, false);
+        m.access(ThreadId::T0, 0, false);
+        m.access(ThreadId::T1, 0x20000, false);
+        let s = m.stats();
+        assert_eq!(s.accesses, [2, 1]);
+        assert_eq!(s.served_by[3], [1, 1]); // one memory access each
+        assert_eq!(s.served_by[0], [1, 0]); // T0's second access hit L1
+        assert_eq!(s.l2_misses(ThreadId::T0), 1);
+        assert_eq!(s.memory_accesses(ThreadId::T1), 1);
+    }
+
+    #[test]
+    fn prefetcher_pulls_next_lines_into_l2() {
+        let mut cfg = MemConfig::tiny_for_tests();
+        cfg.prefetch_depth = 2;
+        let mut m = MemoryHierarchy::new(cfg);
+        // Sequential line stream: first two misses train, later ones
+        // prefetch ahead.
+        m.access(ThreadId::T0, 0 * 64, false);
+        m.access(ThreadId::T0, 1 * 64, false); // sequential -> prefetch 2,3 into L2
+        let a = m.access(ThreadId::T0, 2 * 64, false);
+        assert_eq!(a.level, HitLevel::L2, "prefetched line should hit L2");
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut m = tiny();
+        m.access(ThreadId::T0, 0, false);
+        m.reset_stats();
+        assert_eq!(m.stats().accesses, [0, 0]);
+        assert_eq!(m.access(ThreadId::T0, 0, false).level, HitLevel::L1);
+    }
+
+    #[test]
+    fn invalidate_caches_forces_memory() {
+        let mut m = tiny();
+        m.access(ThreadId::T0, 0, false);
+        m.invalidate_caches();
+        assert_eq!(m.access(ThreadId::T0, 0, false).level, HitLevel::Memory);
+    }
+
+    #[test]
+    fn display_hit_levels() {
+        assert_eq!(HitLevel::L1.to_string(), "L1");
+        assert_eq!(HitLevel::Memory.to_string(), "memory");
+    }
+}

@@ -1,0 +1,165 @@
+//! The FFT → LU software pipeline of the paper's execution-time case
+//! study (Section 5.4.1, Table 4).
+//!
+//! "We apply a LU matrix decomposition over a set of results produced by
+//! a Fast Fourier Transformation for a given spectral analysis problem":
+//! one thread runs the FFT producing data consumed by the second thread,
+//! which applies LU over parts of that output on the next pipeline
+//! iteration. The per-iteration execution time is the time of the longest
+//! of the two stages; prioritizing the (longer) FFT shrinks the imbalance
+//! until over-rotation at (6,3) flips it (Table 4).
+
+use crate::{kernel, BodyWriter};
+use p5_isa::{DataKind, Program, Reg, StreamSpec};
+
+/// Paper Table 4, for comparison in the experiment report:
+/// `(prio_fft, prio_lu, fft_seconds, lu_seconds, iteration_seconds)`.
+pub const PAPER_TABLE4: [(u8, u8, f64, f64, f64); 4] = [
+    (4, 4, 2.05, 0.42, 2.05),
+    (5, 4, 2.02, 0.48, 2.02),
+    (6, 4, 1.91, 0.64, 1.91),
+    (6, 3, 1.87, 2.33, 2.33),
+];
+
+/// FFT single-thread time in the paper (seconds).
+pub const PAPER_FFT_ST_SECONDS: f64 = 1.86;
+/// LU single-thread time in the paper (seconds).
+pub const PAPER_LU_ST_SECONDS: f64 = 0.26;
+
+/// The FFT stage: butterfly passes over a large signal buffer —
+/// strided loads and stores, twiddle-factor multiplies, and a
+/// floating-point accumulation chain. Latency- and LSU-bound, so it is
+/// comparatively insensitive to SMT co-runners.
+///
+/// One repetition models one FFT over the spectral-analysis window.
+#[must_use]
+pub fn fft_program() -> Program {
+    fft_program_with_iterations(1500)
+}
+
+/// FFT stage with an explicit micro-iteration count (butterfly groups per
+/// repetition).
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+#[must_use]
+pub fn fft_program_with_iterations(iterations: u64) -> Program {
+    assert!(iterations > 0, "iteration count must be positive");
+    kernel("fft", iterations, |b, _| {
+        let signal = b.stream(StreamSpec::sequential(2 * 1024 * 1024, 8));
+        let twiddle = b.stream(StreamSpec::sequential(64 * 1024, 8));
+        let acc = Reg::new(0);
+        let re = Reg::new(30);
+        let im = Reg::new(31);
+        let mut w = BodyWriter::new(b);
+        for bf in 0..4 {
+            // One radix-2 butterfly: two operand loads, complex
+            // multiply-add (4 mul + 2 add on independent lanes, one
+            // accumulation chain), index update, store back.
+            w.load(signal, DataKind::Float, re);
+            w.load(twiddle, DataKind::Float, im);
+            w.fp();
+            w.fp();
+            w.fp();
+            w.fp();
+            if bf == 0 {
+                w.fp_chain(acc);
+            } else {
+                w.fp();
+            }
+            w.int();
+            w.store(signal, DataKind::Float, acc);
+        }
+        w.finish();
+    })
+}
+
+/// The LU stage: dense row elimination over the FFT's output block —
+/// independent multiply-subtract floating-point work with high ILP.
+/// Decode- and FPU-throughput-bound, so it is highly sensitive to both
+/// SMT co-runners and negative priorities (the Table 4 (6,3) collapse).
+///
+/// One repetition models one LU factorization of the consumed block.
+#[must_use]
+pub fn lu_program() -> Program {
+    lu_program_with_iterations(3300)
+}
+
+/// LU stage with an explicit micro-iteration count (row updates per
+/// repetition).
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+#[must_use]
+pub fn lu_program_with_iterations(iterations: u64) -> Program {
+    assert!(iterations > 0, "iteration count must be positive");
+    kernel("lu", iterations, |b, _| {
+        let matrix = b.stream(StreamSpec::sequential(128 * 1024, 8));
+        let mut w = BodyWriter::new(b);
+        // Row update: load pivot-row element, independent multiply-subs
+        // across the row (unrolled; no cross-element dependencies).
+        w.load(matrix, DataKind::Float, Reg::new(30));
+        for _ in 0..8 {
+            w.fp();
+        }
+        w.int();
+        w.finish();
+    })
+}
+
+/// Pipeline iteration time, given the two stages' average repetition
+/// times: the longest stage bounds the iteration (paper Section 5.4.1).
+#[must_use]
+pub fn iteration_time(fft_time: f64, lu_time: f64) -> f64 {
+    fft_time.max(lu_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_build() {
+        assert_eq!(fft_program().name(), "fft");
+        assert_eq!(lu_program().name(), "lu");
+    }
+
+    #[test]
+    fn fft_is_bigger_than_lu() {
+        // The paper's FFT takes ~7x the LU's single-thread time. The LU
+        // runs at several times the FFT's IPC, so in instruction terms
+        // the FFT repetition is moderately larger.
+        let f = fft_program().instructions_per_repetition();
+        let l = lu_program().instructions_per_repetition();
+        assert!(f > l, "fft {f} vs lu {l}");
+    }
+
+    #[test]
+    fn iteration_time_is_max() {
+        assert_eq!(iteration_time(2.05, 0.42), 2.05);
+        assert_eq!(iteration_time(1.87, 2.33), 2.33);
+    }
+
+    #[test]
+    fn paper_table4_is_consistent() {
+        for (_, _, fft, lu, iter) in PAPER_TABLE4 {
+            assert!((iteration_time(fft, lu) - iter).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lu_body_is_fp_ilp() {
+        let p = lu_program();
+        let mix = p.body_mix();
+        assert!(mix.fp_ops >= 8);
+        assert_eq!(mix.loads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_iterations_panics() {
+        let _ = fft_program_with_iterations(0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Synthetic proxies for the SPEC CPU benchmarks of the paper's
+//! throughput case studies (Section 5.3.1).
+
+use crate::{kernel, BodyWriter};
+use p5_isa::{DataKind, Program, Reg, StreamSpec};
+use std::fmt;
+
+/// A synthetic stand-in for one of the four SPEC benchmarks the paper
+/// pairs in its Figure 5 case studies.
+///
+/// Each proxy reproduces the benchmark's published single-thread IPC on
+/// the paper's POWER5 ([`SpecProxy::paper_st_ipc`]) and its
+/// memory-boundedness, which is what the priority case studies exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecProxy {
+    /// 464.h264ref — video encoding: cpu-bound integer code with
+    /// well-predicted branches and L1-resident data. Paper: IPC 0.920,
+    /// 3254 s.
+    H264ref,
+    /// 429.mcf — single-depot vehicle scheduling: pointer-chasing over a
+    /// large network, deeply memory-bound. Paper: IPC 0.144, 1848 s.
+    Mcf,
+    /// 173.applu — parabolic/elliptic PDE solver: floating-point with
+    /// moderate ILP. Paper: IPC 0.500, 240 s.
+    Applu,
+    /// 183.equake — seismic wave simulation: memory-bound floating point.
+    /// Paper: IPC 0.140, 74 s.
+    Equake,
+}
+
+impl SpecProxy {
+    /// All four proxies.
+    pub const ALL: [SpecProxy; 4] = [
+        SpecProxy::H264ref,
+        SpecProxy::Mcf,
+        SpecProxy::Applu,
+        SpecProxy::Equake,
+    ];
+
+    /// Benchmark name as used in the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecProxy::H264ref => "h264ref",
+            SpecProxy::Mcf => "mcf",
+            SpecProxy::Applu => "applu",
+            SpecProxy::Equake => "equake",
+        }
+    }
+
+    /// Single-thread IPC the paper reports for the real benchmark on
+    /// POWER5.
+    #[must_use]
+    pub fn paper_st_ipc(self) -> f64 {
+        match self {
+            SpecProxy::H264ref => 0.920,
+            SpecProxy::Mcf => 0.144,
+            SpecProxy::Applu => 0.500,
+            SpecProxy::Equake => 0.140,
+        }
+    }
+
+    /// Stand-alone execution time in seconds the paper reports (used only
+    /// for the relative durations of paired benchmarks).
+    #[must_use]
+    pub fn paper_st_seconds(self) -> f64 {
+        match self {
+            SpecProxy::H264ref => 3254.0,
+            SpecProxy::Mcf => 1848.0,
+            SpecProxy::Applu => 240.0,
+            SpecProxy::Equake => 74.0,
+        }
+    }
+
+    /// Whether the benchmark is memory-bound.
+    #[must_use]
+    pub fn is_memory_bound(self) -> bool {
+        matches!(self, SpecProxy::Mcf | SpecProxy::Equake)
+    }
+
+    /// Builds the proxy program with its default repetition size (scaled
+    /// so paired proxies preserve the paper's relative durations).
+    #[must_use]
+    pub fn program(self) -> Program {
+        // Instruction budget per repetition, proportional to
+        // IPC × seconds so the paired duration ratios match the paper.
+        // h264ref : mcf ≈ 11.3 : 1 and applu : equake ≈ 11.5 : 1.
+        match self {
+            SpecProxy::H264ref => self.program_with_iterations(6000),
+            SpecProxy::Mcf => self.program_with_iterations(800),
+            SpecProxy::Applu => self.program_with_iterations(5500),
+            SpecProxy::Equake => self.program_with_iterations(320),
+        }
+    }
+
+    /// Builds the proxy with an explicit micro-iteration count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    #[must_use]
+    pub fn program_with_iterations(self, iterations: u64) -> Program {
+        assert!(iterations > 0, "iteration count must be positive");
+        match self {
+            SpecProxy::H264ref => h264ref(iterations),
+            SpecProxy::Mcf => mcf(iterations),
+            SpecProxy::Applu => applu(iterations),
+            SpecProxy::Equake => equake(iterations),
+        }
+    }
+}
+
+impl fmt::Display for SpecProxy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Integer encode loop: a multiply-carried dependency chain, predictable
+/// control flow, L1-resident reference data. Lands near IPC 0.9.
+fn h264ref(iterations: u64) -> Program {
+    kernel("h264ref", iterations, |b, _| {
+        let refs = b.stream(StreamSpec::sequential(24 * 1024, 8));
+        let acc = Reg::new(0);
+        let mut w = BodyWriter::new(b);
+        for block in 0..4 {
+            // SAD-like inner work: loads, absolute differences, one
+            // multiply on the cost chain.
+            w.load(refs, DataKind::Int, Reg::new(30));
+            w.int();
+            w.int();
+            w.mul_chain(acc);
+            w.int();
+            w.load(refs, DataKind::Int, Reg::new(31));
+            w.int_chain(acc);
+            if block % 2 == 0 {
+                w.branch_predictable();
+            }
+        }
+        w.finish();
+    })
+}
+
+/// Pointer chase over a network too big for the L2, with a handful of
+/// arc-cost updates per node. Lands near IPC 0.14.
+fn mcf(iterations: u64) -> Program {
+    kernel("mcf", iterations, |b, _| {
+        let net = b.stream(StreamSpec::pointer_chase(8 * 1024 * 1024));
+        let ptr = Reg::new(2);
+        let mut w = BodyWriter::new(b);
+        w.chase(net, DataKind::Int, ptr);
+        // Arc updates dependent on the loaded node, plus bookkeeping that
+        // overlaps the next miss.
+        for _ in 0..14 {
+            w.int();
+        }
+        w.int_chain(ptr);
+        w.branch_random(300);
+        for _ in 0..4 {
+            w.int();
+        }
+        w.finish();
+    })
+}
+
+/// PDE solver sweep: per grid point, independent long-latency divides
+/// (the SSOR pivot scalings) plus multiply-add companion work. The
+/// divides are independent but slow, so sustaining the single-thread rate
+/// needs several in flight — making applu sensitive to a co-runner
+/// clogging the shared GCT, which is what the paper's Figure 5(b)
+/// prioritization recovers. Lands near IPC 0.5 single-threaded.
+fn applu(iterations: u64) -> Program {
+    kernel("applu", iterations, |b, _| {
+        let grid = b.stream(StreamSpec::sequential(512 * 1024, 8));
+        let mut w = BodyWriter::new(b);
+        for _ in 0..3 {
+            w.fp_div();
+        }
+        for _ in 0..8 {
+            w.fp();
+        }
+        w.load(grid, DataKind::Float, Reg::new(30));
+        w.load(grid, DataKind::Float, Reg::new(31));
+        w.int();
+        w.finish();
+    })
+}
+
+/// Sparse seismic kernel: memory chase with dependent floating-point
+/// element work. Lands near IPC 0.14.
+fn equake(iterations: u64) -> Program {
+    kernel("equake", iterations, |b, _| {
+        let mesh = b.stream(StreamSpec::pointer_chase(8 * 1024 * 1024));
+        let ptr = Reg::new(2);
+        let mut w = BodyWriter::new(b);
+        w.chase(mesh, DataKind::Float, ptr);
+        for _ in 0..10 {
+            w.fp();
+        }
+        for _ in 0..8 {
+            w.int();
+        }
+        w.int_chain(ptr);
+        w.finish();
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_proxies_build() {
+        for p in SpecProxy::ALL {
+            let prog = p.program();
+            assert_eq!(prog.name(), p.name());
+            assert!(prog.instructions_per_repetition() > 0);
+        }
+    }
+
+    #[test]
+    fn memory_bound_classification() {
+        assert!(SpecProxy::Mcf.is_memory_bound());
+        assert!(SpecProxy::Equake.is_memory_bound());
+        assert!(!SpecProxy::H264ref.is_memory_bound());
+        assert!(!SpecProxy::Applu.is_memory_bound());
+    }
+
+    #[test]
+    fn memory_bound_proxies_use_pointer_chase() {
+        for p in [SpecProxy::Mcf, SpecProxy::Equake] {
+            let prog = p.program();
+            assert!(prog.streams().iter().any(|s| s.is_dependent()), "{p}");
+        }
+    }
+
+    #[test]
+    fn paired_instruction_ratios_track_paper_durations() {
+        // insts ∝ IPC × seconds within each pair.
+        let ratio = |a: SpecProxy, b: SpecProxy| {
+            a.program().instructions_per_repetition() as f64
+                / b.program().instructions_per_repetition() as f64
+        };
+        let paper_ratio = |a: SpecProxy, b: SpecProxy| {
+            (a.paper_st_ipc() * a.paper_st_seconds()) / (b.paper_st_ipc() * b.paper_st_seconds())
+        };
+        let r1 = ratio(SpecProxy::H264ref, SpecProxy::Mcf);
+        let p1 = paper_ratio(SpecProxy::H264ref, SpecProxy::Mcf);
+        assert!((r1 / p1 - 1.0).abs() < 0.35, "h264ref/mcf: {r1} vs {p1}");
+        let r2 = ratio(SpecProxy::Applu, SpecProxy::Equake);
+        let p2 = paper_ratio(SpecProxy::Applu, SpecProxy::Equake);
+        assert!((r2 / p2 - 1.0).abs() < 0.35, "applu/equake: {r2} vs {p2}");
+    }
+
+    #[test]
+    fn custom_iterations() {
+        let p = SpecProxy::Mcf.program_with_iterations(5);
+        assert_eq!(p.iterations(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_iterations_panics() {
+        let _ = SpecProxy::Applu.program_with_iterations(0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Watch the priority mechanism at instruction granularity: a short
+//! pipeline trace of two threads under a (6,4) priority pair.
+//!
+//! Every decode, issue, group retirement, branch redirect and priority
+//! change is recorded; the printed trace makes the Equation-1 slot
+//! pattern directly visible (seven T0 decode bursts for every T1 burst).
+//!
+//! ```text
+//! cargo run --release --example pipeline_trace
+//! ```
+
+use p5repro::core::{CoreConfig, SmtCore, TraceKind};
+use p5repro::isa::{Priority, ThreadId};
+use p5repro::microbench::MicroBenchmark;
+
+fn main() {
+    let mut core = SmtCore::new(CoreConfig::power5_like());
+    core.load_program(ThreadId::T0, MicroBenchmark::CpuInt.program());
+    core.load_program(ThreadId::T1, MicroBenchmark::CpuInt.program());
+    core.set_priority(ThreadId::T0, Priority::High); // (6,4): R = 8
+
+    // Warm the pipeline, then record a short window.
+    core.run_cycles(10_000);
+    core.enable_trace(120);
+    core.run_cycles(40);
+    let trace = core.take_trace().expect("tracing was enabled");
+
+    println!("pipeline trace, priorities (6,4) — last {} events:\n", trace.len());
+    print!("{}", trace.render());
+
+    // Quantify the slot pattern from the trace itself.
+    let decodes = |t: ThreadId| {
+        trace
+            .for_thread(t)
+            .filter(|e| matches!(e.kind, TraceKind::Decoded { .. }))
+            .count()
+    };
+    let d0 = decodes(ThreadId::T0);
+    let d1 = decodes(ThreadId::T1);
+    println!(
+        "\ndecode events in the window: T0 {d0}, T1 {d1} — Equation 1 gives the\n\
+         higher-priority thread 7 of every 8 decode cycles at a +2 difference."
+    );
+}

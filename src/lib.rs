@@ -1,0 +1,32 @@
+//! # p5repro
+//!
+//! Facade crate for the reproduction of *"Software-Controlled Priority
+//! Characterization of POWER5 Processor"* (Boneti, Cazorla, Gioiosa,
+//! Buyuktosunoglu, Cher, Valero — ISCA 2008).
+//!
+//! This crate re-exports the workspace members under stable module names so
+//! examples, integration tests and downstream users can depend on a single
+//! crate:
+//!
+//! * [`isa`] — instruction model, priorities (Table 1), Equation 1.
+//! * [`mem`] — shared cache hierarchy and TLB.
+//! * [`branch`] — branch predictors.
+//! * [`core`] — the SMT2 core simulator with priority-driven decode.
+//! * [`microbench`] — the 15 Table-2 micro-benchmarks.
+//! * [`os`] — privilege model, or-nop semantics, kernel behaviours.
+//! * [`fame`] — the FAME measurement methodology.
+//! * [`workloads`] — SPEC proxies, FFT/LU pipeline, MPI imbalance model.
+//! * [`experiments`] — per-table/per-figure reproduction harness.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+
+pub use p5_branch as branch;
+pub use p5_core as core;
+pub use p5_experiments as experiments;
+pub use p5_fame as fame;
+pub use p5_isa as isa;
+pub use p5_mem as mem;
+pub use p5_microbench as microbench;
+pub use p5_os as os;
+pub use p5_workloads as workloads;

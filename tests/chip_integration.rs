@@ -1,0 +1,118 @@
+//! Integration tests of the dual-core chip: cross-core cache sharing,
+//! isolation methodology, and interaction with priorities.
+
+use p5repro::core::{Chip, CoreConfig, CoreId, SmtCore};
+use p5repro::isa::{Priority, ThreadId};
+use p5repro::microbench::MicroBenchmark;
+
+fn tiny_chip() -> Chip {
+    Chip::new(CoreConfig::tiny_for_tests())
+}
+
+#[test]
+fn four_threads_run_concurrently() {
+    let mut chip = tiny_chip();
+    for core in CoreId::ALL {
+        for t in ThreadId::ALL {
+            chip.core_mut(core)
+                .load_program(t, MicroBenchmark::CpuInt.program_with_iterations(20));
+        }
+    }
+    chip.run_cycles(50_000);
+    for core in CoreId::ALL {
+        for t in ThreadId::ALL {
+            assert!(
+                chip.core(core).stats().committed(t) > 0,
+                "{core:?}/{t} made no progress"
+            );
+        }
+    }
+    assert!(chip.total_ipc() > 1.0);
+}
+
+#[test]
+fn priorities_are_per_core() {
+    let mut chip = tiny_chip();
+    for core in CoreId::ALL {
+        for t in ThreadId::ALL {
+            chip.core_mut(core)
+                .load_program(t, MicroBenchmark::CpuInt.program_with_iterations(20));
+        }
+    }
+    // Skew only core 1.
+    chip.core_mut(CoreId::C1)
+        .set_priority(ThreadId::T0, Priority::High);
+    chip.run_cycles(50_000);
+
+    let c0 = chip.core(CoreId::C0).stats();
+    let c1 = chip.core(CoreId::C1).stats();
+    // Core 0 stays balanced.
+    let balance0 = c0.committed(ThreadId::T0) as f64 / c0.committed(ThreadId::T1) as f64;
+    assert!((balance0 - 1.0).abs() < 0.05, "core 0 skewed: {balance0}");
+    // Core 1 is skewed by the +2 difference.
+    let balance1 = c1.committed(ThreadId::T0) as f64 / c1.committed(ThreadId::T1) as f64;
+    assert!(balance1 > 2.0, "core 1 not skewed: {balance1}");
+}
+
+#[test]
+fn isolated_chip_core_matches_lone_core_exactly() {
+    let mut lone = SmtCore::new(CoreConfig::tiny_for_tests());
+    lone.load_program(
+        ThreadId::T0,
+        MicroBenchmark::LdintL2.program_with_iterations(60),
+    );
+    lone.run_cycles(150_000);
+
+    let mut chip = tiny_chip();
+    // Note: core 0 of the chip shares the lone core's address salt (0),
+    // so its behaviour must be bit-identical when the sibling core idles.
+    chip.core_mut(CoreId::C0).load_program(
+        ThreadId::T0,
+        MicroBenchmark::LdintL2.program_with_iterations(60),
+    );
+    chip.run_cycles(150_000);
+
+    assert_eq!(
+        lone.stats().committed(ThreadId::T0),
+        chip.core(CoreId::C0).stats().committed(ThreadId::T0),
+        "an idle sibling core must be invisible"
+    );
+}
+
+#[test]
+fn noise_experiment_shows_isolation_effect() {
+    use p5repro::experiments::noise;
+    use p5repro::experiments::Experiments;
+
+    let mut ctx = Experiments::quick();
+    // Warm enough for the 7k-line L2 ring; measure a short window.
+    ctx.fame.warmup_max_cycles = 2_500_000;
+    ctx.fame.max_cycles = 600_000;
+    let result = noise::run_with(&ctx, MicroBenchmark::LdintL2);
+    assert!(
+        result.noisy.mean_ipc < result.isolated.mean_ipc,
+        "noise must contaminate the shared-L2 benchmark: {result:?}"
+    );
+    assert!(result.perturbation() > 0.1);
+}
+
+#[test]
+fn chip_priorities_plus_noise_compose() {
+    // The paper's full setup: measurement pair on core 1 with priorities,
+    // noise isolated away. The prioritized thread must still win its core
+    // regardless of what core 0 does.
+    let mut chip = tiny_chip();
+    chip.core_mut(CoreId::C0).load_program(
+        ThreadId::T0,
+        MicroBenchmark::LdintL1.program_with_iterations(50),
+    );
+    for t in ThreadId::ALL {
+        chip.core_mut(CoreId::C1)
+            .load_program(t, MicroBenchmark::CpuInt.program_with_iterations(20));
+    }
+    chip.core_mut(CoreId::C1)
+        .set_priority(ThreadId::T0, Priority::High);
+    chip.run_cycles(100_000);
+    let c1 = chip.core(CoreId::C1).stats();
+    assert!(c1.committed(ThreadId::T0) > 2 * c1.committed(ThreadId::T1));
+}

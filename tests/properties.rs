@@ -1,0 +1,154 @@
+//! Property-based tests over the public API: the decode-slot arithmetic
+//! of Equation 1, program construction, cache behaviour, and the
+//! simulator's conservation laws.
+
+use p5repro::core::{stream_base_address, CoreConfig, SmtCore};
+use p5repro::isa::{
+    decode_policy, DecodePolicy, Op, Priority, Program, Reg, StaticInst, StreamSpec, ThreadId,
+};
+use p5repro::mem::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Equation 1: for any normal priority pair the two decode shares sum
+    /// to one and follow `R = 2^(|d|+1)`.
+    #[test]
+    fn decode_shares_sum_to_one(p in 1u8..=6, s in 1u8..=6) {
+        prop_assume!(!(p == 1 && s == 1)); // low-power special case
+        let policy = decode_policy(
+            Priority::from_level(p).unwrap(),
+            Priority::from_level(s).unwrap(),
+        );
+        let share0 = policy.decode_share(ThreadId::T0);
+        let share1 = policy.decode_share(ThreadId::T1);
+        prop_assert!((share0 + share1 - 1.0).abs() < 1e-12);
+        let d = i32::from(p) - i32::from(s);
+        let r = f64::from(1u32 << (d.unsigned_abs() + 1));
+        let expected_hi = (r - 1.0) / r;
+        let hi = share0.max(share1);
+        prop_assert!((hi - expected_hi).abs() < 1e-12);
+    }
+
+    /// The favoured thread's share is monotone in the priority difference.
+    #[test]
+    fn favoured_share_is_monotone_in_difference(s in 1u8..=5) {
+        let mut last = 0.0;
+        for p in s..=6 {
+            if p == 1 && s == 1 { continue; }
+            let policy = decode_policy(
+                Priority::from_level(p).unwrap(),
+                Priority::from_level(s).unwrap(),
+            );
+            let share = policy.decode_share(ThreadId::T0);
+            prop_assert!(share >= last);
+            last = share;
+        }
+    }
+
+    /// Or-nop encodings decode back to the priority they encode.
+    #[test]
+    fn or_nop_roundtrip(level in 1u8..=7) {
+        let p = Priority::from_level(level).unwrap();
+        let enc = p.or_nop().unwrap();
+        prop_assert_eq!(Priority::from_or_nop(enc.reg), Some(p));
+    }
+
+    /// Program construction: body length and iteration counts are
+    /// preserved, and instruction totals multiply correctly.
+    #[test]
+    fn program_builder_roundtrip(body_len in 1usize..200, iters in 1u64..1000) {
+        let mut b = Program::builder("prop");
+        for i in 0..body_len {
+            b.push(StaticInst::new(Op::IntAlu).dst(Reg::new((i % 64) as u8)));
+        }
+        b.iterations(iters);
+        let p = b.build().unwrap();
+        prop_assert_eq!(p.body().len(), body_len);
+        prop_assert_eq!(p.iterations(), iters);
+        prop_assert_eq!(p.instructions_per_repetition(), body_len as u64 * iters);
+    }
+
+    /// A cache always hits immediately after a fill, and a working set no
+    /// larger than the cache never misses on re-walk.
+    #[test]
+    fn cache_retains_fitting_working_sets(lines in 1u64..64) {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 64 * 64,
+            line_bytes: 64,
+            associativity: 4,
+            latency: 1,
+        });
+        let lines = lines.min(16); // 16 sets x 4 ways but walk few sets: stay conservative
+        for i in 0..lines {
+            cache.fill(i * 64);
+        }
+        for i in 0..lines {
+            prop_assert!(cache.access(ThreadId::T0, i * 64), "line {i} must hit");
+        }
+    }
+
+    /// Stream base addresses never collide across threads and stream
+    /// indices for footprints below 64 GiB.
+    #[test]
+    fn stream_regions_are_disjoint(
+        s1 in 0usize..16,
+        s2 in 0usize..16,
+        offset in 0u64..(1u64 << 36),
+    ) {
+        let a = stream_base_address(ThreadId::T0, s1) + offset;
+        let b = stream_base_address(ThreadId::T1, s2);
+        prop_assert!(a < b || a >= b + (1 << 36));
+    }
+
+    /// Conservation: cycles simulated equal decode grants across both
+    /// threads (every cycle is granted to exactly one context when both
+    /// are active), and committed instructions never exceed decoded ones.
+    #[test]
+    fn simulator_conservation_laws(
+        prio0 in 2u8..=6,
+        prio1 in 2u8..=6,
+        cycles in 1_000u64..20_000,
+    ) {
+        let mut b = Program::builder("conserve");
+        for i in 0..10 {
+            b.push(StaticInst::new(Op::IntAlu).dst(Reg::new(32 + i)));
+        }
+        b.iterations(100);
+        let prog = b.build().unwrap();
+
+        let mut core = SmtCore::new(CoreConfig::tiny_for_tests());
+        core.load_program(ThreadId::T0, prog.clone());
+        core.load_program(ThreadId::T1, prog);
+        core.set_priority(ThreadId::T0, Priority::from_level(prio0).unwrap());
+        core.set_priority(ThreadId::T1, Priority::from_level(prio1).unwrap());
+        core.run_cycles(cycles);
+
+        let s = core.stats();
+        let g0 = s.thread(ThreadId::T0).decode_cycles_granted;
+        let g1 = s.thread(ThreadId::T1).decode_cycles_granted;
+        prop_assert_eq!(g0 + g1, cycles);
+        for t in ThreadId::ALL {
+            let st = s.thread(t);
+            prop_assert!(st.committed <= st.decoded);
+            prop_assert!(st.decode_cycles_used <= st.decode_cycles_granted);
+        }
+        prop_assert!(core.gct_occupancy() <= core.config().gct_entries);
+    }
+
+    /// The effective decode policy is consistent with the priority pair
+    /// for every combination, including the special levels.
+    #[test]
+    fn effective_policy_is_total(p in 0u8..=7, s in 0u8..=7) {
+        let policy = decode_policy(
+            Priority::from_level(p).unwrap(),
+            Priority::from_level(s).unwrap(),
+        );
+        // Every pair maps to a policy whose shares are sane.
+        let total = policy.decode_share(ThreadId::T0) + policy.decode_share(ThreadId::T1);
+        match policy {
+            DecodePolicy::BothOff => prop_assert_eq!(total, 0.0),
+            DecodePolicy::LowPower => prop_assert!(total <= 1.0),
+            _ => prop_assert!((total - 1.0).abs() < 1e-12),
+        }
+    }
+}
