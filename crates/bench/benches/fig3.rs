@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let ctx = bench_context();
-    let result = fig3::run(&ctx);
+    let result = fig3::run(&ctx).expect("experiment completes");
     println!("{}", result.render());
     assert!(
         result.max_slowdown(MicroBenchmark::CpuInt) > 5.0,

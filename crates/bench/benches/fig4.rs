@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let ctx = bench_context();
-    let result = fig4::run(&ctx);
+    let result = fig4::run(&ctx).expect("experiment completes");
     println!("{}", result.render());
     assert!(
         result.best_improvement() > 1.2,

@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let ctx = bench_context();
-    let result = fig5::run(&ctx);
+    let result = fig5::run(&ctx).expect("experiment completes");
     println!("{}", result.render());
     let (_, gain) = result.h264_mcf.peak();
     assert!(gain > 0.0, "h264ref+mcf must gain from prioritization");

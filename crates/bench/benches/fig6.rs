@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let ctx = bench_context();
-    let result = fig6::run(&ctx);
+    let result = fig6::run(&ctx).expect("experiment completes");
     println!("{}", result.render());
 
     c.bench_function("fig6_cell_fg_cpu_fp_bg_mem_61", |b| {

@@ -11,7 +11,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let ctx = bench_context();
-    let result = table3::run(&ctx);
+    let result = table3::run(&ctx).expect("experiment completes");
     println!("{}", result.render());
     assert!(result.shape_holds(), "Table 3 shape must hold");
 

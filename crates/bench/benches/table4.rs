@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let ctx = bench_context();
-    let result = table4::run(&ctx);
+    let result = table4::run(&ctx).expect("experiment completes");
     println!("{}", result.render());
     assert_eq!(result.best().prio_fft, 6);
     assert_eq!(result.best().prio_lu, 4);

@@ -1,5 +1,6 @@
 //! Core pipeline configuration.
 
+use crate::error::SimError;
 use p5_mem::MemConfig;
 
 /// Execution latencies per instruction class, in cycles from issue to
@@ -131,6 +132,11 @@ pub struct CoreConfig {
     /// Branch issue-queue capacity (shared).
     pub brq_size: usize,
     /// Load-miss-queue (MSHR) entries shared by both contexts.
+    ///
+    /// Zero is accepted as a deliberately pathological value: beyond-L1
+    /// misses can then never issue, so any memory-bound workload wedges.
+    /// The forward-progress watchdog exists to catch exactly this class
+    /// of livelock and the robustness tests exercise it.
     pub lmq_entries: usize,
     /// Cycles from branch resolution to the first decode of redirected
     /// instructions.
@@ -150,6 +156,17 @@ pub struct CoreConfig {
     /// offered to the sibling instead of being wasted. POWER5 enforces the
     /// priority ratio strictly; this switch exists for ablation.
     pub steal_idle_decode_slots: bool,
+    /// Forward-progress watchdog window: if no dispatch group commits on
+    /// any active thread for this many cycles,
+    /// [`SmtCore::try_run_until_repetitions`](crate::SmtCore::try_run_until_repetitions)
+    /// aborts with [`SimError::ForwardProgressStall`] carrying a
+    /// diagnostic snapshot. Zero disables the watchdog.
+    ///
+    /// The default of 100 000 cycles is two orders of magnitude above the
+    /// longest legitimate commit gap in any configuration shipped here
+    /// (a full LMQ of memory-latency misses plus a mispredict penalty is
+    /// well under 1 000 cycles).
+    pub watchdog_stall_cycles: u64,
 }
 
 impl CoreConfig {
@@ -176,6 +193,7 @@ impl CoreConfig {
             low_power_decode_period: 32,
             rng_seed: 0x5eed_cafe_f00d_0001,
             steal_idle_decode_slots: false,
+            watchdog_stall_cycles: 100_000,
         }
     }
 
@@ -189,30 +207,77 @@ impl CoreConfig {
         }
     }
 
+    /// Validates structural parameters, returning a typed error.
+    ///
+    /// `lmq_entries == 0` is deliberately allowed (see the field docs):
+    /// it is the canonical way to build a wedged core for watchdog
+    /// tests. Everything else that would make the pipeline degenerate is
+    /// rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the offending field if
+    /// any width, queue or table size is zero (other than the LMQ) or
+    /// the watchdog window is absurdly small.
+    pub fn try_validate(&self) -> Result<(), SimError> {
+        fn nonzero(field: &'static str, n: usize) -> Result<(), SimError> {
+            if n == 0 {
+                return Err(SimError::InvalidConfig {
+                    field,
+                    message: format!("{field} size must be nonzero"),
+                });
+            }
+            Ok(())
+        }
+        if self.decode_width == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "decode_width",
+                message: "decode width must be nonzero".into(),
+            });
+        }
+        if self.gct_entries < 2 {
+            return Err(SimError::InvalidConfig {
+                field: "gct_entries",
+                message: "GCT needs at least one group per context".into(),
+            });
+        }
+        nonzero("fxu", self.fxu_units)?;
+        nonzero("fpu", self.fpu_units)?;
+        nonzero("lsu", self.lsu_units)?;
+        nonzero("bru", self.bru_units)?;
+        nonzero("fxq", self.fxq_size)?;
+        nonzero("fpq", self.fpq_size)?;
+        nonzero("lsq", self.lsq_size)?;
+        nonzero("brq", self.brq_size)?;
+        if self.low_power_decode_period == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "low_power_decode_period",
+                message: "low-power decode period must be nonzero".into(),
+            });
+        }
+        if self.watchdog_stall_cycles != 0 && self.watchdog_stall_cycles < 1_000 {
+            return Err(SimError::InvalidConfig {
+                field: "watchdog_stall_cycles",
+                message: format!(
+                    "watchdog window of {} cycles is below the longest \
+                     legitimate commit gap; use 0 to disable or >= 1000",
+                    self.watchdog_stall_cycles
+                ),
+            });
+        }
+        self.mem.validate();
+        Ok(())
+    }
+
     /// Validates structural parameters.
     ///
     /// # Panics
     ///
-    /// Panics if any width, queue or table size is zero, or the memory
-    /// configuration is invalid.
+    /// Panics if [`CoreConfig::try_validate`] rejects the configuration.
     pub fn validate(&self) {
-        assert!(self.decode_width > 0, "decode width must be nonzero");
-        assert!(self.gct_entries >= 2, "GCT needs at least one group per context");
-        for (name, n) in [
-            ("fxu", self.fxu_units),
-            ("fpu", self.fpu_units),
-            ("lsu", self.lsu_units),
-            ("bru", self.bru_units),
-            ("fxq", self.fxq_size),
-            ("fpq", self.fpq_size),
-            ("lsq", self.lsq_size),
-            ("brq", self.brq_size),
-            ("lmq", self.lmq_entries),
-        ] {
-            assert!(n > 0, "{name} size must be nonzero");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
-        assert!(self.low_power_decode_period > 0);
-        self.mem.validate();
     }
 }
 

@@ -1,6 +1,7 @@
 //! The cycle-by-cycle SMT2 core engine.
 
 use crate::config::CoreConfig;
+use crate::error::{DiagnosticSnapshot, SimError, StuckResource, ThreadDiag};
 use crate::queues::{ExecKind, FinishTable, IssueQueues, LoadMissQueue, QEntry};
 use crate::stats::{CoreStats, DecodeBlock, RepetitionRecord};
 use crate::thread::{Group, ThreadState};
@@ -51,6 +52,15 @@ pub struct SmtCore {
     /// XORed into every stream base address; distinguishes the address
     /// spaces of the two cores of a chip.
     address_space_salt: u64,
+    /// Cycle at which a dispatch group last retired on any thread; the
+    /// forward-progress watchdog measures stalls from here.
+    last_commit_cycle: u64,
+    /// Fault injection: until this cycle, no load or store may issue
+    /// (models blocked cache ports).
+    cache_port_blocked_until: u64,
+    /// Fault injection: until this cycle, the LMQ reports no free entry
+    /// (models MSHR saturation by an external agent).
+    lmq_blocked_until: u64,
 }
 
 impl SmtCore {
@@ -63,6 +73,18 @@ impl SmtCore {
     pub fn new(config: CoreConfig) -> SmtCore {
         let mem = MemoryHierarchy::new(config.mem);
         SmtCore::with_memory(config, mem, 0)
+    }
+
+    /// Creates an idle core, returning a typed error instead of
+    /// panicking on an invalid configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `config` fails
+    /// [`CoreConfig::try_validate`].
+    pub fn try_new(config: CoreConfig) -> Result<SmtCore, SimError> {
+        config.try_validate()?;
+        Ok(SmtCore::new(config))
     }
 
     /// Creates a core over an existing memory hierarchy (used by
@@ -110,6 +132,9 @@ impl SmtCore {
             },
             tracer: None,
             address_space_salt,
+            last_commit_cycle: 0,
+            cache_port_blocked_until: 0,
+            lmq_blocked_until: 0,
             config,
         }
     }
@@ -163,6 +188,8 @@ impl SmtCore {
             thread,
             self.address_space_salt,
         ));
+        // New work starts a fresh watchdog window.
+        self.last_commit_cycle = self.cycle;
     }
 
     /// Unloads the program from `thread`, switching the context off.
@@ -292,21 +319,222 @@ impl SmtCore {
         }
     }
 
+    /// Advances the simulation by `n` cycles under the forward-progress
+    /// watchdog: a wedged core returns early with the diagnostic instead
+    /// of silently burning the whole span.
+    ///
+    /// Unlike
+    /// [`try_run_until_repetitions`](SmtCore::try_run_until_repetitions)
+    /// this does *not* restart the watchdog window at entry, so callers
+    /// that chunk a long run (the OS layer delivering timer interrupts
+    /// between chunks) accumulate stall time across calls. Loading a
+    /// program starts a fresh window, and a core with no active context
+    /// is idle, not stalled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ForwardProgressStall`] with a
+    /// [`DiagnosticSnapshot`] naming the saturated resource.
+    pub fn try_run_cycles(&mut self, n: u64) -> Result<(), SimError> {
+        let watchdog = self.config.watchdog_stall_cycles;
+        let end = self.cycle + n;
+        while self.cycle < end {
+            if watchdog != 0
+                && self.cycle - self.last_commit_cycle >= watchdog
+                && ThreadId::ALL.iter().any(|&t| self.is_active(t))
+            {
+                return Err(SimError::ForwardProgressStall {
+                    snapshot: Box::new(self.diagnostic_snapshot()),
+                });
+            }
+            self.step();
+        }
+        Ok(())
+    }
+
     /// Runs until every active thread has completed at least its target
     /// number of program repetitions, or `max_cycles` elapse.
+    ///
+    /// Compatibility wrapper around
+    /// [`try_run_until_repetitions`](SmtCore::try_run_until_repetitions):
+    /// a forward-progress stall is reported as [`RunOutcome::MaxCycles`]
+    /// (the run did not complete) without burning the rest of the cycle
+    /// budget. Callers that want the diagnostic should use the `try_`
+    /// variant.
     pub fn run_until_repetitions(&mut self, target: [usize; 2], max_cycles: u64) -> RunOutcome {
+        match self.try_run_until_repetitions(target, max_cycles) {
+            Ok(outcome) => outcome,
+            Err(_) => RunOutcome::MaxCycles,
+        }
+    }
+
+    /// Runs until every active thread has completed at least its target
+    /// number of program repetitions, the cycle budget elapses, or the
+    /// forward-progress watchdog trips.
+    ///
+    /// The watchdog fires when no dispatch group has retired on *any*
+    /// active thread for
+    /// [`watchdog_stall_cycles`](CoreConfig::watchdog_stall_cycles)
+    /// consecutive cycles — the signature of a wedged shared resource
+    /// rather than a merely slow run. Partial starvation (one thread
+    /// progressing while the sibling is priority-starved) is legitimate
+    /// priority behaviour and does not trip it; such runs end in
+    /// `Ok(RunOutcome::MaxCycles)` and the caller decides whether to
+    /// escalate the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ForwardProgressStall`] with a
+    /// [`DiagnosticSnapshot`] naming the saturated resource.
+    pub fn try_run_until_repetitions(
+        &mut self,
+        target: [usize; 2],
+        max_cycles: u64,
+    ) -> Result<RunOutcome, SimError> {
         let deadline = self.cycle + max_cycles;
+        // A fresh run gets a fresh watchdog window: time spent idle
+        // before the call is not a stall.
+        self.last_commit_cycle = self.cycle;
+        let watchdog = self.config.watchdog_stall_cycles;
         while self.cycle < deadline {
             let done = ThreadId::ALL.iter().all(|&t| {
                 !self.is_active(t)
                     || self.stats.threads[t.index()].repetitions.len() >= target[t.index()]
             });
             if done {
-                return RunOutcome::Completed;
+                return Ok(RunOutcome::Completed);
+            }
+            if watchdog != 0 && self.cycle - self.last_commit_cycle >= watchdog {
+                return Err(SimError::ForwardProgressStall {
+                    snapshot: Box::new(self.diagnostic_snapshot()),
+                });
             }
             self.step();
         }
-        RunOutcome::MaxCycles
+        Ok(RunOutcome::MaxCycles)
+    }
+
+    /// Cycles since a dispatch group last retired on any thread (the
+    /// quantity the forward-progress watchdog compares against its
+    /// window).
+    #[must_use]
+    pub fn stalled_cycles(&self) -> u64 {
+        self.cycle - self.last_commit_cycle
+    }
+
+    /// Captures the full shared-resource state the watchdog reports:
+    /// the per-thread decode-slot ledger, GCT/LMQ/issue-queue
+    /// occupancies, balancer state, and an inferred culprit.
+    #[must_use]
+    pub fn diagnostic_snapshot(&self) -> DiagnosticSnapshot {
+        let threads = [ThreadId::T0, ThreadId::T1].map(|tid| {
+            let i = tid.index();
+            let st = &self.stats.threads[i];
+            let (active, gct_groups, redirect_pending) = match &self.threads[i] {
+                Some(t) => (true, t.groups.len(), t.redirect_pending.is_some()),
+                None => (false, 0, false),
+            };
+            ThreadDiag {
+                active,
+                priority_level: self.priorities[i].level(),
+                committed: st.committed,
+                decoded: st.decoded,
+                decode_cycles_granted: st.decode_cycles_granted,
+                decode_cycles_used: st.decode_cycles_used,
+                blocked_branch: st.blocked_branch,
+                blocked_gct: st.blocked_gct,
+                blocked_queue: st.blocked_queue,
+                blocked_balancer: st.blocked_balancer,
+                gct_groups,
+                lmq_outstanding: self.lmq.outstanding(tid),
+                redirect_pending,
+            }
+        });
+        DiagnosticSnapshot {
+            cycle: self.cycle,
+            stalled_for: self.stalled_cycles(),
+            threads,
+            gct_occupancy: self.gct_occupancy(),
+            gct_entries: self.config.gct_entries,
+            lmq_occupancy: self.lmq.occupancy(),
+            lmq_entries: self.config.lmq_entries,
+            issue_queue_occupancy: self.queues.occupancy(),
+            balancer_enabled: self.config.balancer.enabled,
+            culprit: self.infer_culprit(),
+        }
+    }
+
+    /// Attributes a stall to the most implicated shared resource, in
+    /// decreasing order of structural certainty.
+    fn infer_culprit(&self) -> StuckResource {
+        if !self.is_active(ThreadId::T0) && !self.is_active(ThreadId::T1) {
+            return StuckResource::NoActiveThread;
+        }
+        if matches!(self.effective_policy(), DecodePolicy::BothOff) {
+            // Both contexts at priority 0: decode is switched off.
+            return StuckResource::NoActiveThread;
+        }
+        // An LMQ that cannot accept a miss blocks every memory-bound
+        // thread at issue; capacity zero means it never can.
+        if self.lmq.occupancy() >= self.config.lmq_entries
+            && self.queues.lsq.iter().any(|e| matches!(e.kind, ExecKind::Load { .. }))
+        {
+            return StuckResource::LoadMissQueue;
+        }
+        if self.gct_occupancy() >= self.config.gct_entries {
+            return StuckResource::GlobalCompletionTable;
+        }
+        if self.config.balancer.enabled && self.both_active() {
+            for tid in ThreadId::ALL {
+                if let Some(t) = &self.threads[tid.index()] {
+                    let cap = if self.lmq.outstanding_deep(tid) > 0 {
+                        self.config.balancer.gct_cap_deep_miss
+                    } else {
+                        self.config.balancer.gct_cap_per_thread
+                    };
+                    if t.groups.len() >= cap {
+                        return StuckResource::Balancer;
+                    }
+                }
+            }
+        }
+        if FuClass::ALL.into_iter().any(|c| !self.queues.has_room(c)) {
+            return StuckResource::IssueQueue;
+        }
+        if self
+            .threads
+            .iter()
+            .flatten()
+            .any(|t| t.redirect_pending.is_some())
+        {
+            return StuckResource::BranchRedirect;
+        }
+        StuckResource::Unknown
+    }
+
+    // ------------------------------------------------------- fault injection
+
+    /// Fault hook: stalls `thread`'s fetch/decode for the next `cycles`
+    /// cycles (models a flush or an induced front-end bubble). No-op on
+    /// an inactive context.
+    pub fn inject_decode_stall(&mut self, thread: ThreadId, cycles: u64) {
+        let until = self.cycle + cycles;
+        if let Some(t) = self.threads[thread.index()].as_mut() {
+            t.fetch_stall_until = t.fetch_stall_until.max(until);
+        }
+    }
+
+    /// Fault hook: blocks both cache ports for the next `cycles` cycles
+    /// — no load or store can issue until they unblock.
+    pub fn inject_cache_port_block(&mut self, cycles: u64) {
+        self.cache_port_blocked_until = self.cache_port_blocked_until.max(self.cycle + cycles);
+    }
+
+    /// Fault hook: makes the load-miss queue report "no free entry" for
+    /// the next `cycles` cycles, as if an external agent held every
+    /// MSHR (models LMQ saturation).
+    pub fn inject_lmq_block(&mut self, cycles: u64) {
+        self.lmq_blocked_until = self.lmq_blocked_until.max(self.cycle + cycles);
     }
 
     /// Advances the simulation by one cycle.
@@ -397,9 +625,12 @@ impl SmtCore {
                 finish
             }
             ExecKind::Load { addr } => {
+                if now < self.cache_port_blocked_until {
+                    return None; // injected fault: cache ports blocked
+                }
                 let will_miss_l1 = !self.mem.probe_l1(addr);
                 if will_miss_l1 {
-                    if !self.lmq.has_room() {
+                    if !self.lmq.has_room() || now < self.lmq_blocked_until {
                         return None;
                     }
                     if self.config.balancer.enabled
@@ -421,6 +652,9 @@ impl SmtCore {
                 now + latency
             }
             ExecKind::Store { addr } => {
+                if now < self.cache_port_blocked_until {
+                    return None; // injected fault: cache ports blocked
+                }
                 // Stores allocate in the hierarchy but complete quickly
                 // from the pipeline's perspective (store queue drains in
                 // the background).
@@ -445,7 +679,7 @@ impl SmtCore {
             DecodePolicy::SingleThread { runner } => Some((runner, self.config.decode_width)),
             DecodePolicy::LowPower => {
                 let period = self.config.low_power_decode_period;
-                if now % period == 0 {
+                if now.is_multiple_of(period) {
                     let t = ThreadId::from_index(((now / period) % 2) as usize);
                     // Low-power mode decodes a single instruction.
                     Some((t, 1))
@@ -698,6 +932,7 @@ impl SmtCore {
             };
             if head.completed == head.total {
                 let head = thread.groups.pop_front().expect("front checked");
+                self.last_commit_cycle = self.cycle;
                 if let Some(t) = &mut self.tracer {
                     t.push(TraceEvent {
                         cycle: self.cycle,
@@ -1038,6 +1273,169 @@ mod tests {
         c.load_program(ThreadId::T0, cpu_program(9, u64::MAX / 1024));
         let outcome = c.run_until_repetitions([1, 0], 1_000);
         assert_eq!(outcome, RunOutcome::MaxCycles);
+    }
+
+    /// A zero-entry LMQ wedges any beyond-L1 workload: misses can never
+    /// issue, the LSQ fills, decode blocks forever. The watchdog must
+    /// catch it and blame the LMQ, not burn the whole cycle budget.
+    #[test]
+    fn watchdog_catches_zero_lmq_wedge_and_blames_it() {
+        let mut cfg = CoreConfig::tiny_for_tests();
+        cfg.lmq_entries = 0;
+        cfg.watchdog_stall_cycles = 10_000;
+        cfg.try_validate().expect("zero LMQ is a legal pathology");
+        let mut c = SmtCore::new(cfg);
+        c.load_program(ThreadId::T0, chase_program(256 * 1024, 1_000));
+        let err = c
+            .try_run_until_repetitions([1, 0], 10_000_000)
+            .expect_err("a memory-bound thread with no LMQ cannot progress");
+        let snap = err.snapshot().expect("stall carries a snapshot");
+        assert_eq!(snap.culprit, crate::error::StuckResource::LoadMissQueue);
+        assert!(snap.stalled_for >= 10_000);
+        assert!(
+            c.cycle() < 100_000,
+            "watchdog must fire long before the budget: cycle {}",
+            c.cycle()
+        );
+        // The legacy wrapper reports the same wedge as MaxCycles.
+        let mut cfg = CoreConfig::tiny_for_tests();
+        cfg.lmq_entries = 0;
+        cfg.watchdog_stall_cycles = 10_000;
+        let mut c = SmtCore::new(cfg);
+        c.load_program(ThreadId::T0, chase_program(256 * 1024, 1_000));
+        assert_eq!(
+            c.run_until_repetitions([1, 0], 10_000_000),
+            RunOutcome::MaxCycles
+        );
+    }
+
+    #[test]
+    fn try_run_cycles_idles_quietly_then_catches_wedge() {
+        let mut cfg = CoreConfig::tiny_for_tests();
+        cfg.lmq_entries = 0;
+        cfg.watchdog_stall_cycles = 10_000;
+        let mut c = SmtCore::new(cfg);
+        // An empty core idles the whole span without tripping.
+        c.try_run_cycles(50_000).expect("idle is not a stall");
+        c.load_program(ThreadId::T0, chase_program(256 * 1024, 1_000));
+        let err = c
+            .try_run_cycles(10_000_000)
+            .expect_err("a memory-bound thread with no LMQ cannot progress");
+        assert_eq!(
+            err.snapshot().expect("stall carries a snapshot").culprit,
+            crate::error::StuckResource::LoadMissQueue
+        );
+        assert!(
+            c.cycle() < 200_000,
+            "watchdog must fire long before the span ends: cycle {}",
+            c.cycle()
+        );
+    }
+
+    #[test]
+    fn watchdog_spares_slow_but_progressing_runs() {
+        let mut cfg = CoreConfig::tiny_for_tests();
+        cfg.watchdog_stall_cycles = 10_000;
+        let mut c = SmtCore::new(cfg);
+        // Memory-latency bound, far slower than a cpu program, but it
+        // commits a group every few hundred cycles — never a stall.
+        c.load_program(ThreadId::T0, chase_program(256 * 1024, 200));
+        let outcome = c
+            .try_run_until_repetitions([3, 0], 10_000_000)
+            .expect("slow progress is not a stall");
+        assert_eq!(outcome, RunOutcome::Completed);
+    }
+
+    #[test]
+    fn watchdog_disabled_by_zero_window() {
+        let mut cfg = CoreConfig::tiny_for_tests();
+        cfg.lmq_entries = 0;
+        cfg.watchdog_stall_cycles = 0;
+        let mut c = SmtCore::new(cfg);
+        c.load_program(ThreadId::T0, chase_program(256 * 1024, 1_000));
+        let outcome = c
+            .try_run_until_repetitions([1, 0], 50_000)
+            .expect("watchdog off: wedge burns the budget silently");
+        assert_eq!(outcome, RunOutcome::MaxCycles);
+        assert!(c.stalled_cycles() > 40_000);
+    }
+
+    #[test]
+    fn injected_decode_stall_pauses_one_thread() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, cpu_program(9, 1_000));
+        c.load_program(ThreadId::T1, cpu_program(9, 1_000));
+        c.run_cycles(1_000);
+        let before = c.stats().committed(ThreadId::T1);
+        c.inject_decode_stall(ThreadId::T1, 2_000);
+        c.run_cycles(1_000);
+        // A couple of in-flight groups may still drain; decode is dead.
+        assert!(c.stats().committed(ThreadId::T1) <= before + 50);
+        assert!(c.stats().committed(ThreadId::T0) > before);
+        c.run_cycles(5_000);
+        assert!(
+            c.stats().committed(ThreadId::T1) > before + 100,
+            "thread resumes after the stall expires"
+        );
+    }
+
+    #[test]
+    fn injected_cache_port_block_freezes_memory_ops() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, chase_program(512, 1_000));
+        c.run_cycles(500);
+        let loads_before = c.stats().thread(ThreadId::T0).loads;
+        c.inject_cache_port_block(1_000);
+        c.run_cycles(900);
+        assert_eq!(
+            c.stats().thread(ThreadId::T0).loads,
+            loads_before,
+            "no load may issue while ports are blocked"
+        );
+        c.run_cycles(2_000);
+        assert!(c.stats().thread(ThreadId::T0).loads > loads_before);
+    }
+
+    #[test]
+    fn injected_lmq_block_throttles_misses_but_recovers() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, chase_program(256 * 1024, 1_000));
+        c.run_cycles(2_000);
+        let committed_mid = c.stats().committed(ThreadId::T0);
+        c.inject_lmq_block(3_000);
+        c.run_cycles(6_000);
+        assert!(
+            c.stats().committed(ThreadId::T0) > committed_mid,
+            "the run recovers once the injected saturation expires"
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config() {
+        let cfg = CoreConfig {
+            decode_width: 0,
+            ..CoreConfig::tiny_for_tests()
+        };
+        let err = SmtCore::try_new(cfg).expect_err("zero decode width");
+        assert!(matches!(
+            err,
+            SimError::InvalidConfig {
+                field: "decode_width",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn diagnostic_snapshot_reads_clean_on_healthy_core() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, cpu_program(9, 100));
+        c.run_cycles(1_000);
+        let snap = c.diagnostic_snapshot();
+        assert!(snap.thread(ThreadId::T0).active);
+        assert!(!snap.thread(ThreadId::T1).active);
+        assert_eq!(snap.gct_entries, c.config().gct_entries);
+        assert!(snap.stalled_for < 100);
     }
 
     #[test]

@@ -56,6 +56,7 @@
 mod chip;
 mod config;
 mod engine;
+mod error;
 mod queues;
 mod stats;
 mod thread;
@@ -64,6 +65,7 @@ mod trace;
 pub use chip::{Chip, CoreId};
 pub use config::{BalancerConfig, CoreConfig, OpLatencies};
 pub use engine::{RunOutcome, SmtCore};
+pub use error::{DiagnosticSnapshot, SimError, StuckResource, ThreadDiag};
 pub use stats::{CoreStats, DecodeBlock, RepetitionRecord, ThreadStats};
 pub use thread::stream_base_address;
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -135,8 +135,10 @@ mod tests {
 
     #[test]
     fn ipc_arithmetic() {
-        let mut s = CoreStats::default();
-        s.cycles = 100;
+        let mut s = CoreStats {
+            cycles: 100,
+            ..CoreStats::default()
+        };
         s.threads[0].committed = 150;
         s.threads[1].committed = 50;
         assert!((s.ipc(ThreadId::T0) - 1.5).abs() < 1e-12);

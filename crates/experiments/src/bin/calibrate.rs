@@ -3,40 +3,57 @@
 //!
 //! Run with `cargo run --release -p p5-experiments --bin calibrate`.
 
-use p5_core::{CoreConfig, SmtCore};
+use p5_core::{CoreConfig, RunOutcome, SmtCore};
 use p5_isa::ThreadId;
 use p5_microbench::MicroBenchmark;
 
-fn st_ipc(bench: MicroBenchmark) -> f64 {
+/// Runs to the repetition target, surfacing truncation and stalls: a
+/// cell that hit the cycle budget is tagged `~` (lower-confidence
+/// average) and a wedged cell prints the watchdog's diagnosis instead of
+/// a silently bogus number.
+fn run_to(core: &mut SmtCore, target: [usize; 2], max_cycles: u64) -> Result<bool, String> {
+    match core.try_run_until_repetitions(target, max_cycles) {
+        Ok(RunOutcome::Completed) => Ok(true),
+        Ok(RunOutcome::MaxCycles) => Ok(false),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn st_ipc(bench: MicroBenchmark) -> Result<(f64, bool), String> {
     let mut core = SmtCore::new(CoreConfig::power5_like());
     core.load_program(ThreadId::T0, bench.program());
     // Warm caches/TLB/predictor, then measure.
     core.run_cycles(4_000_000);
     core.reset_stats();
-    core.run_until_repetitions([10, 0], 50_000_000);
-    core.stats().ipc(ThreadId::T0)
+    let complete = run_to(&mut core, [10, 0], 50_000_000)?;
+    Ok((core.stats().ipc(ThreadId::T0), complete))
 }
 
-fn smt_ipc(a: MicroBenchmark, b: MicroBenchmark) -> (f64, f64) {
+fn smt_ipc(a: MicroBenchmark, b: MicroBenchmark) -> Result<(f64, bool), String> {
     let mut core = SmtCore::new(CoreConfig::power5_like());
     core.load_program(ThreadId::T0, a.program());
     core.load_program(ThreadId::T1, b.program());
     core.run_cycles(6_000_000);
     core.reset_stats();
-    core.run_until_repetitions([10, 10], 100_000_000);
-    (core.stats().ipc(ThreadId::T0), core.stats().ipc(ThreadId::T1))
+    let complete = run_to(&mut core, [10, 10], 100_000_000)?;
+    Ok((core.stats().ipc(ThreadId::T0), complete))
 }
 
 fn main() {
     println!("== Single-thread IPC (paper Table 3 ST column) ==");
     for b in MicroBenchmark::PRESENTED {
-        let ipc = st_ipc(b);
-        println!(
-            "{:<18} measured {:>6.3}   paper {:>5.2}",
-            b.name(),
-            ipc,
-            b.paper_st_ipc().unwrap()
-        );
+        let paper = b
+            .paper_st_ipc()
+            .map_or_else(|| "  n/a".to_string(), |v| format!("{v:>5.2}"));
+        match st_ipc(b) {
+            Ok((ipc, complete)) => println!(
+                "{:<18} measured {:>6.3}{}  paper {paper}",
+                b.name(),
+                ipc,
+                if complete { " " } else { "~" },
+            ),
+            Err(e) => println!("{:<18} FAILED: {e}", b.name()),
+        }
     }
 
     println!("\n== SMT (4,4) PThread IPC matrix (rows: PThread) ==");
@@ -45,12 +62,23 @@ fn main() {
         print!("{:>10}", &b.name()[..b.name().len().min(9)]);
     }
     println!();
+    let mut truncated = 0u32;
     for a in MicroBenchmark::PRESENTED {
         print!("{:<18}", a.name());
         for b in MicroBenchmark::PRESENTED {
-            let (pa, _) = smt_ipc(a, b);
-            print!("{pa:>10.3}");
+            match smt_ipc(a, b) {
+                Ok((pa, complete)) => {
+                    if !complete {
+                        truncated += 1;
+                    }
+                    print!("{pa:>9.3}{}", if complete { " " } else { "~" });
+                }
+                Err(_) => print!("{:>10}", "stall"),
+            }
         }
         println!();
+    }
+    if truncated > 0 {
+        println!("\n~ = hit the cycle budget before 10 repetitions ({truncated} cell(s))");
     }
 }

@@ -7,6 +7,11 @@
 //! cargo run --release -p p5-experiments --bin repro -- --only table3,fig5
 //! cargo run --release -p p5-experiments --bin repro -- --csv-dir results/
 //! ```
+//!
+//! The run is resilient: an experiment whose cells degrade reports them
+//! inline (`DEGRADED ...` lines); an experiment that fails outright is
+//! skipped with its error and the run continues, finishing with a
+//! partial-results summary instead of dying mid-way.
 
 use p5_experiments::{
     claims, export, fig2, fig3, fig4, fig5, fig6, mpi, noise, sweep, table1, table2, table3,
@@ -26,6 +31,18 @@ fn write_csv(dir: Option<&PathBuf>, name: &str, contents: &str) {
     }
 }
 
+/// Per-section failures collected over the run.
+#[derive(Default)]
+struct Failures(Vec<String>);
+
+impl Failures {
+    fn record(&mut self, section: &str, error: &dyn std::fmt::Display) {
+        eprintln!("!! {section} failed: {error} — continuing with a partial report\n");
+        self.0.push(format!("{section}: {error}"));
+    }
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -58,6 +75,7 @@ fn main() {
     );
 
     let t0 = Instant::now();
+    let mut failures = Failures::default();
 
     if wants("table1") {
         section("Table 1", || table1::run().render());
@@ -67,9 +85,13 @@ fn main() {
     }
     if wants("table3") {
         let t = Instant::now();
-        let r = table3::run(&ctx);
-        println!("{}   (Table 3 took {:.1?})\n", r.render(), t.elapsed());
-        write_csv(csv_dir.as_ref(), "table3.csv", &export::table3_csv(&r));
+        match table3::run(&ctx) {
+            Ok(r) => {
+                println!("{}   (Table 3 took {:.1?})\n", r.render(), t.elapsed());
+                write_csv(csv_dir.as_ref(), "table3.csv", &export::table3_csv(&r));
+            }
+            Err(e) => failures.record("Table 3", &e),
+        }
     }
 
     // Figures 2-4 and the claims share one sweep.
@@ -81,69 +103,101 @@ fn main() {
     if needs_sweep {
         let t = Instant::now();
         println!("-- priority sweep (-5..=+5 over all 36 pairs) --");
-        let sweep = sweep::run(&ctx, &[-5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5]);
-        println!("   ({:.1?})\n", t.elapsed());
-        if wants("fig2") {
-            let r = fig2::Fig2Result::from_sweep(&sweep);
-            println!("{}", r.render());
-            write_csv(csv_dir.as_ref(), "fig2.csv", &export::fig2_csv(&r));
-            fig2_result = Some(r);
-        } else if wants("claims") {
-            fig2_result = Some(fig2::Fig2Result::from_sweep(&sweep));
-        }
-        if wants("fig3") {
-            let r = fig3::Fig3Result::from_sweep(&sweep);
-            println!("{}", r.render());
-            write_csv(csv_dir.as_ref(), "fig3.csv", &export::fig3_csv(&r));
-            fig3_result = Some(r);
-        } else if wants("claims") {
-            fig3_result = Some(fig3::Fig3Result::from_sweep(&sweep));
-        }
-        if wants("fig4") {
-            let r = fig4::Fig4Result::from_sweep(&sweep);
-            println!("{}", r.render());
-            write_csv(csv_dir.as_ref(), "fig4.csv", &export::fig4_csv(&r));
-            fig4_result = Some(r);
-        } else if wants("claims") {
-            fig4_result = Some(fig4::Fig4Result::from_sweep(&sweep));
+        match sweep::run(&ctx, &[-5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5]) {
+            Ok(sweep) => {
+                println!("   ({:.1?})", t.elapsed());
+                if sweep.recovered > 0 {
+                    println!(
+                        "   {} cell(s) recovered via escalated budget",
+                        sweep.recovered
+                    );
+                }
+                for note in &sweep.degraded {
+                    println!("   DEGRADED {note}");
+                }
+                println!();
+                if wants("fig2") {
+                    let r = fig2::Fig2Result::from_sweep(&sweep);
+                    println!("{}", r.render());
+                    write_csv(csv_dir.as_ref(), "fig2.csv", &export::fig2_csv(&r));
+                    fig2_result = Some(r);
+                } else if wants("claims") {
+                    fig2_result = Some(fig2::Fig2Result::from_sweep(&sweep));
+                }
+                if wants("fig3") {
+                    let r = fig3::Fig3Result::from_sweep(&sweep);
+                    println!("{}", r.render());
+                    write_csv(csv_dir.as_ref(), "fig3.csv", &export::fig3_csv(&r));
+                    fig3_result = Some(r);
+                } else if wants("claims") {
+                    fig3_result = Some(fig3::Fig3Result::from_sweep(&sweep));
+                }
+                if wants("fig4") {
+                    let r = fig4::Fig4Result::from_sweep(&sweep);
+                    println!("{}", r.render());
+                    write_csv(csv_dir.as_ref(), "fig4.csv", &export::fig4_csv(&r));
+                    fig4_result = Some(r);
+                } else if wants("claims") {
+                    fig4_result = Some(fig4::Fig4Result::from_sweep(&sweep));
+                }
+            }
+            Err(e) => failures.record("priority sweep (figs 2-4)", &e),
         }
     }
 
     let mut fig5_result = None;
     if wants("fig5") || wants("claims") {
         let t = Instant::now();
-        let r = fig5::run(&ctx);
-        if wants("fig5") {
-            println!("{}   ({:.1?})\n", r.render(), t.elapsed());
-            write_csv(csv_dir.as_ref(), "fig5.csv", &export::fig5_csv(&r));
+        match fig5::run(&ctx) {
+            Ok(r) => {
+                if wants("fig5") {
+                    println!("{}   ({:.1?})\n", r.render(), t.elapsed());
+                    write_csv(csv_dir.as_ref(), "fig5.csv", &export::fig5_csv(&r));
+                }
+                fig5_result = Some(r);
+            }
+            Err(e) => failures.record("Figure 5", &e),
         }
-        fig5_result = Some(r);
     }
 
     let mut table4_result = None;
     if wants("table4") || wants("claims") {
         let t = Instant::now();
-        let r = table4::run(&ctx);
-        if wants("table4") {
-            println!("{}   ({:.1?})\n", r.render(), t.elapsed());
-            write_csv(csv_dir.as_ref(), "table4.csv", &export::table4_csv(&r));
+        match table4::run(&ctx) {
+            Ok(r) => {
+                if wants("table4") {
+                    println!("{}   ({:.1?})\n", r.render(), t.elapsed());
+                    write_csv(csv_dir.as_ref(), "table4.csv", &export::table4_csv(&r));
+                }
+                table4_result = Some(r);
+            }
+            Err(e) => failures.record("Table 4", &e),
         }
-        table4_result = Some(r);
     }
 
     let mut fig6_result = None;
     if wants("fig6") || wants("claims") {
         let t = Instant::now();
-        let r = fig6::run(&ctx);
-        if wants("fig6") {
-            println!("{}   ({:.1?})\n", r.render(), t.elapsed());
-            write_csv(csv_dir.as_ref(), "fig6.csv", &export::fig6_csv(&r));
+        match fig6::run(&ctx) {
+            Ok(r) => {
+                if wants("fig6") {
+                    println!("{}   ({:.1?})\n", r.render(), t.elapsed());
+                    write_csv(csv_dir.as_ref(), "fig6.csv", &export::fig6_csv(&r));
+                }
+                fig6_result = Some(r);
+            }
+            Err(e) => failures.record("Figure 6", &e),
         }
-        fig6_result = Some(r);
     }
 
     if wants("mpi") {
-        section("MPI re-balancing", || mpi::run(&ctx).render());
+        let t = Instant::now();
+        match mpi::run(&ctx) {
+            Ok(r) => {
+                println!("{}   (MPI re-balancing took {:.1?})\n", r.render(), t.elapsed());
+            }
+            Err(e) => failures.record("MPI re-balancing", &e),
+        }
     }
 
     if wants("noise") {
@@ -160,10 +214,25 @@ fn main() {
             table4_result.as_ref(),
         ) {
             println!("{}", claims::evaluate(f2, f3, f4, f5, f6, t4).render());
+        } else if !failures.0.is_empty() {
+            println!(
+                "claims: skipped — missing inputs from the failed section(s) above\n"
+            );
         }
     }
 
     println!("total: {:.1?}", t0.elapsed());
+    if failures.0.is_empty() {
+        println!("all requested sections completed");
+    } else {
+        println!(
+            "PARTIAL REPORT — {} section(s) failed:",
+            failures.0.len()
+        );
+        for f in &failures.0 {
+            println!("  - {f}");
+        }
+    }
 }
 
 fn section(name: &str, run: impl FnOnce() -> String) {

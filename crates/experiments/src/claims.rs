@@ -208,16 +208,21 @@ pub fn evaluate(
 }
 
 /// Runs every experiment the claims need and evaluates them.
-#[must_use]
-pub fn run(ctx: &Experiments) -> ClaimsResult {
-    let sweep = sweep::run(ctx, &[-5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5]);
+///
+/// # Errors
+///
+/// Propagates the first [`crate::ExpError`] from the underlying
+/// experiments — the claim checklist is only meaningful on a complete
+/// set of inputs.
+pub fn run(ctx: &Experiments) -> Result<ClaimsResult, crate::ExpError> {
+    let sweep = sweep::run(ctx, &[-5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5])?;
     let fig2 = Fig2Result::from_sweep(&sweep);
     let fig3 = Fig3Result::from_sweep(&sweep);
     let fig4 = Fig4Result::from_sweep(&sweep);
-    let fig5 = crate::fig5::run(ctx);
-    let fig6 = crate::fig6::run(ctx);
-    let table4 = crate::table4::run(ctx);
-    evaluate(&fig2, &fig3, &fig4, &fig5, &fig6, &table4)
+    let fig5 = crate::fig5::run(ctx)?;
+    let fig6 = crate::fig6::run(ctx)?;
+    let table4 = crate::table4::run(ctx)?;
+    Ok(evaluate(&fig2, &fig3, &fig4, &fig5, &fig6, &table4))
 }
 
 #[cfg(test)]

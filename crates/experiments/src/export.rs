@@ -149,6 +149,7 @@ mod tests {
             st: [1.0; 6],
             pt: [[0.5; 6]; 6],
             tt: [[1.0; 6]; 6],
+            degraded: Vec::new(),
         };
         let csv = table3_csv(&r);
         // header + 6 ST rows + 36 cells
@@ -190,6 +191,7 @@ mod tests {
             primary: p,
             secondary: s,
             points: vec![(0, 0.9, 0.1, 1.0), (2, 1.0, 0.08, 1.08)],
+            degraded: Vec::new(),
         };
         let r = Fig5Result {
             h264_mcf: case(SpecProxy::H264ref, SpecProxy::Mcf),
@@ -211,6 +213,7 @@ mod tests {
                 fft_cycles: 110.0,
                 lu_cycles: 20.0,
             }],
+            degraded: Vec::new(),
         };
         let csv = table4_csv(&r);
         assert!(csv.contains("ST,ST,100.0,10.0,110.0"));
@@ -224,6 +227,7 @@ mod tests {
             fg6: [[(1.0, 0.1); 6]; 6],
             fg5: [[(1.1, 0.2); 6]; 6],
             worst_case: vec![],
+            degraded: Vec::new(),
         };
         let csv = fig6_csv(&r);
         assert_eq!(csv.lines().count(), 1 + 2 * 36);

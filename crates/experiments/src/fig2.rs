@@ -49,11 +49,11 @@ impl Fig2Result {
     #[must_use]
     pub fn from_sweep(sweep: &PrioritySweep) -> Fig2Result {
         let mut speedup = [[[0.0; 5]; 6]; 6];
-        for p in 0..6 {
-            for s in 0..6 {
+        for (p, plane) in speedup.iter_mut().enumerate() {
+            for (s, row) in plane.iter_mut().enumerate() {
                 let base = sweep.baseline(p, s).pt_ipc.max(1e-12);
                 for (k, &d) in DIFFS.iter().enumerate() {
-                    speedup[p][s][k] = sweep.cell(d, p, s).pt_ipc / base;
+                    row[k] = sweep.cell(d, p, s).pt_ipc / base;
                 }
             }
         }
@@ -116,10 +116,14 @@ impl Fig2Result {
 }
 
 /// Runs the measurements and projects the figure.
-#[must_use]
-pub fn run(ctx: &Experiments) -> Fig2Result {
-    let sweep = sweep::run(ctx, &[0, 1, 2, 3, 4, 5]);
-    Fig2Result::from_sweep(&sweep)
+///
+/// # Errors
+///
+/// Propagates [`crate::ExpError`] if the underlying sweep produced no
+/// usable data; individual degraded cells only annotate the sweep.
+pub fn run(ctx: &Experiments) -> Result<Fig2Result, crate::ExpError> {
+    let sweep = sweep::run(ctx, &[0, 1, 2, 3, 4, 5])?;
+    Ok(Fig2Result::from_sweep(&sweep))
 }
 
 #[cfg(test)]
@@ -141,7 +145,12 @@ mod tests {
                 [[c; 6]; 6]
             })
             .collect();
-        PrioritySweep { diffs, grids }
+        PrioritySweep {
+            diffs,
+            grids,
+            degraded: Vec::new(),
+            recovered: 0,
+        }
     }
 
     #[test]

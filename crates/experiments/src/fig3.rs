@@ -36,12 +36,12 @@ impl Fig3Result {
     #[must_use]
     pub fn from_sweep(sweep: &PrioritySweep) -> Fig3Result {
         let mut slowdown = [[[0.0; 5]; 6]; 6];
-        for p in 0..6 {
-            for s in 0..6 {
+        for (p, plane) in slowdown.iter_mut().enumerate() {
+            for (s, row) in plane.iter_mut().enumerate() {
                 let base = sweep.baseline(p, s).pt_ipc;
                 for (k, &d) in DIFFS.iter().enumerate() {
                     let ipc = sweep.cell(d, p, s).pt_ipc.max(1e-12);
-                    slowdown[p][s][k] = base / ipc;
+                    row[k] = base / ipc;
                 }
             }
         }
@@ -105,10 +105,14 @@ impl Fig3Result {
 }
 
 /// Runs the measurements and projects the figure.
-#[must_use]
-pub fn run(ctx: &Experiments) -> Fig3Result {
-    let sweep = sweep::run(ctx, &[0, -1, -2, -3, -4, -5]);
-    Fig3Result::from_sweep(&sweep)
+///
+/// # Errors
+///
+/// Propagates [`crate::ExpError`] if the underlying sweep produced no
+/// usable data; individual degraded cells only annotate the sweep.
+pub fn run(ctx: &Experiments) -> Result<Fig3Result, crate::ExpError> {
+    let sweep = sweep::run(ctx, &[0, -1, -2, -3, -4, -5])?;
+    Ok(Fig3Result::from_sweep(&sweep))
 }
 
 #[cfg(test)]
@@ -130,7 +134,12 @@ mod tests {
                 [[c; 6]; 6]
             })
             .collect();
-        PrioritySweep { diffs, grids }
+        PrioritySweep {
+            diffs,
+            grids,
+            degraded: Vec::new(),
+            recovered: 0,
+        }
     }
 
     #[test]

@@ -109,10 +109,14 @@ impl Fig4Result {
 }
 
 /// Runs the measurements and projects the figure.
-#[must_use]
-pub fn run(ctx: &Experiments) -> Fig4Result {
-    let sweep = sweep::run(ctx, &[-4, -3, -2, -1, 0, 1, 2, 3, 4]);
-    Fig4Result::from_sweep(&sweep)
+///
+/// # Errors
+///
+/// Propagates [`crate::ExpError`] if the underlying sweep produced no
+/// usable data; individual degraded cells only annotate the sweep.
+pub fn run(ctx: &Experiments) -> Result<Fig4Result, crate::ExpError> {
+    let sweep = sweep::run(ctx, &[-4, -3, -2, -1, 0, 1, 2, 3, 4])?;
+    Ok(Fig4Result::from_sweep(&sweep))
 }
 
 #[cfg(test)]
@@ -133,7 +137,12 @@ mod tests {
                 [[c; 6]; 6]
             })
             .collect();
-        PrioritySweep { diffs, grids }
+        PrioritySweep {
+            diffs,
+            grids,
+            degraded: Vec::new(),
+            recovered: 0,
+        }
     }
 
     #[test]

@@ -24,8 +24,11 @@ pub struct CaseStudy {
     pub primary: SpecProxy,
     /// The co-scheduled benchmark.
     pub secondary: SpecProxy,
-    /// Per difference: (primary IPC, secondary IPC, total IPC).
+    /// Per difference: (primary IPC, secondary IPC, total IPC). Points
+    /// whose measurement degraded beyond recovery are omitted.
     pub points: Vec<(i32, f64, f64, f64)>,
+    /// Annotations for measurements that degraded.
+    pub degraded: Vec<String>,
 }
 
 impl CaseStudy {
@@ -74,13 +77,17 @@ impl CaseStudy {
             ]);
         }
         let (peak_d, peak_gain) = self.peak();
-        format!(
+        let mut out = format!(
             "{} + {}\n{}peak: {} at diff {peak_d:+}\n",
             self.primary.name(),
             self.secondary.name(),
             t.render(),
             pct(peak_gain)
-        )
+        );
+        for note in &self.degraded {
+            out.push_str(&format!("DEGRADED {note}\n"));
+        }
+        out
     }
 }
 
@@ -105,34 +112,63 @@ impl Fig5Result {
     }
 }
 
-fn case_study(ctx: &Experiments, primary: SpecProxy, secondary: SpecProxy) -> CaseStudy {
-    let points = DIFFS
-        .iter()
-        .map(|&d| {
-            let report = ctx.measure_pair(
-                primary.program(),
-                secondary.program(),
-                priority_pair(d),
-            );
-            let p = report.thread(ThreadId::T0).expect("active").ipc;
-            let s = report.thread(ThreadId::T1).expect("active").ipc;
-            (d, p, s, p + s)
-        })
-        .collect();
-    CaseStudy {
+fn case_study(
+    ctx: &Experiments,
+    primary: SpecProxy,
+    secondary: SpecProxy,
+) -> Result<CaseStudy, crate::ExpError> {
+    let mut points = Vec::new();
+    let mut degraded = Vec::new();
+    for &d in &DIFFS {
+        let m = ctx.measure_pair_resilient(
+            primary.program(),
+            secondary.program(),
+            priority_pair(d),
+        );
+        if let Some(note) = m.degradation(&format!(
+            "{}+{} at diff {d:+}",
+            primary.name(),
+            secondary.name()
+        )) {
+            degraded.push(note);
+        }
+        if let Some((p, s)) = m.ipc(ThreadId::T0).zip(m.ipc(ThreadId::T1)) {
+            points.push((d, p, s, p + s));
+        }
+    }
+    // The whole curve is relative to the (4,4) point; without it there is
+    // nothing to normalize against.
+    if !points.iter().any(|(d, ..)| *d == 0) {
+        return Err(crate::ExpError {
+            artifact: "fig5",
+            message: format!(
+                "{}+{}: the (4,4) baseline point failed ({})",
+                primary.name(),
+                secondary.name(),
+                degraded.first().map_or("", String::as_str)
+            ),
+        });
+    }
+    Ok(CaseStudy {
         primary,
         secondary,
         points,
-    }
+        degraded,
+    })
 }
 
-/// Runs both case studies.
-#[must_use]
-pub fn run(ctx: &Experiments) -> Fig5Result {
-    Fig5Result {
-        h264_mcf: case_study(ctx, SpecProxy::H264ref, SpecProxy::Mcf),
-        applu_equake: case_study(ctx, SpecProxy::Applu, SpecProxy::Equake),
-    }
+/// Runs both case studies. Degraded non-baseline points are dropped from
+/// the curves and annotated.
+///
+/// # Errors
+///
+/// Returns [`crate::ExpError`] if either case study lost its (4,4)
+/// baseline point.
+pub fn run(ctx: &Experiments) -> Result<Fig5Result, crate::ExpError> {
+    Ok(Fig5Result {
+        h264_mcf: case_study(ctx, SpecProxy::H264ref, SpecProxy::Mcf)?,
+        applu_equake: case_study(ctx, SpecProxy::Applu, SpecProxy::Equake)?,
+    })
 }
 
 #[cfg(test)]
@@ -151,6 +187,7 @@ mod tests {
                 (4, 1.25, 0.05, 1.30),
                 (5, 1.22, 0.02, 1.24),
             ],
+            degraded: Vec::new(),
         }
     }
 

@@ -37,6 +37,9 @@ pub struct Fig6Result {
     /// a memory-bound background as the foreground priority drops
     /// 6,5,4,3,2 (background fixed at 1).
     pub worst_case: Vec<(MicroBenchmark, MicroBenchmark, [f64; 5])>,
+    /// Annotations for measurements that degraded (their cells are kept
+    /// at the best unconverged value, or zero).
+    pub degraded: Vec<String>,
 }
 
 impl Fig6Result {
@@ -115,41 +118,67 @@ impl Fig6Result {
             t.row(vec![b.name().into(), f3(self.avg_bg_ipc_61(b))]);
         }
         out.push_str(&t.render());
+        for note in &self.degraded {
+            out.push_str(&format!("DEGRADED {note}\n"));
+        }
         out
     }
 }
 
-fn measure_grid(ctx: &Experiments, fg_prio: Priority, st_ipc: &[f64; 6]) -> [[(f64, f64); 6]; 6] {
+fn measure_grid(
+    ctx: &Experiments,
+    fg_prio: Priority,
+    st_ipc: &[f64; 6],
+    degraded: &mut Vec<String>,
+) -> [[(f64, f64); 6]; 6] {
     let mut grid = [[(0.0, 0.0); 6]; 6];
     for (i, fg) in MicroBenchmark::PRESENTED.iter().enumerate() {
         for (j, bg) in MicroBenchmark::PRESENTED.iter().enumerate() {
-            let report = ctx.measure_pair(
+            let m = ctx.measure_pair_resilient(
                 fg.program(),
                 bg.program(),
                 (fg_prio, Priority::VeryLow),
             );
-            let fg_ipc = report.thread(ThreadId::T0).expect("active").ipc;
-            let bg_ipc = report.thread(ThreadId::T1).expect("active").ipc;
+            if let Some(note) = m.degradation(&format!(
+                "({},{}) fg {} bg {}",
+                fg_prio.level(),
+                Priority::VeryLow.level(),
+                fg.name(),
+                bg.name()
+            )) {
+                degraded.push(note);
+            }
+            let fg_ipc = m.ipc(ThreadId::T0).unwrap_or(0.0);
+            let bg_ipc = m.ipc(ThreadId::T1).unwrap_or(0.0);
             grid[i][j] = (st_ipc[i] / fg_ipc.max(1e-12), bg_ipc);
         }
     }
     grid
 }
 
-/// Runs all Figure 6 measurements.
-#[must_use]
-pub fn run(ctx: &Experiments) -> Fig6Result {
+/// Runs all Figure 6 measurements. Degraded cells keep their best
+/// unconverged value and are annotated on the result.
+///
+/// # Errors
+///
+/// Returns [`crate::ExpError`] if a single-thread baseline failed —
+/// every relative-time cell normalizes against them.
+pub fn run(ctx: &Experiments) -> Result<Fig6Result, crate::ExpError> {
+    let mut degraded = Vec::new();
     let mut st_ipc = [0.0; 6];
     for (i, b) in MicroBenchmark::PRESENTED.iter().enumerate() {
-        st_ipc[i] = ctx
-            .measure_single(b.program())
-            .thread(ThreadId::T0)
-            .expect("active")
-            .ipc;
+        let m = ctx.measure_single_resilient(b.program());
+        if let Some(note) = m.degradation(&format!("ST {}", b.name())) {
+            degraded.push(note);
+        }
+        st_ipc[i] = m.ipc(ThreadId::T0).ok_or_else(|| crate::ExpError {
+            artifact: "fig6",
+            message: format!("single-thread {} baseline failed", b.name()),
+        })?;
     }
 
-    let fg6 = measure_grid(ctx, Priority::High, &st_ipc);
-    let fg5 = measure_grid(ctx, Priority::MediumHigh, &st_ipc);
+    let fg6 = measure_grid(ctx, Priority::High, &st_ipc, &mut degraded);
+    let fg5 = measure_grid(ctx, Priority::MediumHigh, &st_ipc, &mut degraded);
 
     // (c): the paper uses ldint_mem as the worst background for the first
     // three foregrounds, and a non-memory background for the
@@ -166,27 +195,33 @@ pub fn run(ctx: &Experiments) -> Fig6Result {
             let i = Fig6Result::idx(fg);
             let mut times = [0.0; 5];
             for (k, &p) in WORST_CASE_FG_PRIOS.iter().enumerate() {
-                let report = ctx.measure_pair(
+                let prio = Priority::from_level(p).expect("levels 2..=6 are valid");
+                let m = ctx.measure_pair_resilient(
                     fg.program(),
                     bg.program(),
-                    (
-                        Priority::from_level(p).expect("valid level"),
-                        Priority::VeryLow,
-                    ),
+                    (prio, Priority::VeryLow),
                 );
-                let fg_ipc = report.thread(ThreadId::T0).expect("active").ipc;
+                if let Some(note) = m.degradation(&format!(
+                    "({p},1) fg {} bg {}",
+                    fg.name(),
+                    bg.name()
+                )) {
+                    degraded.push(note);
+                }
+                let fg_ipc = m.ipc(ThreadId::T0).unwrap_or(0.0);
                 times[k] = st_ipc[i] / fg_ipc.max(1e-12);
             }
             (fg, bg, times)
         })
         .collect();
 
-    Fig6Result {
+    Ok(Fig6Result {
         st_ipc,
         fg6,
         fg5,
         worst_case,
-    }
+        degraded,
+    })
 }
 
 #[cfg(test)]
@@ -205,6 +240,7 @@ mod tests {
                 MicroBenchmark::LdintMem,
                 [1.02, 1.04, 1.1, 1.3, 1.6],
             )],
+            degraded: Vec::new(),
         }
     }
 

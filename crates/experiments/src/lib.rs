@@ -29,9 +29,17 @@
 //! use p5_experiments::{Experiments, table3};
 //!
 //! let ctx = Experiments::quick();
-//! let result = table3::run(&ctx);
+//! let result = table3::run(&ctx)?;
 //! println!("{}", result.render());
+//! # Ok::<(), p5_experiments::ExpError>(())
 //! ```
+//!
+//! Experiment `run` functions return `Result`: a cell whose measurement
+//! wedges or exhausts its budget is retried once with an escalated cycle
+//! budget, then — if still failing — recorded as a *degraded* annotation
+//! on the partial result rather than aborting the artifact. Only a
+//! failure that leaves an artifact without usable data (a lost baseline,
+//! every cell degraded) surfaces as an [`ExpError`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -52,9 +60,107 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 
-use p5_core::{CoreConfig, SmtCore};
+use p5_core::{CoreConfig, SimError, SmtCore};
 use p5_fame::{FameConfig, FameReport, FameRunner};
 use p5_isa::{Priority, Program, ThreadId};
+use std::fmt;
+
+/// Error from an experiment artifact whose measurements failed so
+/// completely that no partial result could be reported.
+///
+/// Individual cell failures do *not* produce an `ExpError`: they are
+/// recorded as degraded-cell annotations on the (partial) result. Only a
+/// failure that leaves the artifact without usable data — every cell
+/// wedged, or a baseline the whole artifact normalizes against missing —
+/// aborts the artifact.
+#[derive(Debug, Clone)]
+pub struct ExpError {
+    /// Which artifact failed ("sweep", "table4", ...).
+    pub artifact: &'static str,
+    /// What happened, including the underlying [`SimError`] text.
+    pub message: String,
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.artifact, self.message)
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// How a resilient measurement ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Converged within the normal budget on the first attempt.
+    Ok,
+    /// The first attempt failed or ran out of budget; the retry with an
+    /// escalated cycle budget converged.
+    Recovered,
+    /// Both attempts failed to converge; the cell carries whatever data
+    /// survived plus the error.
+    Degraded,
+}
+
+/// Result of one resilient measurement (see
+/// [`Experiments::measure_pair_resilient`]): the report, how it was
+/// obtained, and — for degraded cells — the error that limited it.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// The FAME report, if any attempt produced one. Degraded cells keep
+    /// their best unconverged report so callers can still plot a value.
+    pub report: Option<FameReport>,
+    /// How the measurement ended.
+    pub status: CellStatus,
+    /// The error that degraded the cell, if any.
+    pub error: Option<SimError>,
+}
+
+impl Measured {
+    /// Whether the cell carries no trustworthy (converged) measurement.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.status == CellStatus::Degraded
+    }
+
+    /// IPC of one thread, if measured.
+    #[must_use]
+    pub fn ipc(&self, thread: ThreadId) -> Option<f64> {
+        self.report
+            .as_ref()
+            .and_then(|r| r.thread(thread))
+            .map(|m| m.ipc)
+    }
+
+    /// Average repetition time of one thread, if measured.
+    #[must_use]
+    pub fn avg_repetition_cycles(&self, thread: ThreadId) -> Option<f64> {
+        self.report
+            .as_ref()
+            .and_then(|r| r.thread(thread))
+            .map(|m| m.avg_repetition_cycles)
+    }
+
+    /// Combined IPC of the active threads, if measured.
+    #[must_use]
+    pub fn total_ipc(&self) -> Option<f64> {
+        self.report.as_ref().map(FameReport::total_ipc)
+    }
+
+    /// The degradation annotation for a partial report, if the cell is
+    /// degraded.
+    #[must_use]
+    pub fn degradation(&self, label: &str) -> Option<String> {
+        if !self.is_degraded() {
+            return None;
+        }
+        let why = self
+            .error
+            .as_ref()
+            .map_or_else(|| "unconverged".to_string(), SimError::to_string);
+        Some(format!("{label}: {why}"))
+    }
+}
 
 /// Shared context for all experiments: the simulated machine and the
 /// measurement methodology.
@@ -96,10 +202,25 @@ impl Experiments {
         }
     }
 
+    /// How much the cycle budget is multiplied by when a cell is retried
+    /// (see [`FameConfig::escalated`]).
+    pub const RETRY_ESCALATION: u64 = 4;
+
     /// Builds an idle core with this context's configuration.
     #[must_use]
     pub fn new_core(&self) -> SmtCore {
         SmtCore::new(self.core.clone())
+    }
+
+    /// Builds an idle core, returning a typed error on invalid
+    /// configuration instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::InvalidConfig`] from
+    /// [`CoreConfig::try_validate`].
+    pub fn try_new_core(&self) -> Result<SmtCore, SimError> {
+        SmtCore::try_new(self.core.clone())
     }
 
     /// FAME-measures a single program in single-thread mode.
@@ -124,6 +245,108 @@ impl Experiments {
         core.set_priority(ThreadId::T0, priorities.0);
         core.set_priority(ThreadId::T1, priorities.1);
         FameRunner::new(self.fame).measure(&mut core)
+    }
+
+    /// Resilient single-thread measurement: never panics, retries a
+    /// failed or unconverged run once with an escalated cycle budget
+    /// before marking the cell degraded.
+    #[must_use]
+    pub fn measure_single_resilient(&self, program: Program) -> Measured {
+        self.measure_resilient(move |core| {
+            core.load_program(ThreadId::T0, program.clone());
+        })
+    }
+
+    /// Resilient pair measurement: never panics, retries a failed or
+    /// unconverged run once with an escalated cycle budget before marking
+    /// the cell degraded.
+    #[must_use]
+    pub fn measure_pair_resilient(
+        &self,
+        primary: Program,
+        secondary: Program,
+        priorities: (Priority, Priority),
+    ) -> Measured {
+        self.measure_resilient(move |core| {
+            core.load_program(ThreadId::T0, primary.clone());
+            core.load_program(ThreadId::T1, secondary.clone());
+            core.set_priority(ThreadId::T0, priorities.0);
+            core.set_priority(ThreadId::T1, priorities.1);
+        })
+    }
+
+    /// The retry/escalation wrapper all resilient measurements share.
+    ///
+    /// Attempt 1 runs on a fresh core with the configured budget. If it
+    /// errors retryably (watchdog stall, exhausted budget) or returns an
+    /// unconverged report, attempt 2 runs on another fresh core with the
+    /// budgets multiplied by [`Experiments::RETRY_ESCALATION`]. A cell
+    /// that still has no converged report after that is `Degraded`; it
+    /// keeps the best report observed plus the error that limited it.
+    fn measure_resilient(&self, setup: impl Fn(&mut SmtCore)) -> Measured {
+        let attempt = |fame: FameConfig| -> Result<FameReport, SimError> {
+            let mut core = self.try_new_core()?;
+            setup(&mut core);
+            FameRunner::new(fame).try_measure(&mut core)
+        };
+        let budget_error = |fame: &FameConfig, report: &FameReport| SimError::BudgetExhausted {
+            cycle_budget: fame.max_cycles,
+            repetitions: [0, 1].map(|i| {
+                report.threads[i].map_or(0, |m| m.repetitions)
+            }),
+            target: [0, 1].map(|i| {
+                if report.threads[i].is_some() {
+                    fame.min_repetitions
+                } else {
+                    0
+                }
+            }),
+        };
+
+        let first = attempt(self.fame);
+        if let Ok(report) = &first {
+            if report.converged() {
+                return Measured {
+                    report: first.ok(),
+                    status: CellStatus::Ok,
+                    error: None,
+                };
+            }
+        }
+        if let Err(e) = &first {
+            if !e.is_retryable() {
+                return Measured {
+                    report: None,
+                    status: CellStatus::Degraded,
+                    error: first.err(),
+                };
+            }
+        }
+
+        let escalated = self.fame.escalated(Self::RETRY_ESCALATION);
+        match attempt(escalated) {
+            Ok(report) if report.converged() => Measured {
+                report: Some(report),
+                status: CellStatus::Recovered,
+                error: None,
+            },
+            Ok(report) => {
+                let error = budget_error(&escalated, &report);
+                Measured {
+                    report: Some(report),
+                    status: CellStatus::Degraded,
+                    error: Some(error),
+                }
+            }
+            Err(e) => Measured {
+                // Keep the first attempt's (unconverged) data if it had
+                // any: a degraded value beats no value in a partial
+                // report.
+                report: first.ok(),
+                status: CellStatus::Degraded,
+                error: Some(e),
+            },
+        }
     }
 }
 
@@ -199,5 +422,84 @@ mod tests {
         let ctx = Experiments::quick();
         let core = ctx.new_core();
         assert_eq!(core.cycle(), 0);
+    }
+
+    fn tiny_ctx() -> Experiments {
+        Experiments {
+            core: p5_core::CoreConfig::tiny_for_tests(),
+            fame: p5_fame::FameConfig::quick(),
+        }
+    }
+
+    fn cpu_program(iters: u64) -> Program {
+        let mut b = Program::builder("cpu");
+        for i in 0..10 {
+            b.push(p5_isa::StaticInst::new(p5_isa::Op::IntAlu).dst(p5_isa::Reg::new(32 + i)));
+        }
+        b.iterations(iters);
+        b.build().unwrap()
+    }
+
+    fn chase_program(footprint: u64) -> Program {
+        let mut b = Program::builder("chase");
+        let s = b.stream(p5_isa::StreamSpec::pointer_chase(footprint));
+        let ptr = p5_isa::Reg::new(1);
+        b.push(
+            p5_isa::StaticInst::new(p5_isa::Op::Load {
+                stream: s,
+                kind: p5_isa::DataKind::Int,
+            })
+            .dst(ptr)
+            .src1(ptr),
+        );
+        b.iterations(100);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn resilient_measurement_of_healthy_cell_is_ok() {
+        let m = tiny_ctx().measure_single_resilient(cpu_program(50));
+        assert_eq!(m.status, CellStatus::Ok);
+        assert!(m.error.is_none());
+        assert!(m.ipc(ThreadId::T0).unwrap() > 0.5);
+        assert!(m.degradation("cell").is_none());
+    }
+
+    #[test]
+    fn resilient_measurement_recovers_via_escalated_budget() {
+        // The first budget cannot fit min_repetitions; the 4x escalation
+        // can.
+        let mut ctx = tiny_ctx();
+        ctx.fame.min_repetitions = 40;
+        ctx.fame.max_cycles = 8_000;
+        ctx.fame.warmup_min_cycles = 500;
+        ctx.fame.warmup_max_cycles = 500;
+        let m = ctx.measure_single_resilient(cpu_program(50));
+        assert_eq!(m.status, CellStatus::Recovered);
+        assert!(m.report.expect("recovered report").converged());
+    }
+
+    #[test]
+    fn resilient_measurement_marks_wedged_cell_degraded() {
+        let mut ctx = tiny_ctx();
+        ctx.core.lmq_entries = 0; // beyond-L1 misses never issue
+        ctx.core.watchdog_stall_cycles = 10_000;
+        let m = ctx.measure_single_resilient(chase_program(256 * 1024));
+        assert!(m.is_degraded());
+        let note = m.degradation("chase").expect("degradation note");
+        assert!(note.contains("lmq"), "culprit named: {note}");
+    }
+
+    #[test]
+    fn resilient_measurement_surfaces_invalid_config() {
+        let mut ctx = tiny_ctx();
+        ctx.core.gct_entries = 0;
+        let m = ctx.measure_single_resilient(cpu_program(50));
+        assert!(m.is_degraded());
+        assert!(m.report.is_none());
+        assert!(matches!(
+            m.error,
+            Some(p5_core::SimError::InvalidConfig { field: "gct_entries", .. })
+        ));
     }
 }

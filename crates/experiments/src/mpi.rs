@@ -42,8 +42,11 @@ impl MpiRow {
 pub struct MpiResult {
     /// The modeled imbalance (heavy work / light work).
     pub imbalance: f64,
-    /// Measured rows, one per [`PRIORITY_PAIRS`] entry.
+    /// Measured rows, one per [`PRIORITY_PAIRS`] entry. Rows whose
+    /// measurement degraded beyond recovery are omitted.
     pub rows: Vec<MpiRow>,
+    /// Annotations for measurements that degraded.
+    pub degraded: Vec<String>,
 }
 
 impl MpiResult {
@@ -84,55 +87,85 @@ impl MpiResult {
                 f2(r.superstep_cycles()),
             ]);
         }
-        format!(
+        let mut out = format!(
             "MPI imbalance re-balancing (imbalance {:.2})\n{}best: ({},{}) — {} vs (4,4)\n",
             self.imbalance,
             t.render(),
             self.best().prio_heavy,
             self.best().prio_light,
             pct(self.improvement())
-        )
+        );
+        for note in &self.degraded {
+            out.push_str(&format!("DEGRADED {note}\n"));
+        }
+        out
     }
 }
 
 /// Runs the experiment on a 30%-imbalanced two-rank application.
-#[must_use]
-pub fn run(ctx: &Experiments) -> MpiResult {
+///
+/// # Errors
+///
+/// See [`run_with`].
+pub fn run(ctx: &Experiments) -> Result<MpiResult, crate::ExpError> {
     run_with(ctx, ImbalancedApp::default())
 }
 
-/// Runs the experiment on a caller-supplied application.
-#[must_use]
-pub fn run_with(ctx: &Experiments, app: ImbalancedApp) -> MpiResult {
-    let rows = PRIORITY_PAIRS
-        .iter()
-        .map(|&(ph, pl)| {
-            let report = ctx.measure_pair(
-                app.heavy_rank(),
-                app.light_rank(),
-                (
-                    Priority::from_level(ph).expect("valid level"),
-                    Priority::from_level(pl).expect("valid level"),
-                ),
-            );
-            MpiRow {
+/// Runs the experiment on a caller-supplied application. Degraded rows
+/// are dropped and annotated.
+///
+/// # Errors
+///
+/// Returns [`crate::ExpError`] if the (4,4) default row failed — the
+/// improvement comparison anchors on it.
+pub fn run_with(ctx: &Experiments, app: ImbalancedApp) -> Result<MpiResult, crate::ExpError> {
+    let mut rows = Vec::new();
+    let mut degraded = Vec::new();
+    for &(ph, pl) in &PRIORITY_PAIRS {
+        let Some((prio_heavy, prio_light)) =
+            Priority::from_level(ph).zip(Priority::from_level(pl))
+        else {
+            degraded.push(format!("({ph},{pl}): invalid priority level"));
+            continue;
+        };
+        let m = ctx.measure_pair_resilient(
+            app.heavy_rank(),
+            app.light_rank(),
+            (prio_heavy, prio_light),
+        );
+        if let Some(note) = m.degradation(&format!("({ph},{pl})")) {
+            degraded.push(note);
+        }
+        match m
+            .avg_repetition_cycles(ThreadId::T0)
+            .zip(m.avg_repetition_cycles(ThreadId::T1))
+        {
+            Some((heavy_cycles, light_cycles)) => rows.push(MpiRow {
                 prio_heavy: ph,
                 prio_light: pl,
-                heavy_cycles: report
-                    .thread(ThreadId::T0)
-                    .expect("active")
-                    .avg_repetition_cycles,
-                light_cycles: report
-                    .thread(ThreadId::T1)
-                    .expect("active")
-                    .avg_repetition_cycles,
-            }
-        })
-        .collect();
-    MpiResult {
+                heavy_cycles,
+                light_cycles,
+            }),
+            None => degraded.push(format!("({ph},{pl}): row dropped, no data")),
+        }
+    }
+    if !rows
+        .first()
+        .is_some_and(|r| r.prio_heavy == 4 && r.prio_light == 4)
+    {
+        return Err(crate::ExpError {
+            artifact: "mpi",
+            message: format!(
+                "the (4,4) default row failed; nothing to compare against ({})",
+                degraded.last().map_or("", String::as_str)
+            ),
+        });
+    }
+    Ok(MpiResult {
         imbalance: app.heavy_iterations as f64 / app.light_iterations as f64,
         rows,
-    }
+        degraded,
+    })
 }
 
 #[cfg(test)]
@@ -162,6 +195,7 @@ mod tests {
                     light_cycles: 1700.0,
                 },
             ],
+            degraded: Vec::new(),
         }
     }
 

@@ -6,7 +6,7 @@
 //! sweep once and projecting three figures out of it keeps the full
 //! reproduction run affordable.
 
-use crate::{priority_pair, Experiments};
+use crate::{priority_pair, ExpError, Experiments};
 use p5_isa::ThreadId;
 use p5_microbench::MicroBenchmark;
 
@@ -29,6 +29,11 @@ pub struct PrioritySweep {
     pub diffs: Vec<i32>,
     /// One 6×6 grid per difference.
     pub grids: Vec<[[SweepCell; 6]; 6]>,
+    /// Annotations for cells whose measurement degraded (kept at their
+    /// best unconverged value, or zero when nothing was measured).
+    pub degraded: Vec<String>,
+    /// Cells that needed the escalated-budget retry but then converged.
+    pub recovered: usize,
 }
 
 impl PrioritySweep {
@@ -72,10 +77,21 @@ impl PrioritySweep {
 }
 
 /// Runs the sweep for the given priority differences (each in `-5..=5`).
-#[must_use]
-pub fn run(ctx: &Experiments, diffs: &[i32]) -> PrioritySweep {
+///
+/// A cell whose measurement fails — even after the escalated-budget
+/// retry — keeps its best unconverged value (zero if nothing was
+/// measured) and is annotated in [`PrioritySweep::degraded`]; the sweep
+/// itself still completes.
+///
+/// # Errors
+///
+/// Returns [`ExpError`] only if *every* cell degraded: a sweep with no
+/// usable data cannot anchor the figures derived from it.
+pub fn run(ctx: &Experiments, diffs: &[i32]) -> Result<PrioritySweep, ExpError> {
     let benches = MicroBenchmark::PRESENTED;
     let mut grids = Vec::with_capacity(diffs.len());
+    let mut degraded = Vec::new();
+    let mut recovered = 0;
     for &diff in diffs {
         let priorities = priority_pair(diff);
         let mut grid = [[SweepCell {
@@ -85,9 +101,17 @@ pub fn run(ctx: &Experiments, diffs: &[i32]) -> PrioritySweep {
         }; 6]; 6];
         for (i, a) in benches.iter().enumerate() {
             for (j, b) in benches.iter().enumerate() {
-                let report = ctx.measure_pair(a.program(), b.program(), priorities);
-                let pt = report.thread(ThreadId::T0).expect("active").ipc;
-                let st = report.thread(ThreadId::T1).expect("active").ipc;
+                let m = ctx.measure_pair_resilient(a.program(), b.program(), priorities);
+                if m.status == crate::CellStatus::Recovered {
+                    recovered += 1;
+                }
+                if let Some(note) =
+                    m.degradation(&format!("({},{}) at diff {diff:+}", a.name(), b.name()))
+                {
+                    degraded.push(note);
+                }
+                let pt = m.ipc(ThreadId::T0).unwrap_or(0.0);
+                let st = m.ipc(ThreadId::T1).unwrap_or(0.0);
                 grid[i][j] = SweepCell {
                     pt_ipc: pt,
                     st_ipc: st,
@@ -97,10 +121,22 @@ pub fn run(ctx: &Experiments, diffs: &[i32]) -> PrioritySweep {
         }
         grids.push(grid);
     }
-    PrioritySweep {
+    let cells = diffs.len() * benches.len() * benches.len();
+    if cells > 0 && degraded.len() == cells {
+        return Err(ExpError {
+            artifact: "sweep",
+            message: format!(
+                "all {cells} cells degraded; first: {}",
+                degraded.first().map_or("", String::as_str)
+            ),
+        });
+    }
+    Ok(PrioritySweep {
         diffs: diffs.to_vec(),
         grids,
-    }
+        degraded,
+        recovered,
+    })
 }
 
 #[cfg(test)]
@@ -116,6 +152,8 @@ mod tests {
         PrioritySweep {
             diffs: vec![0, 2],
             grids: vec![[[cell(1.0); 6]; 6], [[cell(2.0); 6]; 6]],
+            degraded: Vec::new(),
+            recovered: 0,
         }
     }
 

@@ -88,7 +88,7 @@ pub const PAPER_TABLE3: [(f64, [(f64, f64); 6]); 6] = [
 ];
 
 /// Measured Table 3.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Table3Result {
     /// Single-thread IPC per presented benchmark.
     pub st: [f64; 6],
@@ -96,6 +96,9 @@ pub struct Table3Result {
     pub pt: [[f64; 6]; 6],
     /// Combined IPC for each pairing under (4,4).
     pub tt: [[f64; 6]; 6],
+    /// Annotations for measurements that degraded (their cells are kept
+    /// at the best unconverged value, or zero).
+    pub degraded: Vec<String>,
 }
 
 impl Table3Result {
@@ -123,10 +126,14 @@ impl Table3Result {
             }
             t.row(row);
         }
-        format!(
+        let mut out = format!(
             "Table 3 — ST IPC and SMT(4,4) pairwise IPC, measured (paper)\n{}",
             t.render()
-        )
+        );
+        for note in &self.degraded {
+            out.push_str(&format!("DEGRADED {note}\n"));
+        }
+        out
     }
 
     /// Structural checks the paper's analysis highlights, evaluated on the
@@ -170,37 +177,50 @@ impl Table3Result {
     }
 }
 
-/// Runs the 6 single-thread and 36 pairwise measurements.
-#[must_use]
-pub fn run(ctx: &Experiments) -> Table3Result {
+/// Runs the 6 single-thread and 36 pairwise measurements. Degraded cells
+/// keep their best unconverged value and are annotated on the result.
+///
+/// # Errors
+///
+/// Returns [`crate::ExpError`] only if every measurement degraded.
+pub fn run(ctx: &Experiments) -> Result<Table3Result, crate::ExpError> {
     let benches = MicroBenchmark::PRESENTED;
-    let mut st = [0.0; 6];
+    let mut result = Table3Result::default();
     for (i, b) in benches.iter().enumerate() {
-        st[i] = ctx
-            .measure_single(b.program())
-            .thread(p5_isa::ThreadId::T0)
-            .expect("active thread")
-            .ipc;
+        let m = ctx.measure_single_resilient(b.program());
+        if let Some(note) = m.degradation(&format!("ST {}", b.name())) {
+            result.degraded.push(note);
+        }
+        result.st[i] = m.ipc(p5_isa::ThreadId::T0).unwrap_or(0.0);
     }
 
-    let mut pt = [[0.0; 6]; 6];
-    let mut tt = [[0.0; 6]; 6];
     for (i, a) in benches.iter().enumerate() {
         for (j, b) in benches.iter().enumerate() {
-            let report = ctx.measure_pair(
+            let m = ctx.measure_pair_resilient(
                 a.program(),
                 b.program(),
                 crate::priority_pair(0),
             );
-            pt[i][j] = report
-                .thread(p5_isa::ThreadId::T0)
-                .expect("active thread")
-                .ipc;
-            tt[i][j] = report.total_ipc();
+            if let Some(note) =
+                m.degradation(&format!("({},{})", a.name(), b.name()))
+            {
+                result.degraded.push(note);
+            }
+            result.pt[i][j] = m.ipc(p5_isa::ThreadId::T0).unwrap_or(0.0);
+            result.tt[i][j] = m.total_ipc().unwrap_or(0.0);
         }
     }
 
-    Table3Result { st, pt, tt }
+    if result.degraded.len() == benches.len() * (benches.len() + 1) {
+        return Err(crate::ExpError {
+            artifact: "table3",
+            message: format!(
+                "all 42 measurements degraded; first: {}",
+                result.degraded.first().map_or("", String::as_str)
+            ),
+        });
+    }
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -225,10 +245,12 @@ mod tests {
             st: [2.3, 0.3, 0.02, 1.2, 0.4, 0.45],
             pt: [[0.5; 6]; 6],
             tt: [[1.0; 6]; 6],
+            degraded: vec!["(cpu_int,cpu_int): budget".into()],
         };
         let s = r.render();
         assert!(s.contains("ldint_l1"));
         assert!(s.contains("(2.29)"));
+        assert!(s.contains("DEGRADED (cpu_int,cpu_int)"));
     }
 
     #[test]
@@ -244,7 +266,12 @@ mod tests {
                 tt[i][j] = PAPER_TABLE3[i].1[j].1;
             }
         }
-        let r = Table3Result { st, pt, tt };
+        let r = Table3Result {
+            st,
+            pt,
+            tt,
+            degraded: Vec::new(),
+        };
         assert!(r.shape_holds());
     }
 }

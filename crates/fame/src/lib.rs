@@ -40,7 +40,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use p5_core::SmtCore;
+use p5_core::{SimError, SmtCore};
 use p5_isa::{AccessPattern, ThreadId};
 
 /// Parameters of a FAME measurement.
@@ -97,16 +97,56 @@ impl FameConfig {
         }
     }
 
+    /// Validates the parameters, returning a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `maiv` is not in `(0, 1)`
+    /// or any count is zero.
+    pub fn try_validate(&self) -> Result<(), SimError> {
+        if !(self.maiv > 0.0 && self.maiv < 1.0) {
+            return Err(SimError::InvalidConfig {
+                field: "maiv",
+                message: format!("MAIV must be in (0,1), got {}", self.maiv),
+            });
+        }
+        for (field, n) in [
+            ("stable_window", self.stable_window as u64),
+            ("min_repetitions", self.min_repetitions as u64),
+            ("max_cycles", self.max_cycles),
+        ] {
+            if n == 0 {
+                return Err(SimError::InvalidConfig {
+                    field,
+                    message: format!("{field} must be nonzero"),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Validates the parameters.
     ///
     /// # Panics
     ///
-    /// Panics if `maiv` is not in `(0, 1)` or any count is zero.
+    /// Panics if [`FameConfig::try_validate`] rejects them.
     pub fn validate(&self) {
-        assert!(self.maiv > 0.0 && self.maiv < 1.0, "MAIV must be in (0,1)");
-        assert!(self.stable_window > 0);
-        assert!(self.min_repetitions > 0);
-        assert!(self.max_cycles > 0);
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// A copy of this configuration with the measurement and warm-up
+    /// cycle budgets multiplied by `factor` (saturating) — the
+    /// escalation step run-level resilience applies before declaring a
+    /// cell degraded.
+    #[must_use]
+    pub fn escalated(&self, factor: u64) -> FameConfig {
+        FameConfig {
+            max_cycles: self.max_cycles.saturating_mul(factor),
+            warmup_max_cycles: self.warmup_max_cycles.saturating_mul(factor),
+            ..*self
+        }
     }
 }
 
@@ -223,15 +263,61 @@ impl FameRunner {
     ///
     /// # Panics
     ///
-    /// Panics if no context has a program loaded.
+    /// Panics if no context has a program loaded, or if the core's
+    /// forward-progress watchdog trips mid-measurement. Callers that
+    /// need to survive either should use
+    /// [`try_measure`](FameRunner::try_measure).
     pub fn measure(&self, core: &mut SmtCore) -> FameReport {
-        assert!(
-            ThreadId::ALL.iter().any(|&t| core.is_active(t)),
-            "FAME needs at least one active thread"
-        );
+        match self.try_measure(core) {
+            Ok(report) => report,
+            Err(SimError::NoActiveThread) => {
+                panic!("FAME needs at least one active thread")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
 
+    /// Runs the warm-up and measurement phases and reports per-thread
+    /// averages, surfacing livelocks as typed errors instead of burning
+    /// the whole cycle budget.
+    ///
+    /// Both phases honour the core's forward-progress watchdog
+    /// ([`watchdog_stall_cycles`](p5_core::CoreConfig::watchdog_stall_cycles)):
+    /// if no dispatch group commits for that many cycles, the
+    /// measurement aborts with a diagnostic snapshot. A run that merely
+    /// exhausts `max_cycles` while still progressing returns `Ok` with
+    /// `converged == false` — the caller decides whether to escalate
+    /// the budget (see [`FameConfig::escalated`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoActiveThread`] if no context has a program loaded;
+    /// [`SimError::ForwardProgressStall`] if the watchdog trips.
+    pub fn try_measure(&self, core: &mut SmtCore) -> Result<FameReport, SimError> {
+        if !ThreadId::ALL.iter().any(|&t| core.is_active(t)) {
+            return Err(SimError::NoActiveThread);
+        }
+
+        let watchdog = core.config().watchdog_stall_cycles;
+        let stall_check = |core: &SmtCore| -> Result<(), SimError> {
+            if watchdog != 0 && core.stalled_cycles() >= watchdog {
+                return Err(SimError::ForwardProgressStall {
+                    snapshot: Box::new(core.diagnostic_snapshot()),
+                });
+            }
+            Ok(())
+        };
+
+        // Warm-up, in chunks so a wedge cannot eat the whole budget.
         let warmup = self.warmup_budget(core);
-        core.run_cycles(warmup);
+        let warmup_chunk: u64 = 4096;
+        let mut warmed: u64 = 0;
+        while warmed < warmup {
+            let n = warmup_chunk.min(warmup - warmed);
+            core.run_cycles(n);
+            warmed += n;
+            stall_check(core)?;
+        }
         core.reset_stats();
 
         // Measurement: run until every active thread satisfies MAIV and
@@ -248,6 +334,7 @@ impl FameRunner {
         let deadline = self.config.max_cycles;
         while !(done[0] && done[1]) && core.stats().cycles < deadline {
             core.run_cycles(check_period);
+            stall_check(core)?;
             for t in ThreadId::ALL {
                 let i = t.index();
                 if done[i] {
@@ -325,11 +412,11 @@ impl FameRunner {
             threads[i] = Some(measurement);
         }
 
-        FameReport {
+        Ok(FameReport {
             threads,
             measured_cycles,
             warmup_cycles: warmup,
-        }
+        })
     }
 }
 
@@ -476,5 +563,61 @@ mod tests {
         assert!((c.maiv - 0.01).abs() < 1e-12);
         assert_eq!(c.min_repetitions, 10);
         assert_eq!(FameConfig::default(), c);
+    }
+
+    #[test]
+    fn try_measure_reports_idle_core_as_typed_error() {
+        let mut core = SmtCore::new(CoreConfig::tiny_for_tests());
+        let err = FameRunner::new(FameConfig::quick())
+            .try_measure(&mut core)
+            .expect_err("no program loaded");
+        assert_eq!(err, SimError::NoActiveThread);
+    }
+
+    #[test]
+    fn try_measure_surfaces_watchdog_stall_with_culprit() {
+        let mut cfg = CoreConfig::tiny_for_tests();
+        cfg.lmq_entries = 0; // beyond-L1 misses can never issue
+        cfg.watchdog_stall_cycles = 10_000;
+        let mut core = SmtCore::new(cfg);
+        core.load_program(ThreadId::T0, chase_program(256 * 1024, 100));
+        let err = FameRunner::new(FameConfig::quick())
+            .try_measure(&mut core)
+            .expect_err("wedged core must trip the watchdog");
+        let snap = err.snapshot().expect("stall carries a snapshot");
+        assert_eq!(
+            snap.culprit,
+            p5_core::StuckResource::LoadMissQueue,
+            "diagnostic must name the saturated resource"
+        );
+    }
+
+    #[test]
+    fn escalated_multiplies_budgets_only() {
+        let base = FameConfig::quick();
+        let up = base.escalated(4);
+        assert_eq!(up.max_cycles, base.max_cycles * 4);
+        assert_eq!(up.warmup_max_cycles, base.warmup_max_cycles * 4);
+        assert_eq!(up.maiv, base.maiv);
+        assert_eq!(up.min_repetitions, base.min_repetitions);
+        // Saturates instead of overflowing.
+        assert_eq!(base.escalated(u64::MAX).max_cycles, u64::MAX);
+    }
+
+    #[test]
+    fn try_validate_names_offending_field() {
+        let err = FameConfig {
+            max_cycles: 0,
+            ..FameConfig::quick()
+        }
+        .try_validate()
+        .expect_err("zero budget");
+        assert!(matches!(
+            err,
+            SimError::InvalidConfig {
+                field: "max_cycles",
+                ..
+            }
+        ));
     }
 }

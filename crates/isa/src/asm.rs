@@ -143,7 +143,7 @@ pub fn parse(name: &str, source: &str) -> Result<Program, AsmError> {
     for (idx, raw) in source.lines().enumerate() {
         let line_no = idx + 1;
         let line = raw
-            .split(|c| c == ';' || c == '#')
+            .split([';', '#'])
             .next()
             .unwrap_or("")
             .trim();

@@ -39,7 +39,7 @@ impl CacheConfig {
         assert!(self.associativity > 0, "associativity must be nonzero");
         let way_bytes = self.line_bytes * self.associativity as u64;
         assert!(
-            self.size_bytes % way_bytes == 0,
+            self.size_bytes.is_multiple_of(way_bytes),
             "cache size {} is not a multiple of line*assoc {}",
             self.size_bytes,
             way_bytes

@@ -378,8 +378,8 @@ mod tests {
         let mut m = MemoryHierarchy::new(cfg);
         // Sequential line stream: first two misses train, later ones
         // prefetch ahead.
-        m.access(ThreadId::T0, 0 * 64, false);
-        m.access(ThreadId::T0, 1 * 64, false); // sequential -> prefetch 2,3 into L2
+        m.access(ThreadId::T0, 0, false);
+        m.access(ThreadId::T0, 64, false); // sequential -> prefetch 2,3 into L2
         let a = m.access(ThreadId::T0, 2 * 64, false);
         assert_eq!(a.level, HitLevel::L2, "prefetched line should hit L2");
     }

@@ -52,7 +52,7 @@ impl Tlb {
     pub fn new(config: TlbConfig) -> Tlb {
         assert!(config.associativity > 0, "associativity must be nonzero");
         assert!(
-            config.entries % config.associativity == 0,
+            config.entries.is_multiple_of(config.associativity),
             "TLB entries must be a multiple of associativity"
         );
         assert!(

@@ -54,7 +54,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use p5_core::SmtCore;
+use p5_core::{SimError, SmtCore};
 use p5_isa::{Priority, PrivilegeLevel, ThreadId};
 use std::fmt;
 
@@ -71,6 +71,8 @@ pub enum OsError {
     InvalidPath,
     /// A `/sys` write carried a value that is not a priority level.
     InvalidValue,
+    /// A timer-interrupt interval of zero cycles was requested.
+    InvalidTimerInterval,
 }
 
 impl fmt::Display for OsError {
@@ -81,6 +83,9 @@ impl fmt::Display for OsError {
             }
             OsError::InvalidPath => write!(f, "no such sysfs attribute"),
             OsError::InvalidValue => write!(f, "value is not a priority level (0-7)"),
+            OsError::InvalidTimerInterval => {
+                write!(f, "timer interval must be a nonzero cycle count")
+            }
         }
     }
 }
@@ -151,13 +156,17 @@ impl Kernel {
 
     /// Sets the timer-interrupt interval in cycles.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `interval` is zero.
-    pub fn set_timer_interval(&mut self, interval: u64) {
-        assert!(interval > 0, "timer interval must be nonzero");
+    /// [`OsError::InvalidTimerInterval`] if `interval` is zero (the
+    /// kernel would field interrupts forever without running anything).
+    pub fn set_timer_interval(&mut self, interval: u64) -> Result<(), OsError> {
+        if interval == 0 {
+            return Err(OsError::InvalidTimerInterval);
+        }
         self.timer_interval = interval;
         self.cycles_to_timer = self.cycles_to_timer.min(interval);
+        Ok(())
     }
 
     /// The kernel mode in force.
@@ -248,9 +257,18 @@ impl Kernel {
 
     /// A hypervisor-call priority request (any priority, including 0 and
     /// 7).
-    pub fn set_hypervisor_priority(&mut self, thread: ThreadId, priority: Priority) {
+    ///
+    /// # Errors
+    ///
+    /// Never fails today — the hypervisor may set any priority — but the
+    /// `Result` keeps the signature uniform with the other setters and
+    /// leaves room for hypervisor-level policy.
+    pub fn set_hypervisor_priority(
+        &mut self,
+        thread: ThreadId,
+        priority: Priority,
+    ) -> Result<(), OsError> {
         self.set_priority_checked(thread, priority, PrivilegeLevel::Hypervisor)
-            .expect("hypervisor can set any priority");
     }
 
     /// Kernel behaviour when a context spins on a lock: "the priority of
@@ -298,13 +316,39 @@ impl Kernel {
             n -= chunk;
             self.cycles_to_timer -= chunk;
             if self.cycles_to_timer == 0 {
-                self.stats.timer_interrupts += 1;
-                for t in ThreadId::ALL {
-                    self.kernel_entry(t);
-                }
-                self.cycles_to_timer = self.timer_interval;
+                self.deliver_timer_interrupt();
             }
         }
+    }
+
+    /// Advances the simulation by `n` cycles like [`Kernel::run_cycles`],
+    /// but under the core's forward-progress watchdog: a wedged core
+    /// surfaces its diagnostic snapshot instead of burning the rest of
+    /// the span. Stall time accumulates across timer chunks, so the
+    /// watchdog window may be longer than the timer interval.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ForwardProgressStall`] naming the saturated resource.
+    pub fn try_run_cycles(&mut self, mut n: u64) -> Result<(), SimError> {
+        while n > 0 {
+            let chunk = n.min(self.cycles_to_timer);
+            self.core.try_run_cycles(chunk)?;
+            n -= chunk;
+            self.cycles_to_timer -= chunk;
+            if self.cycles_to_timer == 0 {
+                self.deliver_timer_interrupt();
+            }
+        }
+        Ok(())
+    }
+
+    fn deliver_timer_interrupt(&mut self) {
+        self.stats.timer_interrupts += 1;
+        for t in ThreadId::ALL {
+            self.kernel_entry(t);
+        }
+        self.cycles_to_timer = self.timer_interval;
     }
 }
 
@@ -394,14 +438,15 @@ mod tests {
         for p in [Priority::Off, Priority::VeryHigh] {
             assert!(k.set_user_priority(ThreadId::T0, p).is_err());
         }
-        k.set_hypervisor_priority(ThreadId::T0, Priority::VeryHigh);
+        k.set_hypervisor_priority(ThreadId::T0, Priority::VeryHigh)
+            .unwrap();
         assert_eq!(k.core().priority(ThreadId::T0), Priority::VeryHigh);
     }
 
     #[test]
     fn vanilla_kernel_resets_priority_on_timer_interrupt() {
         let mut k = kernel(KernelMode::Vanilla);
-        k.set_timer_interval(10_000);
+        k.set_timer_interval(10_000).unwrap();
         k.set_supervisor_priority(ThreadId::T0, Priority::High).unwrap();
         assert_eq!(k.core().priority(ThreadId::T0), Priority::High);
         k.run_cycles(10_000);
@@ -415,7 +460,7 @@ mod tests {
     #[test]
     fn patched_kernel_preserves_priorities_across_interrupts() {
         let mut k = kernel(KernelMode::Patched);
-        k.set_timer_interval(10_000);
+        k.set_timer_interval(10_000).unwrap();
         k.set_user_priority(ThreadId::T0, Priority::High).unwrap();
         k.run_cycles(50_000);
         assert_eq!(k.core().priority(ThreadId::T0), Priority::High);
@@ -479,7 +524,7 @@ mod tests {
         // up nearly equal; on the patched kernel the skew persists.
         let run = |mode| {
             let mut k = kernel(mode);
-            k.set_timer_interval(5_000);
+            k.set_timer_interval(5_000).unwrap();
             let _ = k.set_supervisor_priority(ThreadId::T0, Priority::High);
             k.run_cycles(200_000);
             let s = k.core().stats();
@@ -492,6 +537,66 @@ mod tests {
             patched_skew > vanilla_skew * 2.0,
             "patched {patched_skew} vs vanilla {vanilla_skew}"
         );
+    }
+
+    #[test]
+    fn zero_timer_interval_is_rejected() {
+        let mut k = kernel(KernelMode::Patched);
+        assert_eq!(
+            k.set_timer_interval(0),
+            Err(OsError::InvalidTimerInterval)
+        );
+        // The old interval stays in force and the kernel still runs.
+        k.run_cycles(Kernel::DEFAULT_TIMER_INTERVAL);
+        assert_eq!(k.stats().timer_interrupts, 1);
+    }
+
+    #[test]
+    fn try_run_cycles_delivers_interrupts_on_a_healthy_core() {
+        let mut k = kernel(KernelMode::Vanilla);
+        k.set_timer_interval(10_000).unwrap();
+        k.set_supervisor_priority(ThreadId::T0, Priority::High).unwrap();
+        k.try_run_cycles(50_000).expect("healthy core never stalls");
+        assert_eq!(k.stats().timer_interrupts, 5);
+        // Vanilla reset-on-kernel-entry still happens on the try_ path.
+        assert_eq!(k.core().priority(ThreadId::T0), Priority::Medium);
+    }
+
+    #[test]
+    fn try_run_cycles_surfaces_a_wedged_core() {
+        use p5_core::StuckResource;
+        use p5_isa::{BranchBehavior, DataKind, Reg, StreamSpec};
+
+        let mut cfg = CoreConfig::tiny_for_tests();
+        cfg.lmq_entries = 0;
+        // Window longer than the timer interval: the stall must
+        // accumulate across timer chunks to be seen at all.
+        cfg.watchdog_stall_cycles = 30_000;
+        let mut core = SmtCore::new(cfg);
+        let ptr = Reg::new(1);
+        let mut b = Program::builder("chase");
+        let s = b.stream(StreamSpec::pointer_chase(256 * 1024));
+        b.push(
+            StaticInst::new(Op::Load {
+                stream: s,
+                kind: DataKind::Int,
+            })
+            .dst(ptr)
+            .src1(ptr),
+        );
+        b.push(StaticInst::new(Op::Branch(BranchBehavior::LoopBack)));
+        b.iterations(1_000);
+        core.load_program(ThreadId::T0, b.build().unwrap());
+
+        let mut k = Kernel::new(core, KernelMode::Patched);
+        k.set_timer_interval(10_000).unwrap();
+        let err = k
+            .try_run_cycles(10_000_000)
+            .expect_err("a zero-LMQ chase wedges the core");
+        let SimError::ForwardProgressStall { snapshot } = err else {
+            panic!("expected a forward-progress stall, got {err}");
+        };
+        assert_eq!(snapshot.culprit, StuckResource::LoadMissQueue);
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn run(mode: KernelMode) -> (f64, f64, u64) {
     core.load_program(ThreadId::T1, MicroBenchmark::CpuInt.program());
 
     let mut kernel = Kernel::new(core, mode);
-    kernel.set_timer_interval(50_000); // a timer tick every 50k cycles
+    kernel.set_timer_interval(50_000).unwrap(); // a timer tick every 50k cycles
 
     // The experimenter boosts T0 with supervisor rights...
     kernel

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint. No network access required — the
+# workspace has no external dependencies (crates/bench, which needs
+# criterion, is excluded from the default members).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test =="
+cargo test -q --offline
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "CI gate passed"

@@ -15,6 +15,7 @@
 //! * [`microbench`] — the 15 Table-2 micro-benchmarks.
 //! * [`os`] — privilege model, or-nop semantics, kernel behaviours.
 //! * [`fame`] — the FAME measurement methodology.
+//! * [`fault`] — deterministic fault injection and pipeline invariants.
 //! * [`workloads`] — SPEC proxies, FFT/LU pipeline, MPI imbalance model.
 //! * [`experiments`] — per-table/per-figure reproduction harness.
 //!
@@ -25,6 +26,7 @@ pub use p5_branch as branch;
 pub use p5_core as core;
 pub use p5_experiments as experiments;
 pub use p5_fame as fame;
+pub use p5_fault as fault;
 pub use p5_isa as isa;
 pub use p5_mem as mem;
 pub use p5_microbench as microbench;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-2a6f1dfba7e425b1.d: crates/experiments/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-2a6f1dfba7e425b1: crates/experiments/src/bin/calibrate.rs
+
+crates/experiments/src/bin/calibrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibrate-586339014ff2c84a.d: crates/experiments/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibrate-586339014ff2c84a.rmeta: crates/experiments/src/bin/calibrate.rs Cargo.toml
+
+crates/experiments/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

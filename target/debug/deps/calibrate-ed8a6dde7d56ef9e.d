@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibrate-ed8a6dde7d56ef9e.d: crates/experiments/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibrate-ed8a6dde7d56ef9e.rmeta: crates/experiments/src/bin/calibrate.rs Cargo.toml
+
+crates/experiments/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

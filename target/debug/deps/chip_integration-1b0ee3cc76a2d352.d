@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chip_integration-1b0ee3cc76a2d352.d: tests/chip_integration.rs
+
+/root/repo/target/debug/deps/chip_integration-1b0ee3cc76a2d352: tests/chip_integration.rs
+
+tests/chip_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chip_integration-ba1edd6dfd7bdee0.d: tests/chip_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchip_integration-ba1edd6dfd7bdee0.rmeta: tests/chip_integration.rs Cargo.toml
+
+tests/chip_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/measurement_integration-25c9bb99b5cdf43d.d: tests/measurement_integration.rs
+
+/root/repo/target/debug/deps/measurement_integration-25c9bb99b5cdf43d: tests/measurement_integration.rs
+
+tests/measurement_integration.rs:

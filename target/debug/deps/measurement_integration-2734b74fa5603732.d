@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/measurement_integration-2734b74fa5603732.d: tests/measurement_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmeasurement_integration-2734b74fa5603732.rmeta: tests/measurement_integration.rs Cargo.toml
+
+tests/measurement_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/os_integration-60abb426d9eeffdc.d: tests/os_integration.rs
+
+/root/repo/target/debug/deps/os_integration-60abb426d9eeffdc: tests/os_integration.rs
+
+tests/os_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/os_integration-6b04f1ce0ad3e1d4.d: tests/os_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libos_integration-6b04f1ce0ad3e1d4.rmeta: tests/os_integration.rs Cargo.toml
+
+tests/os_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

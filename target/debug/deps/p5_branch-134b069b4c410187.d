@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/p5_branch-134b069b4c410187.d: crates/branch/src/lib.rs
+
+/root/repo/target/debug/deps/libp5_branch-134b069b4c410187.rlib: crates/branch/src/lib.rs
+
+/root/repo/target/debug/deps/libp5_branch-134b069b4c410187.rmeta: crates/branch/src/lib.rs
+
+crates/branch/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/p5_branch-4ea332a9f4455aae.d: crates/branch/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp5_branch-4ea332a9f4455aae.rmeta: crates/branch/src/lib.rs Cargo.toml
+
+crates/branch/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

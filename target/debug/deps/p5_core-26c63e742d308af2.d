@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/p5_core-26c63e742d308af2.d: crates/core/src/lib.rs crates/core/src/chip.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/queues.rs crates/core/src/stats.rs crates/core/src/thread.rs crates/core/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp5_core-26c63e742d308af2.rmeta: crates/core/src/lib.rs crates/core/src/chip.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/queues.rs crates/core/src/stats.rs crates/core/src/thread.rs crates/core/src/trace.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/chip.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/queues.rs:
+crates/core/src/stats.rs:
+crates/core/src/thread.rs:
+crates/core/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

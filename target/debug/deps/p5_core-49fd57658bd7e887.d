@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/p5_core-49fd57658bd7e887.d: crates/core/src/lib.rs crates/core/src/chip.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/queues.rs crates/core/src/stats.rs crates/core/src/thread.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/p5_core-49fd57658bd7e887: crates/core/src/lib.rs crates/core/src/chip.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/queues.rs crates/core/src/stats.rs crates/core/src/thread.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chip.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/queues.rs:
+crates/core/src/stats.rs:
+crates/core/src/thread.rs:
+crates/core/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/p5_core-5c3321fb01de6677.d: crates/core/src/lib.rs crates/core/src/chip.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/queues.rs crates/core/src/stats.rs crates/core/src/thread.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/libp5_core-5c3321fb01de6677.rlib: crates/core/src/lib.rs crates/core/src/chip.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/queues.rs crates/core/src/stats.rs crates/core/src/thread.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/libp5_core-5c3321fb01de6677.rmeta: crates/core/src/lib.rs crates/core/src/chip.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/queues.rs crates/core/src/stats.rs crates/core/src/thread.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chip.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/queues.rs:
+crates/core/src/stats.rs:
+crates/core/src/thread.rs:
+crates/core/src/trace.rs:

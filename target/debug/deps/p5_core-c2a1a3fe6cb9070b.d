@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/p5_core-c2a1a3fe6cb9070b.d: crates/core/src/lib.rs crates/core/src/chip.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/queues.rs crates/core/src/stats.rs crates/core/src/thread.rs crates/core/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp5_core-c2a1a3fe6cb9070b.rmeta: crates/core/src/lib.rs crates/core/src/chip.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/queues.rs crates/core/src/stats.rs crates/core/src/thread.rs crates/core/src/trace.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/chip.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/queues.rs:
+crates/core/src/stats.rs:
+crates/core/src/thread.rs:
+crates/core/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

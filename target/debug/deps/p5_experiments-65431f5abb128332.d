@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/p5_experiments-65431f5abb128332.d: crates/experiments/src/lib.rs crates/experiments/src/claims.rs crates/experiments/src/export.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig4.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/mpi.rs crates/experiments/src/noise.rs crates/experiments/src/report.rs crates/experiments/src/sweep.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp5_experiments-65431f5abb128332.rmeta: crates/experiments/src/lib.rs crates/experiments/src/claims.rs crates/experiments/src/export.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig4.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/mpi.rs crates/experiments/src/noise.rs crates/experiments/src/report.rs crates/experiments/src/sweep.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table4.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/claims.rs:
+crates/experiments/src/export.rs:
+crates/experiments/src/fig2.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/fig4.rs:
+crates/experiments/src/fig5.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/mpi.rs:
+crates/experiments/src/noise.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/sweep.rs:
+crates/experiments/src/table1.rs:
+crates/experiments/src/table2.rs:
+crates/experiments/src/table3.rs:
+crates/experiments/src/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/p5_experiments-933ea66965dc0edf.d: crates/experiments/src/lib.rs crates/experiments/src/claims.rs crates/experiments/src/export.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig4.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/mpi.rs crates/experiments/src/noise.rs crates/experiments/src/report.rs crates/experiments/src/sweep.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table4.rs
+
+/root/repo/target/debug/deps/libp5_experiments-933ea66965dc0edf.rlib: crates/experiments/src/lib.rs crates/experiments/src/claims.rs crates/experiments/src/export.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig4.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/mpi.rs crates/experiments/src/noise.rs crates/experiments/src/report.rs crates/experiments/src/sweep.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table4.rs
+
+/root/repo/target/debug/deps/libp5_experiments-933ea66965dc0edf.rmeta: crates/experiments/src/lib.rs crates/experiments/src/claims.rs crates/experiments/src/export.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig4.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/mpi.rs crates/experiments/src/noise.rs crates/experiments/src/report.rs crates/experiments/src/sweep.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table4.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/claims.rs:
+crates/experiments/src/export.rs:
+crates/experiments/src/fig2.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/fig4.rs:
+crates/experiments/src/fig5.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/mpi.rs:
+crates/experiments/src/noise.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/sweep.rs:
+crates/experiments/src/table1.rs:
+crates/experiments/src/table2.rs:
+crates/experiments/src/table3.rs:
+crates/experiments/src/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/p5_fame-341816595c9a14af.d: crates/fame/src/lib.rs
+
+/root/repo/target/debug/deps/p5_fame-341816595c9a14af: crates/fame/src/lib.rs
+
+crates/fame/src/lib.rs:

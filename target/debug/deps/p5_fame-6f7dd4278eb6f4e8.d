@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/p5_fame-6f7dd4278eb6f4e8.d: crates/fame/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp5_fame-6f7dd4278eb6f4e8.rmeta: crates/fame/src/lib.rs Cargo.toml
+
+crates/fame/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

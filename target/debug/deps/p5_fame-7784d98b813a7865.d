@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/p5_fame-7784d98b813a7865.d: crates/fame/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp5_fame-7784d98b813a7865.rmeta: crates/fame/src/lib.rs Cargo.toml
+
+crates/fame/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/p5_fame-ae49607131f26c32.d: crates/fame/src/lib.rs
+
+/root/repo/target/debug/deps/libp5_fame-ae49607131f26c32.rlib: crates/fame/src/lib.rs
+
+/root/repo/target/debug/deps/libp5_fame-ae49607131f26c32.rmeta: crates/fame/src/lib.rs
+
+crates/fame/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/p5_fault-258fe83da1e6d19a.d: crates/fault/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp5_fault-258fe83da1e6d19a.rmeta: crates/fault/src/lib.rs Cargo.toml
+
+crates/fault/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

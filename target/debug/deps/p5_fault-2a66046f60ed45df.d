@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/p5_fault-2a66046f60ed45df.d: crates/fault/src/lib.rs
+
+/root/repo/target/debug/deps/p5_fault-2a66046f60ed45df: crates/fault/src/lib.rs
+
+crates/fault/src/lib.rs:

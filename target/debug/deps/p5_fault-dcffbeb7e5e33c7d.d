@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/p5_fault-dcffbeb7e5e33c7d.d: crates/fault/src/lib.rs
+
+/root/repo/target/debug/deps/libp5_fault-dcffbeb7e5e33c7d.rlib: crates/fault/src/lib.rs
+
+/root/repo/target/debug/deps/libp5_fault-dcffbeb7e5e33c7d.rmeta: crates/fault/src/lib.rs
+
+crates/fault/src/lib.rs:

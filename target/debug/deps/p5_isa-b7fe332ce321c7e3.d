@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/p5_isa-b7fe332ce321c7e3.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/priority.rs crates/isa/src/program.rs crates/isa/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp5_isa-b7fe332ce321c7e3.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/priority.rs crates/isa/src/program.rs crates/isa/src/reg.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/priority.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/p5_mem-ebd1aede2acddaa6.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/libp5_mem-ebd1aede2acddaa6.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/libp5_mem-ebd1aede2acddaa6.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/tlb.rs:

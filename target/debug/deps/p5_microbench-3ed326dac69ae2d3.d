@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/p5_microbench-3ed326dac69ae2d3.d: crates/microbench/src/lib.rs crates/microbench/src/bodies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp5_microbench-3ed326dac69ae2d3.rmeta: crates/microbench/src/lib.rs crates/microbench/src/bodies.rs Cargo.toml
+
+crates/microbench/src/lib.rs:
+crates/microbench/src/bodies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

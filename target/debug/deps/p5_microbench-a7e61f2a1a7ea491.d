@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/p5_microbench-a7e61f2a1a7ea491.d: crates/microbench/src/lib.rs crates/microbench/src/bodies.rs
+
+/root/repo/target/debug/deps/libp5_microbench-a7e61f2a1a7ea491.rlib: crates/microbench/src/lib.rs crates/microbench/src/bodies.rs
+
+/root/repo/target/debug/deps/libp5_microbench-a7e61f2a1a7ea491.rmeta: crates/microbench/src/lib.rs crates/microbench/src/bodies.rs
+
+crates/microbench/src/lib.rs:
+crates/microbench/src/bodies.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/p5_os-4d07d91062f7c49a.d: crates/os/src/lib.rs
+
+/root/repo/target/debug/deps/libp5_os-4d07d91062f7c49a.rlib: crates/os/src/lib.rs
+
+/root/repo/target/debug/deps/libp5_os-4d07d91062f7c49a.rmeta: crates/os/src/lib.rs
+
+crates/os/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/p5_os-ab45dc8ab85ca114.d: crates/os/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp5_os-ab45dc8ab85ca114.rmeta: crates/os/src/lib.rs Cargo.toml
+
+crates/os/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

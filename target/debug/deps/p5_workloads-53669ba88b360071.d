@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/p5_workloads-53669ba88b360071.d: crates/workloads/src/lib.rs crates/workloads/src/fftlu.rs crates/workloads/src/mpi.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libp5_workloads-53669ba88b360071.rlib: crates/workloads/src/lib.rs crates/workloads/src/fftlu.rs crates/workloads/src/mpi.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libp5_workloads-53669ba88b360071.rmeta: crates/workloads/src/lib.rs crates/workloads/src/fftlu.rs crates/workloads/src/mpi.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/fftlu.rs:
+crates/workloads/src/mpi.rs:
+crates/workloads/src/spec.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/p5_workloads-b1fdf5206bb1c5ff.d: crates/workloads/src/lib.rs crates/workloads/src/fftlu.rs crates/workloads/src/mpi.rs crates/workloads/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp5_workloads-b1fdf5206bb1c5ff.rmeta: crates/workloads/src/lib.rs crates/workloads/src/fftlu.rs crates/workloads/src/mpi.rs crates/workloads/src/spec.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/fftlu.rs:
+crates/workloads/src/mpi.rs:
+crates/workloads/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

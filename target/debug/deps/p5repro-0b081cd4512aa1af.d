@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/p5repro-0b081cd4512aa1af.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp5repro-0b081cd4512aa1af.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/p5repro-36cfe7d3e3471eec.d: src/lib.rs
+
+/root/repo/target/debug/deps/p5repro-36cfe7d3e3471eec: src/lib.rs
+
+src/lib.rs:

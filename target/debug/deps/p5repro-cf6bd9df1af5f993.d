@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/p5repro-cf6bd9df1af5f993.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libp5repro-cf6bd9df1af5f993.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/p5repro-e1b830c846b0c767.d: src/lib.rs
+
+/root/repo/target/debug/deps/libp5repro-e1b830c846b0c767.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libp5repro-e1b830c846b0c767.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/priority_mechanism-18f0b0ef95c75d63.d: tests/priority_mechanism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpriority_mechanism-18f0b0ef95c75d63.rmeta: tests/priority_mechanism.rs Cargo.toml
+
+tests/priority_mechanism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/priority_mechanism-f0dd41c8132153de.d: tests/priority_mechanism.rs
+
+/root/repo/target/debug/deps/priority_mechanism-f0dd41c8132153de: tests/priority_mechanism.rs
+
+tests/priority_mechanism.rs:

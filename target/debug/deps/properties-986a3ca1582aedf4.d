@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-986a3ca1582aedf4.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-986a3ca1582aedf4: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-9f73d2d51c138f4d.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-9f73d2d51c138f4d: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-abb249dc941c75a9.d: crates/experiments/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-abb249dc941c75a9.rmeta: crates/experiments/src/bin/repro.rs Cargo.toml
+
+crates/experiments/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

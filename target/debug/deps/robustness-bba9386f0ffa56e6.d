@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-bba9386f0ffa56e6.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-bba9386f0ffa56e6: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads_integration-a8cb4acdf20bd3e9.d: tests/workloads_integration.rs
+
+/root/repo/target/debug/deps/workloads_integration-a8cb4acdf20bd3e9: tests/workloads_integration.rs
+
+tests/workloads_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads_integration-e748fe3be09801ad.d: tests/workloads_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads_integration-e748fe3be09801ad.rmeta: tests/workloads_integration.rs Cargo.toml
+
+tests/workloads_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

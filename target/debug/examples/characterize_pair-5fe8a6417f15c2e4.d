@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/characterize_pair-5fe8a6417f15c2e4.d: examples/characterize_pair.rs
+
+/root/repo/target/debug/examples/characterize_pair-5fe8a6417f15c2e4: examples/characterize_pair.rs
+
+examples/characterize_pair.rs:

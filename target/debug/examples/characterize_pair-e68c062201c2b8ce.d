@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/characterize_pair-e68c062201c2b8ce.d: examples/characterize_pair.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcharacterize_pair-e68c062201c2b8ce.rmeta: examples/characterize_pair.rs Cargo.toml
+
+examples/characterize_pair.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

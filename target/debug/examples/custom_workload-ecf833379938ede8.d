@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-ecf833379938ede8.d: examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-ecf833379938ede8: examples/custom_workload.rs
+
+examples/custom_workload.rs:

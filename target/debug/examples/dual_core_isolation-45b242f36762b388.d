@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dual_core_isolation-45b242f36762b388.d: examples/dual_core_isolation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdual_core_isolation-45b242f36762b388.rmeta: examples/dual_core_isolation.rs Cargo.toml
+
+examples/dual_core_isolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

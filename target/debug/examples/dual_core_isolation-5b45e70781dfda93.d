@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dual_core_isolation-5b45e70781dfda93.d: examples/dual_core_isolation.rs
+
+/root/repo/target/debug/examples/dual_core_isolation-5b45e70781dfda93: examples/dual_core_isolation.rs
+
+examples/dual_core_isolation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kernel_patch-4944608067205c2a.d: examples/kernel_patch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkernel_patch-4944608067205c2a.rmeta: examples/kernel_patch.rs Cargo.toml
+
+examples/kernel_patch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

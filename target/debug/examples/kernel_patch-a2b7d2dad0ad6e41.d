@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kernel_patch-a2b7d2dad0ad6e41.d: examples/kernel_patch.rs
+
+/root/repo/target/debug/examples/kernel_patch-a2b7d2dad0ad6e41: examples/kernel_patch.rs
+
+examples/kernel_patch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_balancing-03e3882bfba79bab.d: examples/pipeline_balancing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_balancing-03e3882bfba79bab.rmeta: examples/pipeline_balancing.rs Cargo.toml
+
+examples/pipeline_balancing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

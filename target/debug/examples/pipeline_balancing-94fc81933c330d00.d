@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_balancing-94fc81933c330d00.d: examples/pipeline_balancing.rs
+
+/root/repo/target/debug/examples/pipeline_balancing-94fc81933c330d00: examples/pipeline_balancing.rs
+
+examples/pipeline_balancing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_trace-56ef75c24145da50.d: examples/pipeline_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_trace-56ef75c24145da50.rmeta: examples/pipeline_trace.rs Cargo.toml
+
+examples/pipeline_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_trace-dd219e4d92023dca.d: examples/pipeline_trace.rs
+
+/root/repo/target/debug/examples/pipeline_trace-dd219e4d92023dca: examples/pipeline_trace.rs
+
+examples/pipeline_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b4d4a88afb4f2a63.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b4d4a88afb4f2a63: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transparent_background-25e6568368de76d9.d: examples/transparent_background.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransparent_background-25e6568368de76d9.rmeta: examples/transparent_background.rs Cargo.toml
+
+examples/transparent_background.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

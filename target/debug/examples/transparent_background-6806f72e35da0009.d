@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transparent_background-6806f72e35da0009.d: examples/transparent_background.rs
+
+/root/repo/target/debug/examples/transparent_background-6806f72e35da0009: examples/transparent_background.rs
+
+examples/transparent_background.rs:

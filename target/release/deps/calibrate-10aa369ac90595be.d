@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-10aa369ac90595be.d: crates/experiments/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-10aa369ac90595be: crates/experiments/src/bin/calibrate.rs
+
+crates/experiments/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-da52a13d6615fe7d.d: crates/experiments/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-da52a13d6615fe7d: crates/experiments/src/bin/calibrate.rs
+
+crates/experiments/src/bin/calibrate.rs:

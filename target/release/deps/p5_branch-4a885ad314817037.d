@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/p5_branch-4a885ad314817037.d: crates/branch/src/lib.rs
+
+/root/repo/target/release/deps/libp5_branch-4a885ad314817037.rlib: crates/branch/src/lib.rs
+
+/root/repo/target/release/deps/libp5_branch-4a885ad314817037.rmeta: crates/branch/src/lib.rs
+
+crates/branch/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/p5_core-2a1ff694e150898b.d: crates/core/src/lib.rs crates/core/src/chip.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/queues.rs crates/core/src/stats.rs crates/core/src/thread.rs crates/core/src/trace.rs
+
+/root/repo/target/release/deps/p5_core-2a1ff694e150898b: crates/core/src/lib.rs crates/core/src/chip.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/queues.rs crates/core/src/stats.rs crates/core/src/thread.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chip.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/queues.rs:
+crates/core/src/stats.rs:
+crates/core/src/thread.rs:
+crates/core/src/trace.rs:

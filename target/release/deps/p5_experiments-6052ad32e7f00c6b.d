@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/p5_experiments-6052ad32e7f00c6b.d: crates/experiments/src/lib.rs crates/experiments/src/claims.rs crates/experiments/src/export.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig4.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/mpi.rs crates/experiments/src/noise.rs crates/experiments/src/report.rs crates/experiments/src/sweep.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table4.rs
+
+/root/repo/target/release/deps/p5_experiments-6052ad32e7f00c6b: crates/experiments/src/lib.rs crates/experiments/src/claims.rs crates/experiments/src/export.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig4.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/mpi.rs crates/experiments/src/noise.rs crates/experiments/src/report.rs crates/experiments/src/sweep.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table4.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/claims.rs:
+crates/experiments/src/export.rs:
+crates/experiments/src/fig2.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/fig4.rs:
+crates/experiments/src/fig5.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/mpi.rs:
+crates/experiments/src/noise.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/sweep.rs:
+crates/experiments/src/table1.rs:
+crates/experiments/src/table2.rs:
+crates/experiments/src/table3.rs:
+crates/experiments/src/table4.rs:

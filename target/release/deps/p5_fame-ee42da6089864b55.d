@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/p5_fame-ee42da6089864b55.d: crates/fame/src/lib.rs
+
+/root/repo/target/release/deps/libp5_fame-ee42da6089864b55.rlib: crates/fame/src/lib.rs
+
+/root/repo/target/release/deps/libp5_fame-ee42da6089864b55.rmeta: crates/fame/src/lib.rs
+
+crates/fame/src/lib.rs:

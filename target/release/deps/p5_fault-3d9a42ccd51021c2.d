@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/p5_fault-3d9a42ccd51021c2.d: crates/fault/src/lib.rs
+
+/root/repo/target/release/deps/libp5_fault-3d9a42ccd51021c2.rlib: crates/fault/src/lib.rs
+
+/root/repo/target/release/deps/libp5_fault-3d9a42ccd51021c2.rmeta: crates/fault/src/lib.rs
+
+crates/fault/src/lib.rs:

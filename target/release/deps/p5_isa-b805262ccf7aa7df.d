@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/p5_isa-b805262ccf7aa7df.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/priority.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libp5_isa-b805262ccf7aa7df.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/priority.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libp5_isa-b805262ccf7aa7df.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/priority.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/priority.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/p5_microbench-3ba939ca83728de7.d: crates/microbench/src/lib.rs crates/microbench/src/bodies.rs
+
+/root/repo/target/release/deps/libp5_microbench-3ba939ca83728de7.rlib: crates/microbench/src/lib.rs crates/microbench/src/bodies.rs
+
+/root/repo/target/release/deps/libp5_microbench-3ba939ca83728de7.rmeta: crates/microbench/src/lib.rs crates/microbench/src/bodies.rs
+
+crates/microbench/src/lib.rs:
+crates/microbench/src/bodies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/p5_os-b6a1ca3cb488660b.d: crates/os/src/lib.rs
+
+/root/repo/target/release/deps/p5_os-b6a1ca3cb488660b: crates/os/src/lib.rs
+
+crates/os/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/p5_os-ff9c92db0e8109ea.d: crates/os/src/lib.rs
+
+/root/repo/target/release/deps/libp5_os-ff9c92db0e8109ea.rlib: crates/os/src/lib.rs
+
+/root/repo/target/release/deps/libp5_os-ff9c92db0e8109ea.rmeta: crates/os/src/lib.rs
+
+crates/os/src/lib.rs:

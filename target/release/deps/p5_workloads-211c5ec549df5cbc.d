@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/p5_workloads-211c5ec549df5cbc.d: crates/workloads/src/lib.rs crates/workloads/src/fftlu.rs crates/workloads/src/mpi.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libp5_workloads-211c5ec549df5cbc.rlib: crates/workloads/src/lib.rs crates/workloads/src/fftlu.rs crates/workloads/src/mpi.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libp5_workloads-211c5ec549df5cbc.rmeta: crates/workloads/src/lib.rs crates/workloads/src/fftlu.rs crates/workloads/src/mpi.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/fftlu.rs:
+crates/workloads/src/mpi.rs:
+crates/workloads/src/spec.rs:

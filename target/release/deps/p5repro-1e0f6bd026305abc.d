@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/p5repro-1e0f6bd026305abc.d: src/lib.rs
+
+/root/repo/target/release/deps/libp5repro-1e0f6bd026305abc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libp5repro-1e0f6bd026305abc.rmeta: src/lib.rs
+
+src/lib.rs:

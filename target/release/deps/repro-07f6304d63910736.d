@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-07f6304d63910736.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-07f6304d63910736: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

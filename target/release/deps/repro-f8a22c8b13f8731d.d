@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-f8a22c8b13f8731d.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-f8a22c8b13f8731d: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/kernel_patch-dfb91f36121d3878.d: examples/kernel_patch.rs
+
+/root/repo/target/release/examples/kernel_patch-dfb91f36121d3878: examples/kernel_patch.rs
+
+examples/kernel_patch.rs:

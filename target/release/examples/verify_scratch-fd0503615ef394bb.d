@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_scratch-fd0503615ef394bb.d: examples/verify_scratch.rs
+
+/root/repo/target/release/examples/verify_scratch-fd0503615ef394bb: examples/verify_scratch.rs
+
+examples/verify_scratch.rs:

@@ -19,7 +19,7 @@ fn paper_experiment_workflow_on_patched_kernel() {
     // The workflow of Section 4.3/5: set priorities through /sys, run,
     // measure — without the kernel interfering.
     let mut k = kernel(KernelMode::Patched);
-    k.set_timer_interval(10_000);
+    k.set_timer_interval(10_000).unwrap();
     sysfs_write(&mut k, "thread0/priority", "6").expect("patched kernel exposes 6");
     sysfs_write(&mut k, "thread1/priority", "2").expect("2 is a user level anyway");
 
@@ -40,7 +40,7 @@ fn paper_experiment_workflow_on_patched_kernel() {
 #[test]
 fn same_experiment_is_destroyed_by_the_vanilla_kernel() {
     let mut k = kernel(KernelMode::Vanilla);
-    k.set_timer_interval(10_000);
+    k.set_timer_interval(10_000).unwrap();
     // User space cannot even request 6 on the stock kernel...
     assert_eq!(
         sysfs_write(&mut k, "thread0/priority", "6"),
@@ -90,7 +90,7 @@ fn spin_wait_scenario_reduces_spinner_interference() {
 #[test]
 fn hypervisor_call_reaches_single_thread_mode() {
     let mut k = kernel(KernelMode::Patched);
-    k.set_hypervisor_priority(ThreadId::T0, Priority::VeryHigh);
+    k.set_hypervisor_priority(ThreadId::T0, Priority::VeryHigh).unwrap();
     k.run_cycles(20_000);
     assert!(k.core().stats().committed(ThreadId::T0) > 0);
     assert_eq!(k.core().stats().committed(ThreadId::T1), 0);
