@@ -12,8 +12,37 @@ use p5_isa::{
     Program, ThreadId,
 };
 use p5_mem::{HitLevel, MemoryHierarchy};
+use p5_pmu::{CpiComponent, CycleRecord, Pmu, PmuConfig, PmuEventKind};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// What one thread's decode slot did in one cycle (PMU attribution
+/// input; one value per context per cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotOutcome {
+    /// The thread neither decoded nor was blocked: the cycle belonged
+    /// to the sibling (or to nobody).
+    Idle,
+    /// The thread decoded at least one instruction.
+    Decoded,
+    /// The thread was granted decode but blocked, for exactly one
+    /// recorded cause.
+    Blocked(DecodeBlock),
+}
+
+/// Everything the decode stage did in one cycle, for PMU accounting.
+#[derive(Debug, Clone, Copy)]
+struct DecodeCycle {
+    /// The designated context, if any.
+    granted: Option<ThreadId>,
+    /// Whether the designated context decoded.
+    used: bool,
+    /// Whether the sibling decoded on the designated context's unused
+    /// slot.
+    stolen: bool,
+    /// Per-context outcome.
+    outcome: [SlotOutcome; 2],
+}
 
 /// Why a bounded run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +78,10 @@ pub struct SmtCore {
     fu_busy: [Vec<u64>; 4],
     rng: u64,
     tracer: Option<Trace>,
+    /// Performance-monitoring unit, when enabled. Boxed so the disabled
+    /// case costs one pointer-sized `None` check per cycle and nothing
+    /// else; no `dyn` dispatch anywhere on the hot path.
+    pmu: Option<Box<Pmu>>,
     /// XORed into every stream base address; distinguishes the address
     /// spaces of the two cores of a chip.
     address_space_salt: u64,
@@ -131,6 +164,7 @@ impl SmtCore {
                 config.rng_seed
             },
             tracer: None,
+            pmu: None,
             address_space_salt,
             last_commit_cycle: 0,
             cache_port_blocked_until: 0,
@@ -158,6 +192,33 @@ impl SmtCore {
     #[must_use]
     pub fn trace(&self) -> Option<&Trace> {
         self.tracer.as_ref()
+    }
+
+    /// Enables the performance-monitoring unit (replacing any previous
+    /// one) and attaches its memory-counter cell to the hierarchy.
+    pub fn enable_pmu(&mut self, config: PmuConfig) {
+        let pmu = Box::new(Pmu::new(config));
+        self.mem.attach_pmu_counters(pmu.mem_counters());
+        self.pmu = Some(pmu);
+    }
+
+    /// Disables the PMU and returns what it collected, if it was
+    /// enabled. The memory hierarchy stops publishing counters.
+    pub fn take_pmu(&mut self) -> Option<Box<Pmu>> {
+        self.mem.detach_pmu_counters();
+        self.pmu.take()
+    }
+
+    /// The PMU, if enabled.
+    #[must_use]
+    pub fn pmu(&self) -> Option<&Pmu> {
+        self.pmu.as_deref()
+    }
+
+    /// Mutable access to the PMU, if enabled (the OS layer records
+    /// kernel-entry events through this).
+    pub fn pmu_mut(&mut self) -> Option<&mut Pmu> {
+        self.pmu.as_deref_mut()
     }
 
     fn emit(&mut self, thread: ThreadId, seq: u64, kind: TraceKind) {
@@ -221,6 +282,14 @@ impl SmtCore {
                 level: priority.level(),
             },
         );
+        if let Some(p) = &mut self.pmu {
+            p.record_instant(
+                Some(thread),
+                PmuEventKind::PriorityChanged {
+                    level: priority.level(),
+                },
+            );
+        }
     }
 
     /// Current priority of `thread`.
@@ -546,8 +615,78 @@ impl SmtCore {
         self.lmq.expire(now);
         self.drain_completions(now);
         self.issue(now);
-        self.decode(now);
+        let dc = self.decode(now);
         self.retire();
+        if self.pmu.is_some() {
+            self.pmu_account(now, dc);
+        }
+    }
+
+    /// Feeds one cycle's worth of observations to the enabled PMU:
+    /// attributes the cycle to exactly one CPI component per context and
+    /// snapshots occupancies. Only called when a PMU is attached.
+    fn pmu_account(&mut self, now: u64, dc: DecodeCycle) {
+        let gct = self.gct_occupancy() as u32;
+        let lmq = self.lmq.occupancy() as u32;
+        let committed = [
+            self.stats.threads[0].committed,
+            self.stats.threads[1].committed,
+        ];
+        let priorities = [self.priorities[0].level(), self.priorities[1].level()];
+        let mut attr = [CpiComponent::Idle; 2];
+        for tid in ThreadId::ALL {
+            let i = tid.index();
+            attr[i] = match dc.outcome[i] {
+                SlotOutcome::Decoded => CpiComponent::Base,
+                SlotOutcome::Blocked(why) => self.classify_block(tid, why),
+                SlotOutcome::Idle => {
+                    if self.is_active(tid) {
+                        CpiComponent::DecodeStarved
+                    } else {
+                        CpiComponent::Idle
+                    }
+                }
+            };
+        }
+        let rec = CycleRecord {
+            attr,
+            granted: dc.granted,
+            used: dc.used,
+            stolen: dc.stolen,
+            gct_occupancy: gct,
+            lmq_occupancy: lmq,
+            committed,
+            priorities,
+        };
+        if let Some(p) = &mut self.pmu {
+            p.on_cycle(now, &rec);
+        }
+    }
+
+    /// Maps a decode-block cause to a CPI component, charging structural
+    /// stalls (GCT/queue full) to [`CpiComponent::CacheMiss`] when the
+    /// thread has an outstanding load miss — the miss, not the
+    /// structure, is then the root cause.
+    fn classify_block(&self, tid: ThreadId, why: DecodeBlock) -> CpiComponent {
+        match why {
+            DecodeBlock::Inactive => CpiComponent::Idle,
+            DecodeBlock::BranchStall => CpiComponent::BranchStall,
+            DecodeBlock::Balancer => CpiComponent::Balancer,
+            DecodeBlock::GctFull => {
+                if self.lmq.outstanding(tid) > 0 {
+                    CpiComponent::CacheMiss
+                } else {
+                    CpiComponent::GctFull
+                }
+            }
+            DecodeBlock::QueueFull => {
+                if self.lmq.outstanding(tid) > 0 {
+                    CpiComponent::CacheMiss
+                } else {
+                    CpiComponent::QueueFull
+                }
+            }
+        }
     }
 
     fn drain_completions(&mut self, now: u64) {
@@ -707,34 +846,69 @@ impl SmtCore {
         self.is_active(ThreadId::T0) && self.is_active(ThreadId::T1)
     }
 
-    fn decode(&mut self, now: u64) {
-        let Some((tid, width)) = self.designated(now) else {
-            return;
+    /// Runs the decode stage for one cycle and reports what happened,
+    /// for PMU accounting.
+    ///
+    /// Decode-block accounting (`blocked_*` in [`ThreadStats`]) charges
+    /// a blocked cycle to **exactly one** cause, and only for the
+    /// *designated* thread: a failed steal attempt by the sibling is not
+    /// a lost cycle of the sibling's (the slot was never its to lose),
+    /// so it records nothing. This keeps
+    /// `decode_cycles_used + sum(blocked_*) == decode_cycles_granted`
+    /// for every thread.
+    ///
+    /// [`ThreadStats`]: crate::stats::ThreadStats
+    fn decode(&mut self, now: u64) -> DecodeCycle {
+        let mut dc = DecodeCycle {
+            granted: None,
+            used: false,
+            stolen: false,
+            outcome: [SlotOutcome::Idle; 2],
         };
+        let Some((tid, width)) = self.designated(now) else {
+            return dc;
+        };
+        dc.granted = Some(tid);
         self.stats.threads[tid.index()].decode_cycles_granted += 1;
-        let decoded = self.try_decode(now, tid, width);
-        if decoded {
-            self.stats.threads[tid.index()].decode_cycles_used += 1;
-        } else if self.config.steal_idle_decode_slots {
-            let other = tid.other();
-            if self.is_active(other) && self.try_decode(now, other, width) {
-                self.stats.threads[other.index()].decode_cycles_used += 1;
+        match self.try_decode(now, tid, width) {
+            Ok(()) => {
+                self.stats.threads[tid.index()].decode_cycles_used += 1;
+                dc.used = true;
+                dc.outcome[tid.index()] = SlotOutcome::Decoded;
+            }
+            Err(why) => {
+                self.stats.threads[tid.index()].note_block(why);
+                dc.outcome[tid.index()] = SlotOutcome::Blocked(why);
+                if self.config.steal_idle_decode_slots {
+                    let other = tid.other();
+                    if self.is_active(other) && self.try_decode(now, other, width).is_ok() {
+                        self.stats.threads[other.index()].decode_cycles_used += 1;
+                        dc.stolen = true;
+                        dc.outcome[other.index()] = SlotOutcome::Decoded;
+                    }
+                }
             }
         }
+        dc
     }
 
     /// Attempts to decode up to `width` instructions from `tid` into one
-    /// dispatch group. Returns whether anything was decoded.
-    fn try_decode(&mut self, now: u64, tid: ThreadId, width: usize) -> bool {
+    /// dispatch group. On failure returns the single cause that stopped
+    /// decode this cycle, using the gate order below (first match wins);
+    /// the caller decides whether the cause is charged to the thread's
+    /// ledger.
+    ///
+    /// Gate order: inactive context, branch redirect / fetch stall,
+    /// resource balancer, GCT full, then (if not even one instruction
+    /// entered a queue) issue-queue full.
+    fn try_decode(&mut self, now: u64, tid: ThreadId, width: usize) -> Result<(), DecodeBlock> {
         // Gates that stop the whole decode cycle for this thread.
         {
             let Some(thread) = self.threads[tid.index()].as_ref() else {
-                self.stats.threads[tid.index()].note_block(DecodeBlock::Inactive);
-                return false;
+                return Err(DecodeBlock::Inactive);
             };
             if thread.redirect_pending.is_some() || thread.fetch_stall_until >= now {
-                self.stats.threads[tid.index()].note_block(DecodeBlock::BranchStall);
-                return false;
+                return Err(DecodeBlock::BranchStall);
             }
             if self.config.balancer.enabled && self.both_active() {
                 let cap = if self.lmq.outstanding_deep(tid) > 0 {
@@ -743,14 +917,12 @@ impl SmtCore {
                     self.config.balancer.gct_cap_per_thread
                 };
                 if thread.groups.len() >= cap {
-                    self.stats.threads[tid.index()].note_block(DecodeBlock::Balancer);
-                    return false;
+                    return Err(DecodeBlock::Balancer);
                 }
             }
         }
         if self.gct_occupancy() >= self.config.gct_entries {
-            self.stats.threads[tid.index()].note_block(DecodeBlock::GctFull);
-            return false;
+            return Err(DecodeBlock::GctFull);
         }
 
         let group_id = self.threads[tid.index()]
@@ -767,9 +939,6 @@ impl SmtCore {
             let inst = thread.program.body()[thread.pc];
             let class = inst.op.fu_class();
             if !self.queues.has_room(class) {
-                if decoded == 0 {
-                    self.stats.threads[tid.index()].note_block(DecodeBlock::QueueFull);
-                }
                 break;
             }
 
@@ -816,6 +985,14 @@ impl SmtCore {
                     if requested.settable_by(thread.privilege) {
                         self.priorities[tid.index()] = requested;
                         self.stats.threads[tid.index()].priority_changes += 1;
+                        if let Some(p) = &mut self.pmu {
+                            p.record_instant(
+                                Some(tid),
+                                PmuEventKind::PriorityChanged {
+                                    level: requested.level(),
+                                },
+                            );
+                        }
                     } else {
                         self.stats.threads[tid.index()].priority_nops += 1;
                     }
@@ -909,9 +1086,11 @@ impl SmtCore {
                 completed: 0,
                 rep_ends,
             });
-            true
+            Ok(())
         } else {
-            false
+            // The loop only stops with nothing decoded when the very
+            // first instruction's issue queue had no room.
+            Err(DecodeBlock::QueueFull)
         }
     }
 
@@ -1526,6 +1705,112 @@ mod tests {
             e.kind,
             crate::trace::TraceKind::Redirect { .. }
         )));
+    }
+
+    /// The satellite-2 invariant: every granted decode cycle is either
+    /// used or charged to exactly one block cause — never both, never
+    /// more than one.
+    #[test]
+    fn blocked_counters_partition_granted_cycles() {
+        let scenarios: Vec<SmtCore> = vec![
+            {
+                let mut c = core();
+                c.load_program(ThreadId::T0, cpu_program(9, 1_000));
+                c.load_program(ThreadId::T1, chase_program(256 * 1024, 1_000));
+                c
+            },
+            {
+                let mut c = core();
+                c.load_program(ThreadId::T0, chain_program(10, 500));
+                c.load_program(ThreadId::T1, chase_program(256 * 1024, 500));
+                c.set_priority(ThreadId::T1, Priority::High);
+                c
+            },
+            {
+                let mut c = core();
+                c.load_program(ThreadId::T0, cpu_program(9, 1_000));
+                c
+            },
+        ];
+        for (k, mut c) in scenarios.into_iter().enumerate() {
+            c.run_cycles(30_000);
+            for tid in ThreadId::ALL {
+                let st = c.stats().thread(tid);
+                let blocked = st.blocked_branch
+                    + st.blocked_gct
+                    + st.blocked_queue
+                    + st.blocked_balancer;
+                assert_eq!(
+                    st.decode_cycles_used + blocked,
+                    st.decode_cycles_granted,
+                    "scenario {k}, {tid}: used {} + blocked {blocked} != granted {}",
+                    st.decode_cycles_used,
+                    st.decode_cycles_granted,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pmu_cpi_stacks_reconcile_and_count_slots() {
+        let mut c = core();
+        c.load_program(ThreadId::T0, cpu_program(9, 1_000));
+        c.load_program(ThreadId::T1, chase_program(256 * 1024, 1_000));
+        c.enable_pmu(p5_pmu::PmuConfig::sampling(256));
+        c.run_cycles(10_000);
+        let pmu = c.take_pmu().expect("pmu was enabled");
+        assert_eq!(pmu.cycles(), 10_000);
+        pmu.reconcile().expect("components must sum to cycles");
+        let counters = pmu.counters();
+        assert_eq!(
+            counters.decode_granted[0] + counters.decode_granted[1],
+            10_000,
+            "every cycle is granted to somebody under equal priorities"
+        );
+        assert!(counters.decode_used[0] > 0);
+        assert!(pmu.stack(ThreadId::T0).get(CpiComponent::Base) > 0);
+        // The chase thread spends cycles charged to its misses.
+        assert!(pmu.stack(ThreadId::T1).get(CpiComponent::CacheMiss) > 0);
+        assert!(!pmu.samples().is_empty());
+        // Memory counters flowed in through the shared cell.
+        assert!(pmu.mem_snapshot().memory_accesses(1) > 0);
+        // Detached: further cycles are not observed.
+        c.run_cycles(100);
+        assert_eq!(pmu.cycles(), 10_000);
+    }
+
+    #[test]
+    fn pmu_records_priority_instants_from_both_paths() {
+        let mut c = core();
+        let mut b = Program::builder("prio");
+        b.push(StaticInst::new(Op::OrNop(Priority::High)));
+        for _ in 0..8 {
+            b.push(StaticInst::new(Op::IntAlu).dst(Reg::new(50)));
+        }
+        b.iterations(10);
+        c.load_program(ThreadId::T0, b.build().unwrap());
+        c.set_privilege(ThreadId::T0, PrivilegeLevel::Supervisor);
+        c.enable_pmu(p5_pmu::PmuConfig::counters_only());
+        c.set_priority(ThreadId::T1, Priority::Low);
+        c.run_cycles(200);
+        let pmu = c.take_pmu().unwrap();
+        assert!(pmu.counters().priority_changes[0] > 0, "or-nop path");
+        assert_eq!(pmu.counters().priority_changes[1], 1, "software path");
+        assert!(pmu
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, PmuEventKind::PriorityChanged { level: 6 })));
+    }
+
+    #[test]
+    fn pmu_idle_core_accrues_idle_cycles() {
+        let mut c = core();
+        c.enable_pmu(p5_pmu::PmuConfig::counters_only());
+        c.run_cycles(50);
+        let pmu = c.take_pmu().unwrap();
+        pmu.reconcile().unwrap();
+        assert_eq!(pmu.stack(ThreadId::T0).get(CpiComponent::Idle), 50);
+        assert_eq!(pmu.stack(ThreadId::T1).get(CpiComponent::Idle), 50);
     }
 
     #[test]

@@ -3,6 +3,20 @@
 use p5_isa::ThreadId;
 
 /// Why a granted decode cycle was not used by its designated thread.
+///
+/// A blocked cycle is charged to **exactly one** cause, the first gate
+/// that failed in this deterministic order: [`Inactive`], then
+/// [`BranchStall`], then [`Balancer`], then [`GctFull`], then
+/// [`QueueFull`]. Only the designated thread's cycle is charged — a
+/// sibling's failed attempt to steal the unused slot records nothing —
+/// so for every thread
+/// `decode_cycles_used + sum(blocked_*) == decode_cycles_granted`.
+///
+/// [`Inactive`]: DecodeBlock::Inactive
+/// [`BranchStall`]: DecodeBlock::BranchStall
+/// [`Balancer`]: DecodeBlock::Balancer
+/// [`GctFull`]: DecodeBlock::GctFull
+/// [`QueueFull`]: DecodeBlock::QueueFull
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DecodeBlock {
     /// The thread's program cursor was stalled behind an unresolved or

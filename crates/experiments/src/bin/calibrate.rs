@@ -2,10 +2,14 @@
 //! for the six presented micro-benchmarks next to the paper's Table 3.
 //!
 //! Run with `cargo run --release -p p5-experiments --bin calibrate`.
+//! Pass `--pmu` to append a single-thread CPI-stack table: where each
+//! benchmark's cycles go, which is the first place to look when a
+//! measured IPC drifts from the paper's column.
 
 use p5_core::{CoreConfig, RunOutcome, SmtCore};
 use p5_isa::ThreadId;
 use p5_microbench::MicroBenchmark;
+use p5_pmu::{CpiComponent, PmuConfig};
 
 /// Runs to the repetition target, surfacing truncation and stalls: a
 /// cell that hit the cycle budget is tagged `~` (lower-confidence
@@ -39,7 +43,49 @@ fn smt_ipc(a: MicroBenchmark, b: MicroBenchmark) -> Result<(f64, bool), String> 
     Ok((core.stats().ipc(ThreadId::T0), complete))
 }
 
+/// Measures a single-thread CPI stack over a fixed window and returns
+/// the per-component cycle fractions, or the stall diagnosis.
+fn st_cpi_stack(bench: MicroBenchmark) -> Result<[f64; CpiComponent::COUNT], String> {
+    const MEASURE_CYCLES: u64 = 2_000_000;
+    let mut core = SmtCore::new(CoreConfig::power5_like());
+    core.load_program(ThreadId::T0, bench.program());
+    core.run_cycles(4_000_000);
+    core.reset_stats();
+    core.enable_pmu(PmuConfig::counters_only());
+    core.try_run_cycles(MEASURE_CYCLES).map_err(|e| e.to_string())?;
+    let pmu = core.take_pmu().expect("enabled above");
+    pmu.reconcile()?;
+    let stack = pmu.stack(ThreadId::T0);
+    let mut fractions = [0.0; CpiComponent::COUNT];
+    for c in CpiComponent::ALL {
+        fractions[c.index()] = stack.fraction(c);
+    }
+    Ok(fractions)
+}
+
+fn print_cpi_stacks() {
+    println!("\n== Single-thread CPI stacks (% of cycles) ==");
+    print!("{:<18}", "");
+    for c in CpiComponent::ALL {
+        print!("{:>8}", c.short());
+    }
+    println!();
+    for b in MicroBenchmark::PRESENTED {
+        match st_cpi_stack(b) {
+            Ok(fractions) => {
+                print!("{:<18}", b.name());
+                for f in fractions {
+                    print!("{:>7.1}%", 100.0 * f);
+                }
+                println!();
+            }
+            Err(e) => println!("{:<18} FAILED: {e}", b.name()),
+        }
+    }
+}
+
 fn main() {
+    let pmu_flag = std::env::args().skip(1).any(|a| a == "--pmu");
     println!("== Single-thread IPC (paper Table 3 ST column) ==");
     for b in MicroBenchmark::PRESENTED {
         let paper = b
@@ -80,5 +126,9 @@ fn main() {
     }
     if truncated > 0 {
         println!("\n~ = hit the cycle budget before 10 repetitions ({truncated} cell(s))");
+    }
+
+    if pmu_flag {
+        print_cpi_stacks();
     }
 }

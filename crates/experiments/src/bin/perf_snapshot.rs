@@ -1,0 +1,166 @@
+//! Performance snapshot: wall-time and simulated-cycles-per-second of a
+//! fixed workload with the PMU off, counting, and sampling, written as
+//! `BENCH_repro.json`.
+//!
+//! ```text
+//! cargo run --release -p p5-experiments --bin perf_snapshot
+//! cargo run --release -p p5-experiments --bin perf_snapshot -- --check
+//! cargo run --release -p p5-experiments --bin perf_snapshot -- --out path.json
+//! ```
+//!
+//! `--check` exits non-zero if the PMU's measured overhead exceeds the
+//! gates ([`MAX_COUNTERS_OVERHEAD_PCT`], [`MAX_SAMPLING_OVERHEAD_PCT`]),
+//! which is how CI keeps the instrumentation honest. The `off` mode *is*
+//! the disabled-PMU state — its hot-path cost is one never-taken branch
+//! per cycle, so the disabled overhead is bounded by run-to-run noise
+//! (see the Observability section of DESIGN.md); the modes measured here
+//! gate the cost of actually turning the PMU on.
+
+use p5_core::{CoreConfig, SmtCore};
+use p5_isa::{Priority, ThreadId};
+use p5_microbench::MicroBenchmark;
+use p5_pmu::json::{JsonObject, JsonValue};
+use p5_pmu::PmuConfig;
+use std::time::Instant;
+
+/// Warm-up cycles before the timed window (caches, TLB, predictor).
+const WARM_CYCLES: u64 = 500_000;
+/// Timed simulated cycles per run.
+const MEASURE_CYCLES: u64 = 2_000_000;
+/// Timed runs per mode; the best (minimum) wall time is reported.
+const RUNS_PER_MODE: u32 = 3;
+/// Sampling interval used by the `sampling` mode.
+const SAMPLE_INTERVAL: u64 = 4_096;
+
+/// Overhead gate for counters-only mode, percent over `off`.
+const MAX_COUNTERS_OVERHEAD_PCT: f64 = 20.0;
+/// Overhead gate for sampling mode, percent over `off`.
+const MAX_SAMPLING_OVERHEAD_PCT: f64 = 20.0;
+
+/// PMU operating modes the snapshot times.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Off,
+    Counters,
+    Sampling,
+}
+
+impl Mode {
+    const ALL: [Mode; 3] = [Mode::Off, Mode::Counters, Mode::Sampling];
+
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Off => "off",
+            Mode::Counters => "counters",
+            Mode::Sampling => "sampling",
+        }
+    }
+}
+
+/// One timed run: the fixed workload for [`MEASURE_CYCLES`] cycles with
+/// the PMU in `mode`. Returns the wall time of the measured window in
+/// seconds.
+fn timed_run(mode: Mode) -> f64 {
+    let mut core = SmtCore::new(CoreConfig::power5_like());
+    core.load_program(ThreadId::T0, MicroBenchmark::CpuInt.program());
+    core.load_program(ThreadId::T1, MicroBenchmark::LdintL2.program());
+    core.set_priority(ThreadId::T0, Priority::from_level(4).expect("valid"));
+    core.set_priority(ThreadId::T1, Priority::from_level(4).expect("valid"));
+    core.run_cycles(WARM_CYCLES);
+    match mode {
+        Mode::Off => {}
+        Mode::Counters => core.enable_pmu(PmuConfig::counters_only()),
+        Mode::Sampling => core.enable_pmu(PmuConfig::sampling(SAMPLE_INTERVAL)),
+    }
+    let t = Instant::now();
+    core.run_cycles(MEASURE_CYCLES);
+    let wall = t.elapsed().as_secs_f64();
+    if mode != Mode::Off {
+        let pmu = core.take_pmu().expect("enabled above");
+        assert_eq!(pmu.cycles(), MEASURE_CYCLES, "PMU observed the full window");
+    }
+    wall
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_repro.json", String::as_str);
+
+    println!(
+        "== perf snapshot: cpu_int/ldint_l2 (4,4), {MEASURE_CYCLES} cycles, best of {RUNS_PER_MODE} =="
+    );
+    let mut best = [f64::INFINITY; 3];
+    let mut mode_rows = Vec::new();
+    for (i, mode) in Mode::ALL.into_iter().enumerate() {
+        for _ in 0..RUNS_PER_MODE {
+            best[i] = best[i].min(timed_run(mode));
+        }
+        let cps = MEASURE_CYCLES as f64 / best[i];
+        println!(
+            "{:<9} {:>8.1} ms   {:>12.0} cycles/s",
+            mode.name(),
+            best[i] * 1e3,
+            cps
+        );
+        mode_rows.push(
+            JsonObject::new()
+                .field("mode", mode.name())
+                .field("wall_ms", best[i] * 1e3)
+                .field("cycles_per_sec", cps)
+                .build(),
+        );
+    }
+    let overhead_pct = |i: usize| 100.0 * (best[i] / best[0] - 1.0);
+    let counters_pct = overhead_pct(1);
+    let sampling_pct = overhead_pct(2);
+    println!(
+        "overhead vs off: counters {counters_pct:+.1}%  sampling {sampling_pct:+.1}%"
+    );
+
+    let counters_ok = counters_pct < MAX_COUNTERS_OVERHEAD_PCT;
+    let sampling_ok = sampling_pct < MAX_SAMPLING_OVERHEAD_PCT;
+    let doc = JsonObject::new()
+        .field("schema_version", p5_experiments::export::SCHEMA_VERSION)
+        .field("artifact", "bench_repro")
+        .field("workload", "cpu_int/ldint_l2 (4,4)")
+        .field("warm_cycles", WARM_CYCLES)
+        .field("measure_cycles", MEASURE_CYCLES)
+        .field("runs_per_mode", u64::from(RUNS_PER_MODE))
+        .field("sample_interval", SAMPLE_INTERVAL)
+        .field("modes", JsonValue::Array(mode_rows))
+        .field(
+            "overhead_pct",
+            JsonObject::new()
+                .field("counters", counters_pct)
+                .field("sampling", sampling_pct)
+                .build(),
+        )
+        .field(
+            "gates",
+            JsonObject::new()
+                .field("max_counters_overhead_pct", MAX_COUNTERS_OVERHEAD_PCT)
+                .field("max_sampling_overhead_pct", MAX_SAMPLING_OVERHEAD_PCT)
+                .field("counters_ok", counters_ok)
+                .field("sampling_ok", sampling_ok)
+                .build(),
+        )
+        .build();
+    if let Err(e) = std::fs::write(out, doc.to_string()) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+
+    if check && !(counters_ok && sampling_ok) {
+        eprintln!(
+            "OVERHEAD GATE FAILED: counters {counters_pct:+.1}% (limit {MAX_COUNTERS_OVERHEAD_PCT}%), \
+             sampling {sampling_pct:+.1}% (limit {MAX_SAMPLING_OVERHEAD_PCT}%)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -6,7 +6,14 @@
 //! cargo run --release -p p5-experiments --bin repro -- --quick # smoke run
 //! cargo run --release -p p5-experiments --bin repro -- --only table3,fig5
 //! cargo run --release -p p5-experiments --bin repro -- --csv-dir results/
+//! cargo run --release -p p5-experiments --bin repro -- --json-dir results/
+//! cargo run --release -p p5-experiments --bin repro -- --pmu   # CPI stacks
+//! cargo run --release -p p5-experiments --bin repro -- --pmu --trace out.json
 //! ```
+//!
+//! `--pmu` adds the per-cell CPI-stack section; `--trace <path>`
+//! additionally captures the priority-switch transient and writes it as
+//! Chrome trace-event JSON (open in `chrome://tracing` or Perfetto).
 //!
 //! The run is resilient: an experiment whose cells degrade reports them
 //! inline (`DEGRADED ...` lines); an experiment that fails outright is
@@ -14,7 +21,7 @@
 //! partial-results summary instead of dying mid-way.
 
 use p5_experiments::{
-    claims, export, fig2, fig3, fig4, fig5, fig6, mpi, noise, sweep, table1, table2, table3,
+    claims, export, fig2, fig3, fig4, fig5, fig6, mpi, noise, pmu, sweep, table1, table2, table3,
     table4, Experiments,
 };
 use std::collections::HashSet;
@@ -29,6 +36,10 @@ fn write_csv(dir: Option<&PathBuf>, name: &str, contents: &str) {
     } else {
         println!("   wrote {}", path.display());
     }
+}
+
+fn write_json(dir: Option<&PathBuf>, name: &str, contents: &str) {
+    write_csv(dir, name, contents);
 }
 
 /// Per-section failures collected over the run.
@@ -56,7 +67,18 @@ fn main() {
         .position(|a| a == "--csv-dir")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
-    if let Some(dir) = &csv_dir {
+    let json_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--json-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let pmu_flag = args.iter().any(|a| a == "--pmu");
+    let trace_path: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    for dir in [&csv_dir, &json_dir].into_iter().flatten() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
             std::process::exit(1);
@@ -89,6 +111,7 @@ fn main() {
             Ok(r) => {
                 println!("{}   (Table 3 took {:.1?})\n", r.render(), t.elapsed());
                 write_csv(csv_dir.as_ref(), "table3.csv", &export::table3_csv(&r));
+                write_json(json_dir.as_ref(), "table3.json", &export::table3_json(&r));
             }
             Err(e) => failures.record("Table 3", &e),
         }
@@ -120,6 +143,7 @@ fn main() {
                     let r = fig2::Fig2Result::from_sweep(&sweep);
                     println!("{}", r.render());
                     write_csv(csv_dir.as_ref(), "fig2.csv", &export::fig2_csv(&r));
+                    write_json(json_dir.as_ref(), "fig2.json", &export::fig2_json(&r));
                     fig2_result = Some(r);
                 } else if wants("claims") {
                     fig2_result = Some(fig2::Fig2Result::from_sweep(&sweep));
@@ -128,6 +152,7 @@ fn main() {
                     let r = fig3::Fig3Result::from_sweep(&sweep);
                     println!("{}", r.render());
                     write_csv(csv_dir.as_ref(), "fig3.csv", &export::fig3_csv(&r));
+                    write_json(json_dir.as_ref(), "fig3.json", &export::fig3_json(&r));
                     fig3_result = Some(r);
                 } else if wants("claims") {
                     fig3_result = Some(fig3::Fig3Result::from_sweep(&sweep));
@@ -136,6 +161,7 @@ fn main() {
                     let r = fig4::Fig4Result::from_sweep(&sweep);
                     println!("{}", r.render());
                     write_csv(csv_dir.as_ref(), "fig4.csv", &export::fig4_csv(&r));
+                    write_json(json_dir.as_ref(), "fig4.json", &export::fig4_json(&r));
                     fig4_result = Some(r);
                 } else if wants("claims") {
                     fig4_result = Some(fig4::Fig4Result::from_sweep(&sweep));
@@ -153,6 +179,7 @@ fn main() {
                 if wants("fig5") {
                     println!("{}   ({:.1?})\n", r.render(), t.elapsed());
                     write_csv(csv_dir.as_ref(), "fig5.csv", &export::fig5_csv(&r));
+                    write_json(json_dir.as_ref(), "fig5.json", &export::fig5_json(&r));
                 }
                 fig5_result = Some(r);
             }
@@ -168,6 +195,7 @@ fn main() {
                 if wants("table4") {
                     println!("{}   ({:.1?})\n", r.render(), t.elapsed());
                     write_csv(csv_dir.as_ref(), "table4.csv", &export::table4_csv(&r));
+                    write_json(json_dir.as_ref(), "table4.json", &export::table4_json(&r));
                 }
                 table4_result = Some(r);
             }
@@ -183,6 +211,7 @@ fn main() {
                 if wants("fig6") {
                     println!("{}   ({:.1?})\n", r.render(), t.elapsed());
                     write_csv(csv_dir.as_ref(), "fig6.csv", &export::fig6_csv(&r));
+                    write_json(json_dir.as_ref(), "fig6.json", &export::fig6_json(&r));
                 }
                 fig6_result = Some(r);
             }
@@ -202,6 +231,41 @@ fn main() {
 
     if wants("noise") {
         section("Measurement isolation", || noise::run(&ctx).render());
+    }
+
+    // The PMU section is opt-in: `--pmu`, or an explicit `--only` list
+    // that names it.
+    let run_pmu =
+        pmu_flag || only.as_ref().is_some_and(|set| set.contains("pmu"));
+    if run_pmu {
+        let t = Instant::now();
+        match pmu::run(&ctx) {
+            Ok(r) => {
+                println!("{}   (PMU CPI stacks took {:.1?})\n", r.render(), t.elapsed());
+                write_json(json_dir.as_ref(), "pmu.json", &pmu::pmu_json(&r));
+            }
+            Err(e) => failures.record("PMU CPI stacks", &e),
+        }
+    }
+    if let Some(path) = &trace_path {
+        let t = Instant::now();
+        match pmu::priority_switch_trace(&ctx) {
+            Ok(capture) => {
+                println!(
+                    "-- priority-switch trace: {} cycles, {} samples, {} events ({:.1?}) --",
+                    capture.cycles,
+                    capture.samples,
+                    capture.events,
+                    t.elapsed()
+                );
+                if let Err(e) = std::fs::write(path, &capture.json) {
+                    failures.record("priority-switch trace", &e);
+                } else {
+                    println!("   wrote {} (load in chrome://tracing or Perfetto)\n", path.display());
+                }
+            }
+            Err(e) => failures.record("priority-switch trace", &e),
+        }
     }
 
     if wants("claims") {

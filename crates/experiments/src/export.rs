@@ -1,8 +1,12 @@
-//! CSV export of experiment results, for plotting the figures outside
-//! the terminal (gnuplot, matplotlib, spreadsheets).
+//! CSV and JSON export of experiment results, for plotting the figures
+//! outside the terminal (gnuplot, matplotlib, spreadsheets) and for
+//! machine consumption (CI snapshots, notebooks).
 //!
-//! Every exporter returns the CSV text; the `repro` binary's `--csv-dir`
-//! flag writes one file per artifact.
+//! Every exporter returns the rendered text; the `repro` binary's
+//! `--csv-dir` / `--json-dir` flags write one file per artifact. All
+//! JSON artifacts carry a top-level `"schema_version"` field
+//! ([`SCHEMA_VERSION`]) so downstream consumers can detect layout
+//! changes.
 
 use crate::fig2::{Fig2Result, DIFFS as FIG2_DIFFS};
 use crate::fig3::{Fig3Result, DIFFS as FIG3_DIFFS};
@@ -12,10 +16,25 @@ use crate::fig6::Fig6Result;
 use crate::table3::Table3Result;
 use crate::table4::Table4Result;
 use p5_microbench::MicroBenchmark;
+use p5_pmu::json::{JsonObject, JsonValue};
 use std::fmt::Write as _;
+
+/// Version of the JSON artifact layout; bump on any breaking change to
+/// the exported object shapes. Stamped into every JSON artifact this
+/// workspace writes (experiment exports, PMU dumps, the CI perf
+/// snapshot).
+pub const SCHEMA_VERSION: u64 = 1;
 
 fn bench_names() -> Vec<&'static str> {
     MicroBenchmark::PRESENTED.iter().map(|b| b.name()).collect()
+}
+
+/// Common envelope for JSON artifacts: `schema_version` first, then the
+/// artifact name.
+fn artifact(name: &str) -> JsonObject {
+    JsonObject::new()
+        .field("schema_version", SCHEMA_VERSION)
+        .field("artifact", name)
 }
 
 /// Table 3 as CSV: one row per (pthread, sthread) cell plus the ST rows.
@@ -136,6 +155,161 @@ pub fn fig6_csv(r: &Fig6Result) -> String {
     out
 }
 
+// ------------------------------------------------------------- JSON
+
+/// Table 3 as JSON: ST IPCs plus the SMT(4,4) matrix.
+#[must_use]
+pub fn table3_json(r: &Table3Result) -> String {
+    let names = bench_names();
+    let mut rows: Vec<JsonValue> = Vec::new();
+    for (i, a) in names.iter().enumerate() {
+        rows.push(
+            JsonObject::new()
+                .field("pthread", *a)
+                .field("sthread", "ST")
+                .field("pt_ipc", r.st[i])
+                .field("total_ipc", r.st[i])
+                .build(),
+        );
+        for (j, b) in names.iter().enumerate() {
+            rows.push(
+                JsonObject::new()
+                    .field("pthread", *a)
+                    .field("sthread", *b)
+                    .field("pt_ipc", r.pt[i][j])
+                    .field("total_ipc", r.tt[i][j])
+                    .build(),
+            );
+        }
+    }
+    artifact("table3").field("rows", rows).build().to_string()
+}
+
+/// Shared shape of the figure-2/3/4 sweep-derived artifacts: one row
+/// per (pthread, sthread, difference) with a single value column.
+fn sweep_json(
+    name: &str,
+    value_key: &str,
+    diffs: &[i32],
+    value: impl Fn(usize, usize, usize) -> f64,
+) -> String {
+    let names = bench_names();
+    let mut rows: Vec<JsonValue> = Vec::new();
+    for (i, a) in names.iter().enumerate() {
+        for (j, b) in names.iter().enumerate() {
+            for (k, d) in diffs.iter().enumerate() {
+                rows.push(
+                    JsonObject::new()
+                        .field("pthread", *a)
+                        .field("sthread", *b)
+                        .field("diff", i64::from(*d))
+                        .field(value_key, value(i, j, k))
+                        .build(),
+                );
+            }
+        }
+    }
+    artifact(name).field("rows", rows).build().to_string()
+}
+
+/// Figure 2 as JSON.
+#[must_use]
+pub fn fig2_json(r: &Fig2Result) -> String {
+    sweep_json("fig2", "speedup", &FIG2_DIFFS, |i, j, k| r.speedup[i][j][k])
+}
+
+/// Figure 3 as JSON.
+#[must_use]
+pub fn fig3_json(r: &Fig3Result) -> String {
+    sweep_json("fig3", "slowdown", &FIG3_DIFFS, |i, j, k| {
+        r.slowdown[i][j][k]
+    })
+}
+
+/// Figure 4 as JSON.
+#[must_use]
+pub fn fig4_json(r: &Fig4Result) -> String {
+    sweep_json("fig4", "relative_throughput", &FIG4_DIFFS, |i, j, k| {
+        r.relative[i][j][k]
+    })
+}
+
+/// Figure 5 as JSON: both case studies, one row per difference.
+#[must_use]
+pub fn fig5_json(r: &Fig5Result) -> String {
+    let pairs: Vec<JsonValue> = [&r.h264_mcf, &r.applu_equake]
+        .iter()
+        .map(|case| {
+            let points: Vec<JsonValue> = case
+                .points
+                .iter()
+                .map(|&(d, p, s, t)| {
+                    JsonObject::new()
+                        .field("diff", i64::from(d))
+                        .field("primary_ipc", p)
+                        .field("secondary_ipc", s)
+                        .field("total_ipc", t)
+                        .build()
+                })
+                .collect();
+            JsonObject::new()
+                .field("primary", case.primary.name())
+                .field("secondary", case.secondary.name())
+                .field("points", points)
+                .build()
+        })
+        .collect();
+    artifact("fig5").field("pairs", pairs).build().to_string()
+}
+
+/// Table 4 as JSON, ST row included.
+#[must_use]
+pub fn table4_json(r: &Table4Result) -> String {
+    let mut rows: Vec<JsonValue> = vec![JsonObject::new()
+        .field("prio_fft", "ST")
+        .field("prio_lu", "ST")
+        .field("fft_cycles", r.fft_st_cycles)
+        .field("lu_cycles", r.lu_st_cycles)
+        .field("iteration_cycles", r.st_iteration_cycles())
+        .build()];
+    for row in &r.rows {
+        rows.push(
+            JsonObject::new()
+                .field("prio_fft", u64::from(row.prio_fft))
+                .field("prio_lu", u64::from(row.prio_lu))
+                .field("fft_cycles", row.fft_cycles)
+                .field("lu_cycles", row.lu_cycles)
+                .field("iteration_cycles", row.iteration_cycles())
+                .build(),
+        );
+    }
+    artifact("table4").field("rows", rows).build().to_string()
+}
+
+/// Figure 6 as JSON.
+#[must_use]
+pub fn fig6_json(r: &Fig6Result) -> String {
+    let names = bench_names();
+    let mut rows: Vec<JsonValue> = Vec::new();
+    for (prio, grid) in [(6u8, &r.fg6), (5u8, &r.fg5)] {
+        for (i, fg) in names.iter().enumerate() {
+            for (j, bg) in names.iter().enumerate() {
+                let (t, ipc) = grid[i][j];
+                rows.push(
+                    JsonObject::new()
+                        .field("fg_priority", u64::from(prio))
+                        .field("foreground", *fg)
+                        .field("background", *bg)
+                        .field("fg_relative_time", t)
+                        .field("bg_ipc", ipc)
+                        .build(),
+                );
+            }
+        }
+    }
+    artifact("fig6").field("rows", rows).build().to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +392,39 @@ mod tests {
         let csv = table4_csv(&r);
         assert!(csv.contains("ST,ST,100.0,10.0,110.0"));
         assert!(csv.contains("4,4,110.0,20.0,110.0"));
+    }
+
+    #[test]
+    fn json_artifacts_carry_schema_version() {
+        let t3 = Table3Result {
+            st: [1.0; 6],
+            pt: [[0.5; 6]; 6],
+            tt: [[1.0; 6]; 6],
+            degraded: Vec::new(),
+        };
+        let f2 = Fig2Result {
+            speedup: [[[1.0; 5]; 6]; 6],
+        };
+        let t4 = Table4Result {
+            fft_st_cycles: 100.0,
+            lu_st_cycles: 10.0,
+            rows: vec![Table4Row {
+                prio_fft: 4,
+                prio_lu: 4,
+                fft_cycles: 110.0,
+                lu_cycles: 20.0,
+            }],
+            degraded: Vec::new(),
+        };
+        for json in [table3_json(&t3), fig2_json(&f2), table4_json(&t4)] {
+            assert!(
+                json.starts_with(r#"{"schema_version":1,"artifact":""#),
+                "{json}"
+            );
+        }
+        assert!(table3_json(&t3).contains(r#""sthread":"ST""#));
+        assert!(fig2_json(&f2).contains(r#""diff":-2"#) || fig2_json(&f2).contains(r#""diff":1"#));
+        assert!(table4_json(&t4).contains(r#""prio_fft":"ST""#));
     }
 
     #[test]

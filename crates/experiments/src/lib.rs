@@ -17,6 +17,7 @@
 //! | [`mpi`]    | Section 5.4 — MPI imbalance re-balancing |
 //! | [`noise`]  | Section 4.1 — measurement isolation on the dual-core chip |
 //! | [`claims`] | headline quantitative claims, checked programmatically |
+//! | [`pmu`]    | per-cell CPI stacks + priority-switch Chrome trace (observability) |
 //!
 //! Every experiment takes an [`Experiments`] context (core configuration +
 //! FAME measurement configuration), returns a typed result, and renders a
@@ -53,6 +54,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod mpi;
 pub mod noise;
+pub mod pmu;
 pub mod report;
 pub mod sweep;
 pub mod table1;

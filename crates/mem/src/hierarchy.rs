@@ -4,6 +4,7 @@ use crate::cache::{Cache, CacheStats};
 use crate::config::MemConfig;
 use crate::tlb::{Tlb, TlbStats};
 use p5_isa::ThreadId;
+use p5_pmu::SharedMemCounters;
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -120,6 +121,10 @@ pub struct MemoryHierarchy {
     /// Last line accessed per context, to detect sequential streams for
     /// the prefetcher.
     last_line: [Option<u64>; 2],
+    /// PMU counter cell this hierarchy publishes into, if one is
+    /// attached. `None` (the default) keeps [`Self::access`] free of any
+    /// instrumentation cost beyond this single check.
+    pmu: Option<SharedMemCounters>,
 }
 
 impl MemoryHierarchy {
@@ -149,8 +154,20 @@ impl MemoryHierarchy {
             shared,
             stats: MemStats::default(),
             last_line: [None; 2],
+            pmu: None,
             config,
         }
+    }
+
+    /// Attaches a PMU counter cell; subsequent accesses publish into it.
+    pub fn attach_pmu_counters(&mut self, counters: SharedMemCounters) {
+        self.pmu = Some(counters);
+    }
+
+    /// Detaches the PMU counter cell, returning accesses to their
+    /// uninstrumented cost.
+    pub fn detach_pmu_counters(&mut self) {
+        self.pmu = None;
     }
 
     /// The configuration this hierarchy was built with.
@@ -203,7 +220,7 @@ impl MemoryHierarchy {
     /// write like POWER5's store-through-L1/allocate-L2 simplified to
     /// allocate-everywhere) and returns where it was served and its
     /// total latency.
-    pub fn access(&mut self, thread: ThreadId, addr: u64, _is_store: bool) -> Access {
+    pub fn access(&mut self, thread: ThreadId, addr: u64, is_store: bool) -> Access {
         let i = thread.index();
         self.stats.accesses[i] += 1;
 
@@ -244,6 +261,18 @@ impl MemoryHierarchy {
             self.last_line[i] = Some(line);
         } else if level != HitLevel::L1 {
             self.last_line[i] = Some(addr / self.config.l1d.line_bytes);
+        }
+
+        if let Some(pmu) = &self.pmu {
+            let mut c = pmu.borrow_mut();
+            c.accesses[i] += 1;
+            c.served_by[level_index(level)][i] += 1;
+            if tlb_miss {
+                c.tlb_misses[i] += 1;
+            }
+            if is_store {
+                c.stores[i] += 1;
+            }
         }
 
         Access {
@@ -399,6 +428,26 @@ mod tests {
         m.access(ThreadId::T0, 0, false);
         m.invalidate_caches();
         assert_eq!(m.access(ThreadId::T0, 0, false).level, HitLevel::Memory);
+    }
+
+    #[test]
+    fn attached_pmu_counters_mirror_traffic() {
+        let mut m = tiny();
+        let cell = p5_pmu::new_shared_mem_counters();
+        m.attach_pmu_counters(std::rc::Rc::clone(&cell));
+        m.access(ThreadId::T0, 0x4000, true); // cold: memory + TLB walk
+        m.access(ThreadId::T0, 0x4000, false); // L1 hit
+        {
+            let c = cell.borrow();
+            assert_eq!(c.accesses[0], 2);
+            assert_eq!(c.served_by[3][0], 1);
+            assert_eq!(c.served_by[0][0], 1);
+            assert_eq!(c.tlb_misses[0], 1);
+            assert_eq!(c.stores[0], 1);
+        }
+        m.detach_pmu_counters();
+        m.access(ThreadId::T0, 0x4000, false);
+        assert_eq!(cell.borrow().accesses[0], 2, "detached: no publishing");
     }
 
     #[test]

@@ -345,6 +345,9 @@ impl Kernel {
 
     fn deliver_timer_interrupt(&mut self) {
         self.stats.timer_interrupts += 1;
+        if let Some(pmu) = self.core.pmu_mut() {
+            pmu.record_instant(None, p5_pmu::PmuEventKind::TimerInterrupt);
+        }
         for t in ThreadId::ALL {
             self.kernel_entry(t);
         }
@@ -455,6 +458,20 @@ mod tests {
         assert_eq!(k.core().priority(ThreadId::T0), Priority::Medium);
         assert!(k.stats().priority_resets >= 1);
         assert_eq!(k.stats().timer_interrupts, 1);
+    }
+
+    #[test]
+    fn timer_interrupts_land_in_the_pmu() {
+        let mut k = kernel(KernelMode::Patched);
+        k.set_timer_interval(10_000).unwrap();
+        k.core_mut().enable_pmu(p5_pmu::PmuConfig::counters_only());
+        k.run_cycles(30_000);
+        let pmu = k.core_mut().take_pmu().expect("pmu enabled");
+        assert_eq!(pmu.counters().kernel_entries, 3);
+        assert!(pmu
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, p5_pmu::PmuEventKind::TimerInterrupt)));
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! POWER5-flavoured counter groups.
+//!
+//! A real POWER5 exposes six programmable counters (PMC1–PMC6) driven by
+//! event groups; this model keeps the analogous always-on groups the
+//! paper's analysis appeals to: decode-slot arbitration, GCT and LMQ
+//! occupancy, balancer actions, and (via [`MemCounters`], shared with
+//! the memory hierarchy) per-level cache hits and TLB misses.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Core-side counter group, maintained by the engine once per cycle
+/// while the PMU is enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmuCounters {
+    /// Decode cycles in which the thread was the designated context.
+    pub decode_granted: [u64; 2],
+    /// Granted decode cycles in which the designated thread decoded.
+    pub decode_used: [u64; 2],
+    /// Cycles in which the thread decoded on the sibling's unused slot.
+    pub decode_stolen: [u64; 2],
+    /// Granted decode cycles lost to the dynamic resource balancer.
+    pub balancer_gates: [u64; 2],
+    /// Highest GCT occupancy (groups, both threads) observed.
+    pub gct_high_water: u32,
+    /// Highest load-miss-queue occupancy observed.
+    pub lmq_high_water: u32,
+    /// Sum of per-cycle GCT occupancy (divide by cycles for the mean).
+    pub gct_occupancy_sum: u64,
+    /// Sum of per-cycle LMQ occupancy (divide by cycles for the mean).
+    pub lmq_occupancy_sum: u64,
+    /// Priority changes observed per thread (or-nop or software write).
+    pub priority_changes: [u64; 2],
+    /// Kernel entries (timer interrupts) observed.
+    pub kernel_entries: u64,
+}
+
+/// Memory-hierarchy counter group. The hierarchy publishes into this
+/// through a shared cell ([`SharedMemCounters`]) attached by the PMU, so
+/// cache instrumentation costs nothing when no PMU is listening.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemCounters {
+    /// Demand accesses per context.
+    pub accesses: [u64; 2],
+    /// Accesses served by each level, per context (L1/L2/L3/Memory).
+    pub served_by: [[u64; 2]; 4],
+    /// Accesses that walked the TLB, per context.
+    pub tlb_misses: [u64; 2],
+    /// Store accesses per context.
+    pub stores: [u64; 2],
+}
+
+impl MemCounters {
+    /// Accesses by context `i` that missed the L1.
+    #[must_use]
+    pub fn l1_misses(&self, i: usize) -> u64 {
+        self.served_by[1][i] + self.served_by[2][i] + self.served_by[3][i]
+    }
+
+    /// Accesses by context `i` served by L3 or memory (missed the L2).
+    #[must_use]
+    pub fn l2_misses(&self, i: usize) -> u64 {
+        self.served_by[2][i] + self.served_by[3][i]
+    }
+
+    /// Accesses by context `i` served by main memory.
+    #[must_use]
+    pub fn memory_accesses(&self, i: usize) -> u64 {
+        self.served_by[3][i]
+    }
+}
+
+/// The shared cell the memory hierarchy publishes into. Single-threaded
+/// by construction (the simulator is single-threaded), hence `Rc`.
+pub type SharedMemCounters = Rc<RefCell<MemCounters>>;
+
+/// Creates a fresh zeroed shared memory-counter cell.
+#[must_use]
+pub fn new_shared_mem_counters() -> SharedMemCounters {
+    Rc::new(RefCell::new(MemCounters::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_counter_roll_ups() {
+        let mut m = MemCounters::default();
+        m.served_by[0][0] = 10; // L1
+        m.served_by[1][0] = 4; // L2
+        m.served_by[2][0] = 2; // L3
+        m.served_by[3][0] = 1; // Memory
+        assert_eq!(m.l1_misses(0), 7);
+        assert_eq!(m.l2_misses(0), 3);
+        assert_eq!(m.memory_accesses(0), 1);
+        assert_eq!(m.l1_misses(1), 0);
+    }
+
+    #[test]
+    fn shared_cell_is_shared() {
+        let a = new_shared_mem_counters();
+        let b = Rc::clone(&a);
+        b.borrow_mut().accesses[0] = 5;
+        assert_eq!(a.borrow().accesses[0], 5);
+    }
+}

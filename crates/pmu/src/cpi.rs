@@ -1,0 +1,262 @@
+//! Per-thread CPI stacks: every simulated cycle is attributed to exactly
+//! one component, so the components always sum to the observed cycle
+//! count — the reconciliation property the reproduction's evidence
+//! rests on ("the model is right for the right reasons").
+
+use std::fmt;
+
+/// Where one cycle of one hardware thread went.
+///
+/// The engine attributes each cycle to exactly one component using this
+/// deterministic priority order (highest first):
+///
+/// 1. [`Base`](CpiComponent::Base) — the thread decoded at least one
+///    instruction this cycle (on its own slot or a stolen one).
+/// 2. [`BranchStall`](CpiComponent::BranchStall) — decode was granted
+///    but the front end was stalled behind a redirect or fetch bubble.
+/// 3. [`Balancer`](CpiComponent::Balancer) — decode was granted but the
+///    dynamic resource balancer gated the thread.
+/// 4. [`CacheMiss`](CpiComponent::CacheMiss) — decode was granted but a
+///    back-end structure (GCT or issue queue) was full *while the thread
+///    had an outstanding load miss*: the structural stall is charged to
+///    the miss that caused it.
+/// 5. [`GctFull`](CpiComponent::GctFull) /
+///    [`QueueFull`](CpiComponent::QueueFull) — the same structural
+///    stalls with no outstanding miss to blame.
+/// 6. [`DecodeStarved`](CpiComponent::DecodeStarved) — the cycle was
+///    granted to the sibling thread (priority ratio) or nobody decodes
+///    (low-power mode off-cycles) and no slot was stolen.
+/// 7. [`Idle`](CpiComponent::Idle) — no program loaded on the context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpiComponent {
+    /// The thread decoded this cycle (useful work entered the pipe).
+    Base,
+    /// The decode slot belonged to the sibling (or to nobody, in
+    /// low-power mode) and was not stolen.
+    DecodeStarved,
+    /// Granted decode cycle lost behind a branch redirect / fetch
+    /// bubble.
+    BranchStall,
+    /// Granted decode cycle lost to a full Global Completion Table with
+    /// no outstanding miss implicated.
+    GctFull,
+    /// Granted decode cycle lost to a full issue queue with no
+    /// outstanding miss implicated.
+    QueueFull,
+    /// Granted decode cycle lost to the dynamic resource balancer.
+    Balancer,
+    /// Granted decode cycle lost to a full GCT or issue queue while the
+    /// thread had an outstanding load miss (the miss is the root cause).
+    CacheMiss,
+    /// The context had no program loaded.
+    Idle,
+}
+
+impl CpiComponent {
+    /// Number of components.
+    pub const COUNT: usize = 8;
+
+    /// All components, in stack order (base first, idle last).
+    pub const ALL: [CpiComponent; CpiComponent::COUNT] = [
+        CpiComponent::Base,
+        CpiComponent::DecodeStarved,
+        CpiComponent::BranchStall,
+        CpiComponent::GctFull,
+        CpiComponent::QueueFull,
+        CpiComponent::Balancer,
+        CpiComponent::CacheMiss,
+        CpiComponent::Idle,
+    ];
+
+    /// Index into a `[u64; COUNT]` bucket array.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            CpiComponent::Base => 0,
+            CpiComponent::DecodeStarved => 1,
+            CpiComponent::BranchStall => 2,
+            CpiComponent::GctFull => 3,
+            CpiComponent::QueueFull => 4,
+            CpiComponent::Balancer => 5,
+            CpiComponent::CacheMiss => 6,
+            CpiComponent::Idle => 7,
+        }
+    }
+
+    /// Machine-readable name (used as JSON keys and trace series names).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CpiComponent::Base => "base",
+            CpiComponent::DecodeStarved => "decode_starved",
+            CpiComponent::BranchStall => "branch_stall",
+            CpiComponent::GctFull => "gct_full",
+            CpiComponent::QueueFull => "queue_full",
+            CpiComponent::Balancer => "balancer",
+            CpiComponent::CacheMiss => "cache_miss",
+            CpiComponent::Idle => "idle",
+        }
+    }
+
+    /// Short column header for text tables.
+    #[must_use]
+    pub fn short(self) -> &'static str {
+        match self {
+            CpiComponent::Base => "base",
+            CpiComponent::DecodeStarved => "starv",
+            CpiComponent::BranchStall => "br",
+            CpiComponent::GctFull => "gct",
+            CpiComponent::QueueFull => "queue",
+            CpiComponent::Balancer => "bal",
+            CpiComponent::CacheMiss => "miss",
+            CpiComponent::Idle => "idle",
+        }
+    }
+}
+
+impl fmt::Display for CpiComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One thread's cycle-accounting stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    counts: [u64; CpiComponent::COUNT],
+}
+
+impl CpiStack {
+    /// An empty stack.
+    #[must_use]
+    pub fn new() -> CpiStack {
+        CpiStack::default()
+    }
+
+    /// Charges one cycle to `component`.
+    #[inline]
+    pub fn add(&mut self, component: CpiComponent) {
+        self.counts[component.index()] += 1;
+    }
+
+    /// Cycles charged to `component`.
+    #[must_use]
+    pub fn get(&self, component: CpiComponent) -> u64 {
+        self.counts[component.index()]
+    }
+
+    /// The raw bucket array, in [`CpiComponent::ALL`] order.
+    #[must_use]
+    pub fn counts(&self) -> &[u64; CpiComponent::COUNT] {
+        &self.counts
+    }
+
+    /// Sum over all components — must equal the cycles observed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `component`'s share of the total (0 when the stack is empty).
+    #[must_use]
+    pub fn fraction(&self, component: CpiComponent) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(component) as f64 / total as f64
+        }
+    }
+
+    /// Checks the conservation law: the components must sum to exactly
+    /// `cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch (expected vs. actual sum).
+    pub fn reconcile(&self, cycles: u64) -> Result<(), String> {
+        let total = self.total();
+        if total == cycles {
+            Ok(())
+        } else {
+            Err(format!(
+                "CPI stack does not reconcile: components sum to {total}, expected {cycles} cycles"
+            ))
+        }
+    }
+
+    /// Element-wise difference `self - earlier` (for interval deltas).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` exceeds `self` anywhere
+    /// (counters are monotonic).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CpiStack) -> CpiStack {
+        let mut out = CpiStack::default();
+        for i in 0..CpiComponent::COUNT {
+            debug_assert!(self.counts[i] >= earlier.counts[i]);
+            out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, c) in CpiComponent::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn add_and_total() {
+        let mut s = CpiStack::new();
+        s.add(CpiComponent::Base);
+        s.add(CpiComponent::Base);
+        s.add(CpiComponent::CacheMiss);
+        assert_eq!(s.get(CpiComponent::Base), 2);
+        assert_eq!(s.total(), 3);
+        assert!((s.fraction(CpiComponent::CacheMiss) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconcile_catches_mismatch() {
+        let mut s = CpiStack::new();
+        s.add(CpiComponent::Idle);
+        assert!(s.reconcile(1).is_ok());
+        let err = s.reconcile(2).unwrap_err();
+        assert!(err.contains("sum to 1"));
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let mut a = CpiStack::new();
+        a.add(CpiComponent::Base);
+        let mut b = a;
+        b.add(CpiComponent::Base);
+        b.add(CpiComponent::Balancer);
+        let d = b.delta_since(&a);
+        assert_eq!(d.get(CpiComponent::Base), 1);
+        assert_eq!(d.get(CpiComponent::Balancer), 1);
+        assert_eq!(d.total(), 2);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = CpiComponent::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CpiComponent::COUNT);
+    }
+
+    #[test]
+    fn empty_stack_fraction_is_zero() {
+        let s = CpiStack::new();
+        assert_eq!(s.fraction(CpiComponent::Base), 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Minimal, dependency-free JSON construction.
+//!
+//! The workspace is fully offline (no serde), but the PMU exports
+//! machine-readable artifacts: Chrome `trace_event` files, CPI-stack
+//! dumps, and the CI perf snapshot. [`JsonValue`] is the small value
+//! tree all of those share; its `Display` impl writes minified,
+//! RFC 8259-conformant JSON with deterministic field order (insertion
+//! order), so golden-file tests can compare exact bytes.
+
+use std::fmt;
+
+/// A JSON value. Build with the `From` impls and [`JsonObject`], render
+/// with `to_string()`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (JSON number).
+    UInt(u64),
+    /// A signed integer (JSON number).
+    Int(i64),
+    /// A float (JSON number); non-finite values render as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with fields in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> JsonValue {
+        JsonValue::Bool(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> JsonValue {
+        JsonValue::UInt(v)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> JsonValue {
+        JsonValue::UInt(u64::from(v))
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> JsonValue {
+        JsonValue::UInt(v as u64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> JsonValue {
+        JsonValue::Int(v)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> JsonValue {
+        JsonValue::Float(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> JsonValue {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> JsonValue {
+        JsonValue::Str(v)
+    }
+}
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> JsonValue {
+        JsonValue::Array(v)
+    }
+}
+
+/// Escapes `s` into `out` per RFC 8259 (quotes, backslash, control
+/// characters).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => write!(f, "null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::UInt(n) => write!(f, "{n}"),
+            JsonValue::Int(n) => write!(f, "{n}"),
+            JsonValue::Float(x) => {
+                if x.is_finite() {
+                    write!(f, "{x}")
+                } else {
+                    write!(f, "null")
+                }
+            }
+            JsonValue::Str(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                escape_into(&mut buf, s);
+                write!(f, "\"{buf}\"")
+            }
+            JsonValue::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            JsonValue::Object(fields) => {
+                write!(f, "{{")?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    let mut buf = String::with_capacity(key.len());
+                    escape_into(&mut buf, key);
+                    write!(f, "\"{buf}\":{value}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Ordered-object builder:
+///
+/// ```
+/// use p5_pmu::json::JsonObject;
+/// let v = JsonObject::new()
+///     .field("schema_version", 1u64)
+///     .field("name", "pmu")
+///     .build();
+/// assert_eq!(v.to_string(), r#"{"schema_version":1,"name":"pmu"}"#);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject(Vec<(String, JsonValue)>);
+
+impl JsonObject {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> JsonObject {
+        JsonObject(Vec::new())
+    }
+
+    /// Appends a field (insertion order is preserved on output).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> JsonObject {
+        self.0.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Finishes the object.
+    #[must_use]
+    pub fn build(self) -> JsonValue {
+        JsonValue::Object(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.to_string(), "null");
+        assert_eq!(JsonValue::from(true).to_string(), "true");
+        assert_eq!(JsonValue::from(42u64).to_string(), "42");
+        assert_eq!(JsonValue::from(-7i64).to_string(), "-7");
+        assert_eq!(JsonValue::from(1.5).to_string(), "1.5");
+        assert_eq!(JsonValue::from(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::from("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = JsonValue::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_and_objects_nest() {
+        let v = JsonObject::new()
+            .field("xs", vec![JsonValue::from(1u64), JsonValue::from(2u64)])
+            .field("inner", JsonObject::new().field("k", "v").build())
+            .build();
+        assert_eq!(v.to_string(), r#"{"xs":[1,2],"inner":{"k":"v"}}"#);
+    }
+
+    #[test]
+    fn field_order_is_insertion_order() {
+        let v = JsonObject::new()
+            .field("z", 1u64)
+            .field("a", 2u64)
+            .build();
+        assert_eq!(v.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn float_uses_shortest_roundtrip() {
+        assert_eq!(JsonValue::from(0.1).to_string(), "0.1");
+        assert_eq!(JsonValue::from(2.0).to_string(), "2");
+    }
+}

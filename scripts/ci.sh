@@ -16,4 +16,17 @@ cargo test -q --offline
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== PMU smoke: CPI stacks + Chrome trace =="
+mkdir -p artifacts
+cargo run --release --offline -p p5-experiments --bin repro -- \
+  --quick --only pmu --pmu --trace artifacts/priority_switch_trace.json \
+  --json-dir artifacts
+test -s artifacts/priority_switch_trace.json
+test -s artifacts/pmu.json
+
+echo "== perf snapshot + overhead gate =="
+cargo run --release --offline -p p5-experiments --bin perf_snapshot -- \
+  --out artifacts/BENCH_repro.json --check
+cp artifacts/BENCH_repro.json BENCH_repro.json
+
 echo "CI gate passed"

@@ -16,6 +16,8 @@
 //! * [`os`] — privilege model, or-nop semantics, kernel behaviours.
 //! * [`fame`] — the FAME measurement methodology.
 //! * [`fault`] — deterministic fault injection and pipeline invariants.
+//! * [`pmu`] — performance-monitoring unit: counter groups, CPI stacks,
+//!   interval sampling, Chrome-trace export.
 //! * [`workloads`] — SPEC proxies, FFT/LU pipeline, MPI imbalance model.
 //! * [`experiments`] — per-table/per-figure reproduction harness.
 //!
@@ -31,4 +33,5 @@ pub use p5_isa as isa;
 pub use p5_mem as mem;
 pub use p5_microbench as microbench;
 pub use p5_os as os;
+pub use p5_pmu as pmu;
 pub use p5_workloads as workloads;
