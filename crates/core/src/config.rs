@@ -2,6 +2,37 @@
 
 use crate::error::SimError;
 use p5_mem::MemConfig;
+use std::fmt;
+
+/// A configuration rejected by [`CoreConfigBuilder::build`].
+///
+/// Carries the offending field plus a human-readable reason, and
+/// converts into [`SimError::InvalidConfig`] for callers that propagate
+/// simulator errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The field (or field pair, for cross-field checks) at fault.
+    pub field: &'static str,
+    /// Why the value was rejected.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid core configuration ({}): {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> SimError {
+        SimError::InvalidConfig {
+            field: e.field,
+            message: e.message,
+        }
+    }
+}
 
 /// Execution latencies per instruction class, in cycles from issue to
 /// result availability.
@@ -279,6 +310,212 @@ impl CoreConfig {
             panic!("{e}");
         }
     }
+
+    /// A validating fluent builder, seeded with the
+    /// [`CoreConfig::power5_like`] defaults.
+    ///
+    /// Unlike constructing the struct directly, [`CoreConfigBuilder::build`]
+    /// rejects degenerate GCT/LMQ/latency combinations up front — including
+    /// the deliberately pathological `lmq_entries == 0` that the raw struct
+    /// permits for watchdog tests.
+    #[must_use]
+    pub fn builder() -> CoreConfigBuilder {
+        CoreConfigBuilder {
+            config: CoreConfig::power5_like(),
+        }
+    }
+}
+
+/// Fluent, validating builder for [`CoreConfig`]. Obtain via
+/// [`CoreConfig::builder`]; every setter returns `self`, and
+/// [`CoreConfigBuilder::build`] validates the whole configuration —
+/// per-field structural checks plus the cross-field invariants (balancer
+/// caps versus table sizes, execution-unit occupancies versus latencies)
+/// that a hand-rolled struct literal can silently violate.
+#[derive(Debug, Clone)]
+pub struct CoreConfigBuilder {
+    config: CoreConfig,
+}
+
+impl CoreConfigBuilder {
+    /// Instructions decoded per decode cycle.
+    #[must_use]
+    pub fn decode_width(mut self, width: usize) -> Self {
+        self.config.decode_width = width;
+        self
+    }
+
+    /// Global Completion Table entries.
+    #[must_use]
+    pub fn gct_entries(mut self, entries: usize) -> Self {
+        self.config.gct_entries = entries;
+        self
+    }
+
+    /// Load-miss-queue entries. `build` rejects zero — use a raw struct
+    /// literal when a deliberately wedged core is wanted.
+    #[must_use]
+    pub fn lmq_entries(mut self, entries: usize) -> Self {
+        self.config.lmq_entries = entries;
+        self
+    }
+
+    /// Branch mispredict penalty in cycles.
+    #[must_use]
+    pub fn mispredict_penalty(mut self, cycles: u64) -> Self {
+        self.config.mispredict_penalty = cycles;
+        self
+    }
+
+    /// Execution latencies.
+    #[must_use]
+    pub fn latencies(mut self, latencies: OpLatencies) -> Self {
+        self.config.latencies = latencies;
+        self
+    }
+
+    /// Dynamic resource balancer configuration.
+    #[must_use]
+    pub fn balancer(mut self, balancer: BalancerConfig) -> Self {
+        self.config.balancer = balancer;
+        self
+    }
+
+    /// Memory hierarchy configuration.
+    #[must_use]
+    pub fn mem(mut self, mem: MemConfig) -> Self {
+        self.config.mem = mem;
+        self
+    }
+
+    /// Low-power-mode decode period (both threads at priority 1).
+    #[must_use]
+    pub fn low_power_decode_period(mut self, period: u64) -> Self {
+        self.config.low_power_decode_period = period;
+        self
+    }
+
+    /// RNG seed for data-dependent branch outcomes.
+    #[must_use]
+    pub fn rng_seed(mut self, seed: u64) -> Self {
+        self.config.rng_seed = seed;
+        self
+    }
+
+    /// Whether idle decode slots are offered to the sibling (ablation).
+    #[must_use]
+    pub fn steal_idle_decode_slots(mut self, steal: bool) -> Self {
+        self.config.steal_idle_decode_slots = steal;
+        self
+    }
+
+    /// Forward-progress watchdog window (0 disables).
+    #[must_use]
+    pub fn watchdog_stall_cycles(mut self, cycles: u64) -> Self {
+        self.config.watchdog_stall_cycles = cycles;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any per-field check of
+    /// [`CoreConfig::try_validate`] fails, if `lmq_entries` is zero, if an
+    /// enabled balancer's caps exceed the tables they police (GCT cap
+    /// above `gct_entries`, miss cap above `lmq_entries`, deep-miss cap
+    /// above the plain GCT cap, or any cap zero), or if an execution-unit
+    /// occupancy is zero or exceeds its operation's latency.
+    pub fn build(self) -> Result<CoreConfig, ConfigError> {
+        let c = self.config;
+        if let Err(e) = c.try_validate() {
+            return Err(match e {
+                SimError::InvalidConfig { field, message } => ConfigError { field, message },
+                other => ConfigError {
+                    field: "config",
+                    message: other.to_string(),
+                },
+            });
+        }
+        if c.lmq_entries == 0 {
+            return Err(ConfigError {
+                field: "lmq_entries",
+                message: "LMQ must have at least one entry (beyond-L1 misses \
+                          could never issue); build the struct directly for \
+                          deliberately wedged watchdog-test cores"
+                    .into(),
+            });
+        }
+        if c.balancer.enabled {
+            let b = &c.balancer;
+            if b.gct_cap_per_thread == 0 || b.miss_cap_per_thread == 0 || b.gct_cap_deep_miss == 0 {
+                return Err(ConfigError {
+                    field: "balancer",
+                    message: "an enabled balancer cap of 0 would stall decode forever".into(),
+                });
+            }
+            if b.gct_cap_per_thread > c.gct_entries {
+                return Err(ConfigError {
+                    field: "balancer.gct_cap_per_thread",
+                    message: format!(
+                        "GCT cap {} exceeds the {}-entry GCT it polices",
+                        b.gct_cap_per_thread, c.gct_entries
+                    ),
+                });
+            }
+            if b.miss_cap_per_thread > c.lmq_entries {
+                return Err(ConfigError {
+                    field: "balancer.miss_cap_per_thread",
+                    message: format!(
+                        "miss cap {} exceeds the {}-entry LMQ it polices",
+                        b.miss_cap_per_thread, c.lmq_entries
+                    ),
+                });
+            }
+            if b.gct_cap_deep_miss > b.gct_cap_per_thread {
+                return Err(ConfigError {
+                    field: "balancer.gct_cap_deep_miss",
+                    message: format!(
+                        "deep-miss GCT cap {} exceeds the plain GCT cap {}",
+                        b.gct_cap_deep_miss, b.gct_cap_per_thread
+                    ),
+                });
+            }
+        }
+        let l = &c.latencies;
+        for (field, latency) in [
+            ("latencies.int_alu", l.int_alu),
+            ("latencies.int_mul", l.int_mul),
+            ("latencies.int_div", l.int_div),
+            ("latencies.fp_alu", l.fp_alu),
+            ("latencies.fp_div", l.fp_div),
+            ("latencies.branch", l.branch),
+            ("latencies.store", l.store),
+        ] {
+            if latency == 0 {
+                return Err(ConfigError {
+                    field,
+                    message: "execution latency must be at least one cycle".into(),
+                });
+            }
+        }
+        for (field, occupancy, latency) in [
+            ("latencies.int_mul_occupancy", l.int_mul_occupancy, l.int_mul),
+            ("latencies.int_div_occupancy", l.int_div_occupancy, l.int_div),
+            ("latencies.fp_div_occupancy", l.fp_div_occupancy, l.fp_div),
+        ] {
+            if occupancy == 0 || occupancy > latency {
+                return Err(ConfigError {
+                    field,
+                    message: format!(
+                        "issue-to-issue occupancy {occupancy} must be in 1..={latency} \
+                         (the operation's latency)"
+                    ),
+                });
+            }
+        }
+        Ok(c)
+    }
 }
 
 impl Default for CoreConfig {
@@ -313,6 +550,106 @@ mod tests {
         let b = BalancerConfig::disabled();
         assert!(!b.enabled);
         assert_eq!(b.gct_cap_per_thread, usize::MAX);
+    }
+
+    #[test]
+    fn builder_defaults_match_power5_like() {
+        let built = CoreConfig::builder().build().expect("defaults valid");
+        assert_eq!(built, CoreConfig::power5_like());
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = CoreConfig::builder()
+            .decode_width(4)
+            .gct_entries(16)
+            .lmq_entries(4)
+            .rng_seed(7)
+            .watchdog_stall_cycles(0)
+            .balancer(BalancerConfig {
+                enabled: true,
+                gct_cap_per_thread: 14,
+                miss_cap_per_thread: 3,
+                gct_cap_deep_miss: 10,
+            })
+            .build()
+            .expect("valid");
+        assert_eq!(c.decode_width, 4);
+        assert_eq!(c.gct_entries, 16);
+        assert_eq!(c.lmq_entries, 4);
+        assert_eq!(c.rng_seed, 7);
+        assert_eq!(c.balancer.gct_cap_deep_miss, 10);
+    }
+
+    #[test]
+    fn builder_rejects_zero_lmq() {
+        let err = CoreConfig::builder().lmq_entries(0).build().unwrap_err();
+        assert_eq!(err.field, "lmq_entries");
+    }
+
+    #[test]
+    fn builder_rejects_balancer_cap_above_gct() {
+        let err = CoreConfig::builder()
+            .gct_entries(10)
+            .balancer(BalancerConfig {
+                enabled: true,
+                gct_cap_per_thread: 12,
+                miss_cap_per_thread: 4,
+                gct_cap_deep_miss: 8,
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "balancer.gct_cap_per_thread");
+    }
+
+    #[test]
+    fn builder_rejects_miss_cap_above_lmq() {
+        let err = CoreConfig::builder()
+            .lmq_entries(4)
+            .balancer(BalancerConfig {
+                enabled: true,
+                gct_cap_per_thread: 18,
+                miss_cap_per_thread: 6,
+                gct_cap_deep_miss: 18,
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "balancer.miss_cap_per_thread");
+    }
+
+    #[test]
+    fn builder_accepts_disabled_balancer_caps() {
+        // usize::MAX caps are fine when the balancer is off.
+        let c = CoreConfig::builder()
+            .balancer(BalancerConfig::disabled())
+            .build()
+            .expect("disabled balancer valid");
+        assert!(!c.balancer.enabled);
+    }
+
+    #[test]
+    fn builder_rejects_occupancy_above_latency() {
+        let err = CoreConfig::builder()
+            .latencies(OpLatencies {
+                int_mul_occupancy: 9,
+                ..OpLatencies::power5_like()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "latencies.int_mul_occupancy");
+    }
+
+    #[test]
+    fn builder_rejects_structural_zero_via_try_validate() {
+        let err = CoreConfig::builder().decode_width(0).build().unwrap_err();
+        assert_eq!(err.field, "decode_width");
+    }
+
+    #[test]
+    fn config_error_converts_to_sim_error() {
+        let err = CoreConfig::builder().gct_entries(1).build().unwrap_err();
+        let sim: SimError = err.into();
+        assert!(matches!(sim, SimError::InvalidConfig { field: "gct_entries", .. }));
     }
 
     #[test]

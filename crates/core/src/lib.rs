@@ -63,7 +63,7 @@ mod thread;
 mod trace;
 
 pub use chip::{Chip, CoreId};
-pub use config::{BalancerConfig, CoreConfig, OpLatencies};
+pub use config::{BalancerConfig, ConfigError, CoreConfig, CoreConfigBuilder, OpLatencies};
 pub use engine::{RunOutcome, SmtCore};
 pub use error::{DiagnosticSnapshot, SimError, StuckResource, ThreadDiag};
 pub use stats::{CoreStats, DecodeBlock, RepetitionRecord, ThreadStats};

@@ -11,6 +11,16 @@ use p5_isa::ThreadId;
 use p5_microbench::MicroBenchmark;
 use p5_pmu::{CpiComponent, PmuConfig};
 
+/// The calibrated core: the POWER5-like defaults routed through the
+/// validating builder, the same construction path the experiments use.
+fn calibrated_core() -> SmtCore {
+    SmtCore::new(
+        CoreConfig::builder()
+            .build()
+            .expect("power5_like defaults are valid"),
+    )
+}
+
 /// Runs to the repetition target, surfacing truncation and stalls: a
 /// cell that hit the cycle budget is tagged `~` (lower-confidence
 /// average) and a wedged cell prints the watchdog's diagnosis instead of
@@ -24,7 +34,7 @@ fn run_to(core: &mut SmtCore, target: [usize; 2], max_cycles: u64) -> Result<boo
 }
 
 fn st_ipc(bench: MicroBenchmark) -> Result<(f64, bool), String> {
-    let mut core = SmtCore::new(CoreConfig::power5_like());
+    let mut core = calibrated_core();
     core.load_program(ThreadId::T0, bench.program());
     // Warm caches/TLB/predictor, then measure.
     core.run_cycles(4_000_000);
@@ -34,7 +44,7 @@ fn st_ipc(bench: MicroBenchmark) -> Result<(f64, bool), String> {
 }
 
 fn smt_ipc(a: MicroBenchmark, b: MicroBenchmark) -> Result<(f64, bool), String> {
-    let mut core = SmtCore::new(CoreConfig::power5_like());
+    let mut core = calibrated_core();
     core.load_program(ThreadId::T0, a.program());
     core.load_program(ThreadId::T1, b.program());
     core.run_cycles(6_000_000);
@@ -47,7 +57,7 @@ fn smt_ipc(a: MicroBenchmark, b: MicroBenchmark) -> Result<(f64, bool), String> 
 /// the per-component cycle fractions, or the stall diagnosis.
 fn st_cpi_stack(bench: MicroBenchmark) -> Result<[f64; CpiComponent::COUNT], String> {
     const MEASURE_CYCLES: u64 = 2_000_000;
-    let mut core = SmtCore::new(CoreConfig::power5_like());
+    let mut core = calibrated_core();
     core.load_program(ThreadId::T0, bench.program());
     core.run_cycles(4_000_000);
     core.reset_stats();

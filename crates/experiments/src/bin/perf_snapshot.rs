@@ -17,6 +17,8 @@
 //! gate the cost of actually turning the PMU on.
 
 use p5_core::{CoreConfig, SmtCore};
+use p5_experiments::campaign::{Campaign, CampaignSpec, CellSpec};
+use p5_experiments::Experiments;
 use p5_isa::{Priority, ThreadId};
 use p5_microbench::MicroBenchmark;
 use p5_pmu::json::{JsonObject, JsonValue};
@@ -36,6 +38,11 @@ const SAMPLE_INTERVAL: u64 = 4_096;
 const MAX_COUNTERS_OVERHEAD_PCT: f64 = 20.0;
 /// Overhead gate for sampling mode, percent over `off`.
 const MAX_SAMPLING_OVERHEAD_PCT: f64 = 20.0;
+
+/// Worker count for the parallel leg of the campaign-scaling benchmark.
+const CAMPAIGN_JOBS: usize = 4;
+/// Timed campaign runs per leg; the best (minimum) wall time is reported.
+const CAMPAIGN_RUNS: u32 = 2;
 
 /// PMU operating modes the snapshot times.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -82,6 +89,39 @@ fn timed_run(mode: Mode) -> f64 {
     wall
 }
 
+/// The campaign-scaling workload: every presented benchmark paired with
+/// `cpu_int` at default priorities, under the quick FAME policy.
+fn campaign_cells() -> Vec<CellSpec> {
+    let default = Priority::from_level(4).expect("valid");
+    MicroBenchmark::PRESENTED
+        .into_iter()
+        .map(|b| {
+            CellSpec::pair(
+                format!("{}+cpu_int", b.name()),
+                b.program(),
+                MicroBenchmark::CpuInt.program(),
+                (default, default),
+            )
+        })
+        .collect()
+}
+
+/// Runs the campaign workload with `jobs` workers and returns the wall
+/// time in seconds.
+fn timed_campaign(jobs: usize) -> f64 {
+    let ctx = Experiments::quick().with_jobs(jobs);
+    let spec = CampaignSpec::for_ctx(&ctx, campaign_cells());
+    let t = Instant::now();
+    let result = Campaign::run(&ctx, &spec);
+    let wall = t.elapsed().as_secs_f64();
+    assert_eq!(
+        result.cells.len(),
+        MicroBenchmark::PRESENTED.len(),
+        "every cell produced an outcome"
+    );
+    wall
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
@@ -124,6 +164,28 @@ fn main() {
 
     let counters_ok = counters_pct < MAX_COUNTERS_OVERHEAD_PCT;
     let sampling_ok = sampling_pct < MAX_SAMPLING_OVERHEAD_PCT;
+
+    // Campaign scaling: the same cell list serial and with CAMPAIGN_JOBS
+    // workers. Recorded, not gated — the speedup is bounded by the host's
+    // available parallelism, which CI containers often cap at one.
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "== campaign scaling: {} quick cells, serial vs {CAMPAIGN_JOBS} jobs (host has {host_cpus} CPU(s)) ==",
+        MicroBenchmark::PRESENTED.len()
+    );
+    let mut serial_wall = f64::INFINITY;
+    let mut parallel_wall = f64::INFINITY;
+    for _ in 0..CAMPAIGN_RUNS {
+        serial_wall = serial_wall.min(timed_campaign(1));
+        parallel_wall = parallel_wall.min(timed_campaign(CAMPAIGN_JOBS));
+    }
+    let speedup = serial_wall / parallel_wall;
+    println!(
+        "serial {:>8.1} ms   {CAMPAIGN_JOBS} jobs {:>8.1} ms   speedup {speedup:.2}x",
+        serial_wall * 1e3,
+        parallel_wall * 1e3
+    );
+
     let doc = JsonObject::new()
         .field("schema_version", p5_experiments::export::SCHEMA_VERSION)
         .field("artifact", "bench_repro")
@@ -147,6 +209,17 @@ fn main() {
                 .field("max_sampling_overhead_pct", MAX_SAMPLING_OVERHEAD_PCT)
                 .field("counters_ok", counters_ok)
                 .field("sampling_ok", sampling_ok)
+                .build(),
+        )
+        .field(
+            "campaign",
+            JsonObject::new()
+                .field("cells", MicroBenchmark::PRESENTED.len() as u64)
+                .field("jobs", CAMPAIGN_JOBS as u64)
+                .field("available_parallelism", host_cpus as u64)
+                .field("serial_wall_ms", serial_wall * 1e3)
+                .field("parallel_wall_ms", parallel_wall * 1e3)
+                .field("speedup", speedup)
                 .build(),
         )
         .build();

@@ -9,7 +9,12 @@
 //! cargo run --release -p p5-experiments --bin repro -- --json-dir results/
 //! cargo run --release -p p5-experiments --bin repro -- --pmu   # CPI stacks
 //! cargo run --release -p p5-experiments --bin repro -- --pmu --trace out.json
+//! cargo run --release -p p5-experiments --bin repro -- --jobs 4
 //! ```
+//!
+//! `--jobs N` fans the campaign cells out over N worker threads
+//! (default: available parallelism). Artifacts are byte-identical for
+//! every N — see the campaign module's determinism argument.
 //!
 //! `--pmu` adds the per-cell CPI-stack section; `--trace <path>`
 //! additionally captures the priority-switch transient and writes it as
@@ -73,6 +78,20 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
     let pmu_flag = args.iter().any(|a| a == "--pmu");
+    let jobs: usize = match args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(n) => match n.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--jobs expects a positive integer, got {n:?}");
+                std::process::exit(1);
+            }
+        },
+        None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    };
     let trace_path: Option<PathBuf> = args
         .iter()
         .position(|a| a == "--trace")
@@ -90,10 +109,13 @@ fn main() {
         Experiments::quick()
     } else {
         Experiments::paper()
-    };
+    }
+    .with_jobs(jobs);
     println!(
-        "== POWER5 software-controlled priority reproduction ({} fidelity) ==\n",
-        if quick { "quick" } else { "paper" }
+        "== POWER5 software-controlled priority reproduction ({} fidelity, {} job{}) ==\n",
+        if quick { "quick" } else { "paper" },
+        ctx.jobs,
+        if ctx.jobs == 1 { "" } else { "s" }
     );
 
     let t0 = Instant::now();

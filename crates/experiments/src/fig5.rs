@@ -9,8 +9,9 @@
 //! Pair 2: applu (PThread) + equake. Paper: baseline 0.500/0.140 (total
 //! 0.630); peak at +5 with a 14% improvement.
 
+use crate::campaign::{Campaign, CampaignResult, CampaignSpec, CellSpec};
 use crate::report::{f3, pct, TextTable};
-use crate::{priority_pair, Experiments};
+use crate::{priority_pair, Degradation, Experiments};
 use p5_isa::ThreadId;
 use p5_workloads::SpecProxy;
 
@@ -28,7 +29,7 @@ pub struct CaseStudy {
     /// whose measurement degraded beyond recovery are omitted.
     pub points: Vec<(i32, f64, f64, f64)>,
     /// Annotations for measurements that degraded.
-    pub degraded: Vec<String>,
+    pub degraded: Vec<Degradation>,
 }
 
 impl CaseStudy {
@@ -112,27 +113,41 @@ impl Fig5Result {
     }
 }
 
-fn case_study(
-    ctx: &Experiments,
+/// Builds the six cells of one case-study curve (one per difference).
+fn study_cells(primary: SpecProxy, secondary: SpecProxy) -> Vec<CellSpec> {
+    DIFFS
+        .iter()
+        .map(|&d| {
+            CellSpec::pair(
+                format!("{}+{} at diff {d:+}", primary.name(), secondary.name()),
+                primary.program(),
+                secondary.program(),
+                priority_pair(d),
+            )
+        })
+        .collect()
+}
+
+/// Aggregates one curve from its six consecutive cells starting at
+/// `base` in the campaign.
+fn aggregate_study(
+    campaign: &CampaignResult,
+    base: usize,
     primary: SpecProxy,
     secondary: SpecProxy,
 ) -> Result<CaseStudy, crate::ExpError> {
     let mut points = Vec::new();
     let mut degraded = Vec::new();
-    for &d in &DIFFS {
-        let m = ctx.measure_pair_resilient(
-            primary.program(),
-            secondary.program(),
-            priority_pair(d),
-        );
-        if let Some(note) = m.degradation(&format!(
-            "{}+{} at diff {d:+}",
-            primary.name(),
-            secondary.name()
-        )) {
+    for (k, &d) in DIFFS.iter().enumerate() {
+        let outcome = &campaign.cells[base + k];
+        if let Some(note) = outcome.measured.degradation(&outcome.label) {
             degraded.push(note);
         }
-        if let Some((p, s)) = m.ipc(ThreadId::T0).zip(m.ipc(ThreadId::T1)) {
+        if let Some((p, s)) = outcome
+            .measured
+            .ipc(ThreadId::T0)
+            .zip(outcome.measured.ipc(ThreadId::T1))
+        {
             points.push((d, p, s, p + s));
         }
     }
@@ -145,7 +160,9 @@ fn case_study(
                 "{}+{}: the (4,4) baseline point failed ({})",
                 primary.name(),
                 secondary.name(),
-                degraded.first().map_or("", String::as_str)
+                degraded
+                    .first()
+                    .map_or_else(String::new, Degradation::to_string)
             ),
         });
     }
@@ -157,17 +174,25 @@ fn case_study(
     })
 }
 
-/// Runs both case studies. Degraded non-baseline points are dropped from
-/// the curves and annotated.
+/// Runs both case studies as one 12-cell campaign. Degraded non-baseline
+/// points are dropped from the curves and annotated.
 ///
 /// # Errors
 ///
 /// Returns [`crate::ExpError`] if either case study lost its (4,4)
 /// baseline point.
 pub fn run(ctx: &Experiments) -> Result<Fig5Result, crate::ExpError> {
+    let mut cells = study_cells(SpecProxy::H264ref, SpecProxy::Mcf);
+    cells.extend(study_cells(SpecProxy::Applu, SpecProxy::Equake));
+    let campaign = Campaign::run(ctx, &CampaignSpec::for_ctx(ctx, cells));
     Ok(Fig5Result {
-        h264_mcf: case_study(ctx, SpecProxy::H264ref, SpecProxy::Mcf)?,
-        applu_equake: case_study(ctx, SpecProxy::Applu, SpecProxy::Equake)?,
+        h264_mcf: aggregate_study(&campaign, 0, SpecProxy::H264ref, SpecProxy::Mcf)?,
+        applu_equake: aggregate_study(
+            &campaign,
+            DIFFS.len(),
+            SpecProxy::Applu,
+            SpecProxy::Equake,
+        )?,
     })
 }
 

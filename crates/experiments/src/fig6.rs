@@ -16,8 +16,9 @@
 //! most foregrounds the most; low-IPC foregrounds are nearly unaffected
 //! (the background is "transparent").
 
+use crate::campaign::{Campaign, CampaignResult, CampaignSpec, CellSpec};
 use crate::report::{f3, ratio, TextTable};
-use crate::{Experiments};
+use crate::{Degradation, Experiments};
 use p5_isa::{Priority, ThreadId};
 use p5_microbench::MicroBenchmark;
 
@@ -39,7 +40,7 @@ pub struct Fig6Result {
     pub worst_case: Vec<(MicroBenchmark, MicroBenchmark, [f64; 5])>,
     /// Annotations for measurements that degraded (their cells are kept
     /// at the best unconverged value, or zero).
-    pub degraded: Vec<String>,
+    pub degraded: Vec<Degradation>,
 }
 
 impl Fig6Result {
@@ -125,91 +126,112 @@ impl Fig6Result {
     }
 }
 
-fn measure_grid(
-    ctx: &Experiments,
-    fg_prio: Priority,
-    st_ipc: &[f64; 6],
-    degraded: &mut Vec<String>,
-) -> [[(f64, f64); 6]; 6] {
-    let mut grid = [[(0.0, 0.0); 6]; 6];
-    for (i, fg) in MicroBenchmark::PRESENTED.iter().enumerate() {
-        for (j, bg) in MicroBenchmark::PRESENTED.iter().enumerate() {
-            let m = ctx.measure_pair_resilient(
+/// Sub-figure (c) series: the paper uses `ldint_mem` as the worst
+/// background for the first three foregrounds, and a non-memory
+/// background for the "ldint_mem 2" series.
+const WORST_CASES: [(MicroBenchmark, MicroBenchmark); 4] = [
+    (MicroBenchmark::LdintL2, MicroBenchmark::LdintMem),
+    (MicroBenchmark::CpuFp, MicroBenchmark::LdintMem),
+    (MicroBenchmark::LngChainCpuint, MicroBenchmark::LdintMem),
+    (MicroBenchmark::LdintMem, MicroBenchmark::CpuInt),
+];
+
+/// Builds the 36 grid cells for one foreground priority (background
+/// fixed at 1).
+fn grid_cells(fg_prio: Priority) -> Vec<CellSpec> {
+    let mut cells = Vec::with_capacity(36);
+    for fg in &MicroBenchmark::PRESENTED {
+        for bg in &MicroBenchmark::PRESENTED {
+            cells.push(CellSpec::pair(
+                format!(
+                    "({},{}) fg {} bg {}",
+                    fg_prio.level(),
+                    Priority::VeryLow.level(),
+                    fg.name(),
+                    bg.name()
+                ),
                 fg.program(),
                 bg.program(),
                 (fg_prio, Priority::VeryLow),
-            );
-            if let Some(note) = m.degradation(&format!(
-                "({},{}) fg {} bg {}",
-                fg_prio.level(),
-                Priority::VeryLow.level(),
-                fg.name(),
-                bg.name()
-            )) {
-                degraded.push(note);
-            }
+            ));
+        }
+    }
+    cells
+}
+
+/// Aggregates one 6×6 grid from 36 consecutive cells starting at `base`.
+fn aggregate_grid(
+    campaign: &CampaignResult,
+    base: usize,
+    st_ipc: &[f64; 6],
+) -> [[(f64, f64); 6]; 6] {
+    let mut grid = [[(0.0, 0.0); 6]; 6];
+    for (i, row) in grid.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let m = campaign.measured(base + i * 6 + j);
             let fg_ipc = m.ipc(ThreadId::T0).unwrap_or(0.0);
             let bg_ipc = m.ipc(ThreadId::T1).unwrap_or(0.0);
-            grid[i][j] = (st_ipc[i] / fg_ipc.max(1e-12), bg_ipc);
+            *cell = (st_ipc[i] / fg_ipc.max(1e-12), bg_ipc);
         }
     }
     grid
 }
 
-/// Runs all Figure 6 measurements. Degraded cells keep their best
-/// unconverged value and are annotated on the result.
+/// Runs all Figure 6 measurements as one 98-cell campaign (6 ST
+/// baselines + two 36-cell grids + 20 worst-case points). Degraded cells
+/// keep their best unconverged value and are annotated on the result.
 ///
 /// # Errors
 ///
 /// Returns [`crate::ExpError`] if a single-thread baseline failed —
 /// every relative-time cell normalizes against them.
 pub fn run(ctx: &Experiments) -> Result<Fig6Result, crate::ExpError> {
-    let mut degraded = Vec::new();
-    let mut st_ipc = [0.0; 6];
-    for (i, b) in MicroBenchmark::PRESENTED.iter().enumerate() {
-        let m = ctx.measure_single_resilient(b.program());
-        if let Some(note) = m.degradation(&format!("ST {}", b.name())) {
-            degraded.push(note);
+    let presented = MicroBenchmark::PRESENTED;
+    let mut cells: Vec<CellSpec> = presented
+        .iter()
+        .map(|b| CellSpec::single(format!("ST {}", b.name()), b.program()))
+        .collect();
+    cells.extend(grid_cells(Priority::High));
+    cells.extend(grid_cells(Priority::MediumHigh));
+    for &(fg, bg) in &WORST_CASES {
+        for &p in &WORST_CASE_FG_PRIOS {
+            let prio = Priority::from_level(p).expect("levels 2..=6 are valid");
+            cells.push(CellSpec::pair(
+                format!("({p},1) fg {} bg {}", fg.name(), bg.name()),
+                fg.program(),
+                bg.program(),
+                (prio, Priority::VeryLow),
+            ));
         }
-        st_ipc[i] = m.ipc(ThreadId::T0).ok_or_else(|| crate::ExpError {
-            artifact: "fig6",
-            message: format!("single-thread {} baseline failed", b.name()),
-        })?;
+    }
+    let campaign = Campaign::run(ctx, &CampaignSpec::for_ctx(ctx, cells));
+
+    let mut st_ipc = [0.0; 6];
+    for (i, b) in presented.iter().enumerate() {
+        st_ipc[i] = campaign
+            .measured(i)
+            .ipc(ThreadId::T0)
+            .ok_or_else(|| crate::ExpError {
+                artifact: "fig6",
+                message: format!("single-thread {} baseline failed", b.name()),
+            })?;
     }
 
-    let fg6 = measure_grid(ctx, Priority::High, &st_ipc, &mut degraded);
-    let fg5 = measure_grid(ctx, Priority::MediumHigh, &st_ipc, &mut degraded);
+    let fg6 = aggregate_grid(&campaign, 6, &st_ipc);
+    let fg5 = aggregate_grid(&campaign, 6 + 36, &st_ipc);
 
-    // (c): the paper uses ldint_mem as the worst background for the first
-    // three foregrounds, and a non-memory background for the
-    // "ldint_mem 2" series.
-    let cases = [
-        (MicroBenchmark::LdintL2, MicroBenchmark::LdintMem),
-        (MicroBenchmark::CpuFp, MicroBenchmark::LdintMem),
-        (MicroBenchmark::LngChainCpuint, MicroBenchmark::LdintMem),
-        (MicroBenchmark::LdintMem, MicroBenchmark::CpuInt),
-    ];
-    let worst_case = cases
+    let worst_base = 6 + 2 * 36;
+    let series = WORST_CASE_FG_PRIOS.len();
+    let worst_case = WORST_CASES
         .iter()
-        .map(|&(fg, bg)| {
+        .enumerate()
+        .map(|(c, &(fg, bg))| {
             let i = Fig6Result::idx(fg);
             let mut times = [0.0; 5];
-            for (k, &p) in WORST_CASE_FG_PRIOS.iter().enumerate() {
-                let prio = Priority::from_level(p).expect("levels 2..=6 are valid");
-                let m = ctx.measure_pair_resilient(
-                    fg.program(),
-                    bg.program(),
-                    (prio, Priority::VeryLow),
-                );
-                if let Some(note) = m.degradation(&format!(
-                    "({p},1) fg {} bg {}",
-                    fg.name(),
-                    bg.name()
-                )) {
-                    degraded.push(note);
-                }
+            for (k, slot) in times.iter_mut().enumerate() {
+                let m = campaign.measured(worst_base + c * series + k);
                 let fg_ipc = m.ipc(ThreadId::T0).unwrap_or(0.0);
-                times[k] = st_ipc[i] / fg_ipc.max(1e-12);
+                *slot = st_ipc[i] / fg_ipc.max(1e-12);
             }
             (fg, bg, times)
         })
@@ -220,7 +242,7 @@ pub fn run(ctx: &Experiments) -> Result<Fig6Result, crate::ExpError> {
         fg6,
         fg5,
         worst_case,
-        degraded,
+        degraded: campaign.degraded,
     })
 }
 

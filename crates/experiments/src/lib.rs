@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod claims;
 pub mod export;
 pub mod fig2;
@@ -90,6 +91,38 @@ impl fmt::Display for ExpError {
 }
 
 impl std::error::Error for ExpError {}
+
+/// A degraded-cell annotation: which cell, and why its data is
+/// untrustworthy.
+///
+/// Every experiment artifact reports degraded cells through this one
+/// type (surfaced by [`campaign::CampaignResult::degraded`] and the
+/// per-artifact `degraded` fields), so the `DEGRADED` lines of all
+/// reports share one format: `label: cause`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// Which cell degraded, e.g. `"(cpu_int,ldint_l2) at diff +2"`.
+    pub label: String,
+    /// Why: the underlying [`SimError`] text, or `"unconverged"`.
+    pub cause: String,
+}
+
+impl Degradation {
+    /// Builds an annotation.
+    #[must_use]
+    pub fn new(label: impl Into<String>, cause: impl Into<String>) -> Degradation {
+        Degradation {
+            label: label.into(),
+            cause: cause.into(),
+        }
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.label, self.cause)
+    }
+}
 
 /// How a resilient measurement ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,7 +185,7 @@ impl Measured {
     /// The degradation annotation for a partial report, if the cell is
     /// degraded.
     #[must_use]
-    pub fn degradation(&self, label: &str) -> Option<String> {
+    pub fn degradation(&self, label: &str) -> Option<Degradation> {
         if !self.is_degraded() {
             return None;
         }
@@ -160,7 +193,7 @@ impl Measured {
             .error
             .as_ref()
             .map_or_else(|| "unconverged".to_string(), SimError::to_string);
-        Some(format!("{label}: {why}"))
+        Some(Degradation::new(label, why))
     }
 }
 
@@ -172,6 +205,9 @@ pub struct Experiments {
     pub core: CoreConfig,
     /// FAME measurement configuration.
     pub fame: FameConfig,
+    /// Worker threads used by the campaign engine (`1` = serial; the
+    /// artifacts are byte-identical either way, see [`campaign`]).
+    pub jobs: usize,
 }
 
 impl Experiments {
@@ -181,8 +217,11 @@ impl Experiments {
     #[must_use]
     pub fn paper() -> Experiments {
         Experiments {
-            core: CoreConfig::power5_like(),
+            core: CoreConfig::builder()
+                .build()
+                .expect("power5_like defaults are valid"),
             fame: FameConfig::paper(),
+            jobs: 1,
         }
     }
 
@@ -191,7 +230,9 @@ impl Experiments {
     #[must_use]
     pub fn quick() -> Experiments {
         Experiments {
-            core: CoreConfig::power5_like(),
+            core: CoreConfig::builder()
+                .build()
+                .expect("power5_like defaults are valid"),
             fame: FameConfig {
                 maiv: 0.05,
                 stable_window: 2,
@@ -201,7 +242,15 @@ impl Experiments {
                 warmup_ring_passes: 1,
                 warmup_min_cycles: 20_000,
             },
+            jobs: 1,
         }
+    }
+
+    /// Returns this context with the campaign worker count replaced.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Experiments {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// How much the cycle budget is multiplied by when a cell is retried
@@ -430,6 +479,7 @@ mod tests {
         Experiments {
             core: p5_core::CoreConfig::tiny_for_tests(),
             fame: p5_fame::FameConfig::quick(),
+            jobs: 1,
         }
     }
 
@@ -489,7 +539,8 @@ mod tests {
         let m = ctx.measure_single_resilient(chase_program(256 * 1024));
         assert!(m.is_degraded());
         let note = m.degradation("chase").expect("degradation note");
-        assert!(note.contains("lmq"), "culprit named: {note}");
+        assert_eq!(note.label, "chase");
+        assert!(note.cause.contains("lmq"), "culprit named: {note}");
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! path — until over-rotation flips the imbalance, as in the FFT/LU case
 //! study.
 
+use crate::campaign::{Campaign, CampaignSpec, CellSpec};
 use crate::report::{f2, pct, TextTable};
-use crate::Experiments;
+use crate::{Degradation, Experiments};
 use p5_isa::{Priority, ThreadId};
 use p5_workloads::mpi::ImbalancedApp;
 
@@ -46,7 +47,7 @@ pub struct MpiResult {
     /// measurement degraded beyond recovery are omitted.
     pub rows: Vec<MpiRow>,
     /// Annotations for measurements that degraded.
-    pub degraded: Vec<String>,
+    pub degraded: Vec<Degradation>,
 }
 
 impl MpiResult {
@@ -119,23 +120,32 @@ pub fn run(ctx: &Experiments) -> Result<MpiResult, crate::ExpError> {
 /// Returns [`crate::ExpError`] if the (4,4) default row failed — the
 /// improvement comparison anchors on it.
 pub fn run_with(ctx: &Experiments, app: ImbalancedApp) -> Result<MpiResult, crate::ExpError> {
-    let mut rows = Vec::new();
-    let mut degraded = Vec::new();
+    let mut invalid = Vec::new();
+    let mut pair_ids = Vec::new();
+    let mut cells = Vec::new();
     for &(ph, pl) in &PRIORITY_PAIRS {
-        let Some((prio_heavy, prio_light)) =
-            Priority::from_level(ph).zip(Priority::from_level(pl))
-        else {
-            degraded.push(format!("({ph},{pl}): invalid priority level"));
+        let Some(priorities) = Priority::from_level(ph).zip(Priority::from_level(pl)) else {
+            invalid.push(Degradation::new(
+                format!("({ph},{pl})"),
+                "invalid priority level",
+            ));
             continue;
         };
-        let m = ctx.measure_pair_resilient(
+        pair_ids.push((cells.len(), ph, pl));
+        cells.push(CellSpec::pair(
+            format!("({ph},{pl})"),
             app.heavy_rank(),
             app.light_rank(),
-            (prio_heavy, prio_light),
-        );
-        if let Some(note) = m.degradation(&format!("({ph},{pl})")) {
-            degraded.push(note);
-        }
+            priorities,
+        ));
+    }
+    let campaign = Campaign::run(ctx, &CampaignSpec::for_ctx(ctx, cells));
+    let mut degraded = campaign.degraded.clone();
+    degraded.extend(invalid);
+
+    let mut rows = Vec::new();
+    for (id, ph, pl) in pair_ids {
+        let m = campaign.measured(id);
         match m
             .avg_repetition_cycles(ThreadId::T0)
             .zip(m.avg_repetition_cycles(ThreadId::T1))
@@ -146,7 +156,10 @@ pub fn run_with(ctx: &Experiments, app: ImbalancedApp) -> Result<MpiResult, crat
                 heavy_cycles,
                 light_cycles,
             }),
-            None => degraded.push(format!("({ph},{pl}): row dropped, no data")),
+            None => degraded.push(Degradation::new(
+                format!("({ph},{pl})"),
+                "row dropped, no data",
+            )),
         }
     }
     if !rows
@@ -157,7 +170,9 @@ pub fn run_with(ctx: &Experiments, app: ImbalancedApp) -> Result<MpiResult, crat
             artifact: "mpi",
             message: format!(
                 "the (4,4) default row failed; nothing to compare against ({})",
-                degraded.last().map_or("", String::as_str)
+                degraded
+                    .last()
+                    .map_or_else(String::new, Degradation::to_string)
             ),
         });
     }

@@ -13,10 +13,11 @@
 //!   trace-event JSON — the Figure-2-style transient, viewable on a
 //!   timeline in `chrome://tracing` or Perfetto.
 
+use crate::campaign::parallel_map;
 use crate::{ExpError, Experiments};
 use p5_isa::{Priority, ThreadId};
 use p5_microbench::MicroBenchmark;
-use p5_os::{sysfs_write, Kernel, KernelMode};
+use p5_os::{Kernel, KernelMode, SysfsRequest};
 use p5_pmu::json::{JsonObject, JsonValue};
 use p5_pmu::{chrome_trace, CpiComponent, CpiStack, PmuConfig};
 use std::fmt::Write as _;
@@ -158,12 +159,17 @@ fn measure_cell(ctx: &Experiments, bench: MicroBenchmark, prio: (u8, u8)) -> Pmu
 /// Returns [`ExpError`] only if *every* cell degrades; individual
 /// degraded cells are annotated on the result.
 pub fn run(ctx: &Experiments) -> Result<PmuResult, ExpError> {
-    let mut cells = Vec::new();
-    for bench in MicroBenchmark::PRESENTED {
-        for prio in PRIORITY_PAIRS {
-            cells.push(measure_cell(ctx, bench, prio));
-        }
-    }
+    // Benchmark-major flat cell list, fanned out on the campaign
+    // engine's worker pool; each cell builds its own core, so results
+    // are independent of `ctx.jobs`.
+    let combos: Vec<(MicroBenchmark, (u8, u8))> = MicroBenchmark::PRESENTED
+        .iter()
+        .flat_map(|&bench| PRIORITY_PAIRS.iter().map(move |&prio| (bench, prio)))
+        .collect();
+    let cells = parallel_map(ctx.jobs, combos.len(), |i| {
+        let (bench, prio) = combos[i];
+        measure_cell(ctx, bench, prio)
+    });
     if cells.iter().all(|c| c.degraded.is_some()) {
         return Err(ExpError {
             artifact: "pmu",
@@ -265,11 +271,15 @@ pub fn priority_switch_trace(ctx: &Experiments) -> Result<TraceCapture, ExpError
     kernel
         .try_run_cycles(TRACE_PHASE_CYCLES)
         .map_err(|e| err(format!("phase 1 (4,4): {e}")))?;
-    sysfs_write(&mut kernel, "thread0/priority", "6").map_err(|e| err(e.to_string()))?;
+    SysfsRequest::set_priority(ThreadId::T0, Priority::High)
+        .apply(&mut kernel)
+        .map_err(|e| err(e.to_string()))?;
     kernel
         .try_run_cycles(TRACE_PHASE_CYCLES)
         .map_err(|e| err(format!("phase 2 (6,4): {e}")))?;
-    sysfs_write(&mut kernel, "thread0/priority", "4").map_err(|e| err(e.to_string()))?;
+    SysfsRequest::set_priority(ThreadId::T0, Priority::Medium)
+        .apply(&mut kernel)
+        .map_err(|e| err(e.to_string()))?;
     kernel
         .try_run_cycles(TRACE_PHASE_CYCLES)
         .map_err(|e| err(format!("phase 3 (4,4): {e}")))?;
@@ -294,6 +304,7 @@ mod tests {
         Experiments {
             core: p5_core::CoreConfig::tiny_for_tests(),
             fame: p5_fame::FameConfig::quick(),
+            jobs: 1,
         }
     }
 

@@ -6,7 +6,8 @@
 //! sweep once and projecting three figures out of it keeps the full
 //! reproduction run affordable.
 
-use crate::{priority_pair, ExpError, Experiments};
+use crate::campaign::{Campaign, CampaignSpec, CellSpec};
+use crate::{priority_pair, Degradation, ExpError, Experiments};
 use p5_isa::ThreadId;
 use p5_microbench::MicroBenchmark;
 
@@ -31,7 +32,7 @@ pub struct PrioritySweep {
     pub grids: Vec<[[SweepCell; 6]; 6]>,
     /// Annotations for cells whose measurement degraded (kept at their
     /// best unconverged value, or zero when nothing was measured).
-    pub degraded: Vec<String>,
+    pub degraded: Vec<Degradation>,
     /// Cells that needed the escalated-budget retry but then converged.
     pub recovered: usize,
 }
@@ -89,53 +90,61 @@ impl PrioritySweep {
 /// usable data cannot anchor the figures derived from it.
 pub fn run(ctx: &Experiments, diffs: &[i32]) -> Result<PrioritySweep, ExpError> {
     let benches = MicroBenchmark::PRESENTED;
-    let mut grids = Vec::with_capacity(diffs.len());
-    let mut degraded = Vec::new();
-    let mut recovered = 0;
+    // Build the flat cell list diff-major, then pthread, then sthread —
+    // the cell for (diff k, i, j) has id k*36 + i*6 + j.
+    let mut cells = Vec::with_capacity(diffs.len() * benches.len() * benches.len());
     for &diff in diffs {
         let priorities = priority_pair(diff);
-        let mut grid = [[SweepCell {
-            pt_ipc: 0.0,
-            st_ipc: 0.0,
-            total_ipc: 0.0,
-        }; 6]; 6];
-        for (i, a) in benches.iter().enumerate() {
-            for (j, b) in benches.iter().enumerate() {
-                let m = ctx.measure_pair_resilient(a.program(), b.program(), priorities);
-                if m.status == crate::CellStatus::Recovered {
-                    recovered += 1;
-                }
-                if let Some(note) =
-                    m.degradation(&format!("({},{}) at diff {diff:+}", a.name(), b.name()))
-                {
-                    degraded.push(note);
-                }
-                let pt = m.ipc(ThreadId::T0).unwrap_or(0.0);
-                let st = m.ipc(ThreadId::T1).unwrap_or(0.0);
-                grid[i][j] = SweepCell {
-                    pt_ipc: pt,
-                    st_ipc: st,
-                    total_ipc: pt + st,
-                };
+        for a in &benches {
+            for b in &benches {
+                cells.push(CellSpec::pair(
+                    format!("({},{}) at diff {diff:+}", a.name(), b.name()),
+                    a.program(),
+                    b.program(),
+                    priorities,
+                ));
             }
         }
-        grids.push(grid);
     }
-    let cells = diffs.len() * benches.len() * benches.len();
-    if cells > 0 && degraded.len() == cells {
+    let result = Campaign::run(ctx, &CampaignSpec::for_ctx(ctx, cells));
+    if result.all_degraded() {
         return Err(ExpError {
             artifact: "sweep",
             message: format!(
-                "all {cells} cells degraded; first: {}",
-                degraded.first().map_or("", String::as_str)
+                "all {} cells degraded; first: {}",
+                result.cells.len(),
+                result.degraded.first().map_or_else(String::new, Degradation::to_string)
             ),
         });
     }
+    let side = benches.len();
+    let grids = (0..diffs.len())
+        .map(|k| {
+            let mut grid = [[SweepCell {
+                pt_ipc: 0.0,
+                st_ipc: 0.0,
+                total_ipc: 0.0,
+            }; 6]; 6];
+            for (i, row) in grid.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
+                    let m = result.measured(k * side * side + i * side + j);
+                    let pt = m.ipc(ThreadId::T0).unwrap_or(0.0);
+                    let st = m.ipc(ThreadId::T1).unwrap_or(0.0);
+                    *cell = SweepCell {
+                        pt_ipc: pt,
+                        st_ipc: st,
+                        total_ipc: pt + st,
+                    };
+                }
+            }
+            grid
+        })
+        .collect();
     Ok(PrioritySweep {
         diffs: diffs.to_vec(),
         grids,
-        degraded,
-        recovered,
+        degraded: result.degraded,
+        recovered: result.recovered,
     })
 }
 

@@ -5,8 +5,9 @@
 //! for each column co-runner the PThread IPC (`pt`) and the combined IPC
 //! (`tt`) under the default (4,4) priorities.
 
+use crate::campaign::{Campaign, CampaignSpec, CellSpec};
 use crate::report::{f3, TextTable};
-use crate::Experiments;
+use crate::{Degradation, Experiments};
 use p5_microbench::MicroBenchmark;
 
 /// The paper's Table 3: per row benchmark, the ST IPC and the `(pt, tt)`
@@ -98,7 +99,7 @@ pub struct Table3Result {
     pub tt: [[f64; 6]; 6],
     /// Annotations for measurements that degraded (their cells are kept
     /// at the best unconverged value, or zero).
-    pub degraded: Vec<String>,
+    pub degraded: Vec<Degradation>,
 }
 
 impl Table3Result {
@@ -185,40 +186,51 @@ impl Table3Result {
 /// Returns [`crate::ExpError`] only if every measurement degraded.
 pub fn run(ctx: &Experiments) -> Result<Table3Result, crate::ExpError> {
     let benches = MicroBenchmark::PRESENTED;
-    let mut result = Table3Result::default();
-    for (i, b) in benches.iter().enumerate() {
-        let m = ctx.measure_single_resilient(b.program());
-        if let Some(note) = m.degradation(&format!("ST {}", b.name())) {
-            result.degraded.push(note);
-        }
-        result.st[i] = m.ipc(p5_isa::ThreadId::T0).unwrap_or(0.0);
+    // Cell ids: 0..6 the ST baselines, then 6 + i*6 + j the (row i,
+    // column j) pairs under (4,4).
+    let mut cells = Vec::with_capacity(benches.len() * (benches.len() + 1));
+    for b in &benches {
+        cells.push(CellSpec::single(format!("ST {}", b.name()), b.program()));
     }
-
-    for (i, a) in benches.iter().enumerate() {
-        for (j, b) in benches.iter().enumerate() {
-            let m = ctx.measure_pair_resilient(
+    for a in &benches {
+        for b in &benches {
+            cells.push(CellSpec::pair(
+                format!("({},{})", a.name(), b.name()),
                 a.program(),
                 b.program(),
                 crate::priority_pair(0),
-            );
-            if let Some(note) =
-                m.degradation(&format!("({},{})", a.name(), b.name()))
-            {
-                result.degraded.push(note);
-            }
-            result.pt[i][j] = m.ipc(p5_isa::ThreadId::T0).unwrap_or(0.0);
-            result.tt[i][j] = m.total_ipc().unwrap_or(0.0);
+            ));
         }
     }
-
-    if result.degraded.len() == benches.len() * (benches.len() + 1) {
+    let campaign = Campaign::run(ctx, &CampaignSpec::for_ctx(ctx, cells));
+    if campaign.all_degraded() {
         return Err(crate::ExpError {
             artifact: "table3",
             message: format!(
                 "all 42 measurements degraded; first: {}",
-                result.degraded.first().map_or("", String::as_str)
+                campaign
+                    .degraded
+                    .first()
+                    .map_or_else(String::new, Degradation::to_string)
             ),
         });
+    }
+    let mut result = Table3Result {
+        degraded: campaign.degraded.clone(),
+        ..Table3Result::default()
+    };
+    for i in 0..benches.len() {
+        result.st[i] = campaign
+            .measured(i)
+            .ipc(p5_isa::ThreadId::T0)
+            .unwrap_or(0.0);
+    }
+    for i in 0..benches.len() {
+        for j in 0..benches.len() {
+            let m = campaign.measured(benches.len() + i * benches.len() + j);
+            result.pt[i][j] = m.ipc(p5_isa::ThreadId::T0).unwrap_or(0.0);
+            result.tt[i][j] = m.total_ipc().unwrap_or(0.0);
+        }
     }
     Ok(result)
 }
@@ -245,7 +257,7 @@ mod tests {
             st: [2.3, 0.3, 0.02, 1.2, 0.4, 0.45],
             pt: [[0.5; 6]; 6],
             tt: [[1.0; 6]; 6],
-            degraded: vec!["(cpu_int,cpu_int): budget".into()],
+            degraded: vec![Degradation::new("(cpu_int,cpu_int)", "budget")],
         };
         let s = r.render();
         assert!(s.contains("ldint_l1"));

@@ -6,8 +6,9 @@
 //! single-thread-mode sequential execution (FFT then LU). The best case
 //! is (6,4); (6,3) over-rotates, inverting the imbalance.
 
+use crate::campaign::{Campaign, CampaignSpec, CellSpec};
 use crate::report::{f2, pct, TextTable};
-use crate::Experiments;
+use crate::{Degradation, Experiments};
 use p5_isa::{Priority, ThreadId};
 use p5_workloads::fftlu;
 
@@ -43,7 +44,7 @@ pub struct Table4Result {
     /// Rows whose measurement degraded beyond recovery are omitted.
     pub rows: Vec<Table4Row>,
     /// Annotations for measurements that degraded.
-    pub degraded: Vec<String>,
+    pub degraded: Vec<Degradation>,
 }
 
 impl Table4Result {
@@ -148,40 +149,54 @@ impl Table4Result {
 /// the (4,4) default row failed, since the improvement-over-default
 /// comparison anchors the paper's claim.
 pub fn run(ctx: &Experiments) -> Result<Table4Result, crate::ExpError> {
-    let mut degraded = Vec::new();
-    let mut st_cycles = |program, label: &str| -> Result<f64, crate::ExpError> {
-        let m = ctx.measure_single_resilient(program);
-        if let Some(note) = m.degradation(label) {
-            degraded.push(note);
-        }
+    // Cell ids: 0 = FFT ST, 1 = LU ST, then one pair cell per valid
+    // paper row (invalid priority levels are annotated and skipped at
+    // spec-build time).
+    let mut cells = vec![
+        CellSpec::single("FFT ST", fftlu::fft_program()),
+        CellSpec::single("LU ST", fftlu::lu_program()),
+    ];
+    let mut invalid = Vec::new();
+    let mut pair_ids = Vec::new();
+    for &(pf, pl, ..) in fftlu::PAPER_TABLE4.iter() {
+        let Some(priorities) = Priority::from_level(pf).zip(Priority::from_level(pl)) else {
+            invalid.push(Degradation::new(
+                format!("({pf},{pl})"),
+                "invalid priority level",
+            ));
+            continue;
+        };
+        pair_ids.push((cells.len(), pf, pl));
+        cells.push(CellSpec::pair(
+            format!("({pf},{pl})"),
+            fftlu::fft_program(),
+            fftlu::lu_program(),
+            priorities,
+        ));
+    }
+    let campaign = Campaign::run(ctx, &CampaignSpec::for_ctx(ctx, cells));
+    let mut degraded = campaign.degraded.clone();
+    degraded.extend(invalid);
+
+    let st_cycles = |id: usize, label: &str| -> Result<f64, crate::ExpError> {
+        let m = campaign.measured(id);
         m.avg_repetition_cycles(ThreadId::T0)
             .ok_or_else(|| crate::ExpError {
                 artifact: "table4",
                 message: format!(
                     "single-thread {label} baseline failed: {}",
-                    m.error.map_or_else(|| "no data".to_string(), |e| e.to_string())
+                    m.error
+                        .as_ref()
+                        .map_or_else(|| "no data".to_string(), |e| e.to_string())
                 ),
             })
     };
-    let fft_st = st_cycles(fftlu::fft_program(), "FFT ST")?;
-    let lu_st = st_cycles(fftlu::lu_program(), "LU ST")?;
+    let fft_st = st_cycles(0, "FFT ST")?;
+    let lu_st = st_cycles(1, "LU ST")?;
 
     let mut rows = Vec::new();
-    for &(pf, pl, ..) in fftlu::PAPER_TABLE4.iter() {
-        let Some((prio_fft, prio_lu)) =
-            Priority::from_level(pf).zip(Priority::from_level(pl))
-        else {
-            degraded.push(format!("({pf},{pl}): invalid priority level"));
-            continue;
-        };
-        let m = ctx.measure_pair_resilient(
-            fftlu::fft_program(),
-            fftlu::lu_program(),
-            (prio_fft, prio_lu),
-        );
-        if let Some(note) = m.degradation(&format!("({pf},{pl})")) {
-            degraded.push(note);
-        }
+    for (id, pf, pl) in pair_ids {
+        let m = campaign.measured(id);
         match m
             .avg_repetition_cycles(ThreadId::T0)
             .zip(m.avg_repetition_cycles(ThreadId::T1))
@@ -192,7 +207,10 @@ pub fn run(ctx: &Experiments) -> Result<Table4Result, crate::ExpError> {
                 fft_cycles,
                 lu_cycles,
             }),
-            None => degraded.push(format!("({pf},{pl}): row dropped, no data")),
+            None => degraded.push(Degradation::new(
+                format!("({pf},{pl})"),
+                "row dropped, no data",
+            )),
         }
     }
 
@@ -201,7 +219,9 @@ pub fn run(ctx: &Experiments) -> Result<Table4Result, crate::ExpError> {
             artifact: "table4",
             message: format!(
                 "the (4,4) default row failed; nothing to compare against ({})",
-                degraded.last().map_or("", String::as_str)
+                degraded
+                    .last()
+                    .map_or_else(String::new, Degradation::to_string)
             ),
         });
     }

@@ -5,9 +5,8 @@ use crate::config::MemConfig;
 use crate::tlb::{Tlb, TlbStats};
 use p5_isa::ThreadId;
 use p5_pmu::SharedMemCounters;
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// The level that served an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -84,9 +83,9 @@ impl MemStats {
 /// per-core.
 #[derive(Debug, Clone)]
 pub struct SharedCaches {
-    l2: Rc<RefCell<Cache>>,
-    l3: Rc<RefCell<Cache>>,
-    dtlb: Rc<RefCell<Tlb>>,
+    l2: Arc<Mutex<Cache>>,
+    l3: Arc<Mutex<Cache>>,
+    dtlb: Arc<Mutex<Tlb>>,
 }
 
 impl SharedCaches {
@@ -99,10 +98,27 @@ impl SharedCaches {
     pub fn new(config: &MemConfig) -> SharedCaches {
         config.validate();
         SharedCaches {
-            l2: Rc::new(RefCell::new(Cache::new(config.l2))),
-            l3: Rc::new(RefCell::new(Cache::new(config.l3))),
-            dtlb: Rc::new(RefCell::new(Tlb::new(config.dtlb))),
+            l2: Arc::new(Mutex::new(Cache::new(config.l2))),
+            l3: Arc::new(Mutex::new(Cache::new(config.l3))),
+            dtlb: Arc::new(Mutex::new(Tlb::new(config.dtlb))),
         }
+    }
+
+    // `Arc<Mutex<_>>` (rather than `Rc<RefCell<_>>`) makes a hierarchy —
+    // and the core that owns it — `Send`, so the campaign engine can run
+    // one simulation per worker thread. Within one chip the simulation
+    // is still single-threaded, so the locks are never contended; each
+    // access is a single uncontested atomic.
+    fn l2(&self) -> MutexGuard<'_, Cache> {
+        self.l2.lock().expect("shared L2 poisoned")
+    }
+
+    fn l3(&self) -> MutexGuard<'_, Cache> {
+        self.l3.lock().expect("shared L3 poisoned")
+    }
+
+    fn dtlb(&self) -> MutexGuard<'_, Tlb> {
+        self.dtlb.lock().expect("shared TLB poisoned")
     }
 }
 
@@ -191,19 +207,19 @@ impl MemoryHierarchy {
     /// L2 cache statistics (merged across cores if the level is shared).
     #[must_use]
     pub fn l2_stats(&self) -> CacheStats {
-        *self.shared.l2.borrow().stats()
+        *self.shared.l2().stats()
     }
 
     /// L3 cache statistics (merged across cores if the level is shared).
     #[must_use]
     pub fn l3_stats(&self) -> CacheStats {
-        *self.shared.l3.borrow().stats()
+        *self.shared.l3().stats()
     }
 
     /// TLB statistics (merged across cores if the level is shared).
     #[must_use]
     pub fn tlb_stats(&self) -> TlbStats {
-        *self.shared.dtlb.borrow().stats()
+        *self.shared.dtlb().stats()
     }
 
     /// Resets all statistics; cache and TLB contents are preserved (the
@@ -211,9 +227,9 @@ impl MemoryHierarchy {
     pub fn reset_stats(&mut self) {
         self.stats = MemStats::default();
         self.l1d.reset_stats();
-        self.shared.l2.borrow_mut().reset_stats();
-        self.shared.l3.borrow_mut().reset_stats();
-        self.shared.dtlb.borrow_mut().reset_stats();
+        self.shared.l2().reset_stats();
+        self.shared.l3().reset_stats();
+        self.shared.dtlb().reset_stats();
     }
 
     /// Performs a demand access (load or store; the model allocates on
@@ -224,22 +240,22 @@ impl MemoryHierarchy {
         let i = thread.index();
         self.stats.accesses[i] += 1;
 
-        let tlb_penalty = self.shared.dtlb.borrow_mut().access(thread, addr);
+        let tlb_penalty = self.shared.dtlb().access(thread, addr);
         let tlb_miss = tlb_penalty > 0;
 
         let (level, base_latency) = if self.l1d.access(thread, addr) {
             (HitLevel::L1, self.config.l1d.latency)
-        } else if self.shared.l2.borrow_mut().access(thread, addr) {
+        } else if self.shared.l2().access(thread, addr) {
             self.l1d.fill(addr);
             (HitLevel::L2, self.config.l2.latency)
-        } else if self.shared.l3.borrow_mut().access(thread, addr) {
+        } else if self.shared.l3().access(thread, addr) {
             self.l1d.fill(addr);
-            self.shared.l2.borrow_mut().fill(addr);
+            self.shared.l2().fill(addr);
             (HitLevel::L3, self.config.l3.latency)
         } else {
             self.l1d.fill(addr);
-            self.shared.l2.borrow_mut().fill(addr);
-            self.shared.l3.borrow_mut().fill(addr);
+            self.shared.l2().fill(addr);
+            self.shared.l3().fill(addr);
             (HitLevel::Memory, self.config.memory_latency)
         };
 
@@ -250,7 +266,7 @@ impl MemoryHierarchy {
         if level != HitLevel::L1 && self.config.prefetch_depth > 0 {
             let line = addr / self.config.l1d.line_bytes;
             if self.last_line[i] == Some(line.wrapping_sub(1)) {
-                let mut l2 = self.shared.l2.borrow_mut();
+                let mut l2 = self.shared.l2();
                 for k in 1..=self.config.prefetch_depth {
                     let paddr = (line + k) * self.config.l1d.line_bytes;
                     if !l2.probe(paddr) {
@@ -264,7 +280,7 @@ impl MemoryHierarchy {
         }
 
         if let Some(pmu) = &self.pmu {
-            let mut c = pmu.borrow_mut();
+            let mut c = pmu.lock().expect("mem counter cell poisoned");
             c.accesses[i] += 1;
             c.served_by[level_index(level)][i] += 1;
             if tlb_miss {
@@ -293,8 +309,8 @@ impl MemoryHierarchy {
     /// Invalidates all cache levels (not the TLB).
     pub fn invalidate_caches(&mut self) {
         self.l1d.invalidate_all();
-        self.shared.l2.borrow_mut().invalidate_all();
-        self.shared.l3.borrow_mut().invalidate_all();
+        self.shared.l2().invalidate_all();
+        self.shared.l3().invalidate_all();
         self.last_line = [None; 2];
     }
 }
@@ -434,11 +450,11 @@ mod tests {
     fn attached_pmu_counters_mirror_traffic() {
         let mut m = tiny();
         let cell = p5_pmu::new_shared_mem_counters();
-        m.attach_pmu_counters(std::rc::Rc::clone(&cell));
+        m.attach_pmu_counters(std::sync::Arc::clone(&cell));
         m.access(ThreadId::T0, 0x4000, true); // cold: memory + TLB walk
         m.access(ThreadId::T0, 0x4000, false); // L1 hit
         {
-            let c = cell.borrow();
+            let c = cell.lock().unwrap();
             assert_eq!(c.accesses[0], 2);
             assert_eq!(c.served_by[3][0], 1);
             assert_eq!(c.served_by[0][0], 1);
@@ -447,7 +463,7 @@ mod tests {
         }
         m.detach_pmu_counters();
         m.access(ThreadId::T0, 0x4000, false);
-        assert_eq!(cell.borrow().accesses[0], 2, "detached: no publishing");
+        assert_eq!(cell.lock().unwrap().accesses[0], 2, "detached: no publishing");
     }
 
     #[test]

@@ -355,9 +355,164 @@ impl Kernel {
     }
 }
 
+/// A node of the `/sys` pseudo-file tree the paper's patch exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SysfsNode {
+    /// `thread<N>/priority` — the software priority of context N.
+    ThreadPriority(ThreadId),
+    /// `timer/interval_cycles` — the timer-interrupt interval.
+    TimerInterval,
+}
+
+impl SysfsNode {
+    /// Every node of the tree (for exhaustive round-trip tests).
+    pub const ALL: [SysfsNode; 3] = [
+        SysfsNode::ThreadPriority(ThreadId::T0),
+        SysfsNode::ThreadPriority(ThreadId::T1),
+        SysfsNode::TimerInterval,
+    ];
+
+    /// The node's path below the sysfs mount point.
+    #[must_use]
+    pub fn path(self) -> String {
+        match self {
+            SysfsNode::ThreadPriority(t) => format!("thread{}/priority", t.index()),
+            SysfsNode::TimerInterval => "timer/interval_cycles".to_string(),
+        }
+    }
+
+    /// Parses a path into its node.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InvalidPath`] if no node has this path.
+    pub fn parse(path: &str) -> Result<SysfsNode, OsError> {
+        match path {
+            "thread0/priority" => Ok(SysfsNode::ThreadPriority(ThreadId::T0)),
+            "thread1/priority" => Ok(SysfsNode::ThreadPriority(ThreadId::T1)),
+            "timer/interval_cycles" => Ok(SysfsNode::TimerInterval),
+            _ => Err(OsError::InvalidPath),
+        }
+    }
+}
+
+impl fmt::Display for SysfsNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.path())
+    }
+}
+
+/// A typed, validated write against the sysfs tree — what a string write
+/// parses into, and what programmatic callers construct directly so that
+/// an invalid request is unrepresentable.
+///
+/// ```
+/// use p5_core::{CoreConfig, SmtCore};
+/// use p5_isa::{Priority, ThreadId};
+/// use p5_os::{Kernel, KernelMode, SysfsRequest};
+///
+/// let mut kernel = Kernel::new(SmtCore::new(CoreConfig::tiny_for_tests()),
+///                              KernelMode::Patched);
+/// SysfsRequest::set_priority(ThreadId::T0, Priority::High).apply(&mut kernel)?;
+/// assert_eq!(kernel.core().priority(ThreadId::T0), Priority::High);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysfsRequest {
+    /// Request `priority` for `thread` with user privileges.
+    SetPriority {
+        /// The targeted context.
+        thread: ThreadId,
+        /// The requested priority.
+        priority: Priority,
+    },
+    /// Set the timer-interrupt interval.
+    SetTimerInterval {
+        /// Interval in core cycles (must be nonzero).
+        cycles: u64,
+    },
+}
+
+impl SysfsRequest {
+    /// A priority write for `thread`.
+    #[must_use]
+    pub fn set_priority(thread: ThreadId, priority: Priority) -> SysfsRequest {
+        SysfsRequest::SetPriority { thread, priority }
+    }
+
+    /// A timer-interval write.
+    #[must_use]
+    pub fn set_timer_interval(cycles: u64) -> SysfsRequest {
+        SysfsRequest::SetTimerInterval { cycles }
+    }
+
+    /// The node this request writes to.
+    #[must_use]
+    pub fn node(&self) -> SysfsNode {
+        match *self {
+            SysfsRequest::SetPriority { thread, .. } => SysfsNode::ThreadPriority(thread),
+            SysfsRequest::SetTimerInterval { .. } => SysfsNode::TimerInterval,
+        }
+    }
+
+    /// The value a string write would carry for this request (the
+    /// inverse of [`SysfsRequest::parse`]).
+    #[must_use]
+    pub fn value_string(&self) -> String {
+        match *self {
+            SysfsRequest::SetPriority { priority, .. } => priority.level().to_string(),
+            SysfsRequest::SetTimerInterval { cycles } => cycles.to_string(),
+        }
+    }
+
+    /// Parses a `(path, value)` string write into a typed request.
+    /// Values tolerate surrounding whitespace, as sysfs writes do.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InvalidPath`] for unknown paths and
+    /// [`OsError::InvalidValue`] for non-numeric or out-of-range values.
+    /// Privilege is *not* checked here — that is [`SysfsRequest::apply`]'s
+    /// job, because it depends on the kernel the request is applied to.
+    pub fn parse(path: &str, value: &str) -> Result<SysfsRequest, OsError> {
+        let value = value.trim();
+        match SysfsNode::parse(path)? {
+            SysfsNode::ThreadPriority(thread) => {
+                let level: u8 = value.parse().map_err(|_| OsError::InvalidValue)?;
+                let priority = Priority::from_level(level).ok_or(OsError::InvalidValue)?;
+                Ok(SysfsRequest::SetPriority { thread, priority })
+            }
+            SysfsNode::TimerInterval => {
+                let cycles: u64 = value.parse().map_err(|_| OsError::InvalidValue)?;
+                Ok(SysfsRequest::SetTimerInterval { cycles })
+            }
+        }
+    }
+
+    /// Applies the request to a kernel with user privileges.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InsufficientPrivilege`] if the kernel mode forbids the
+    /// requested priority, [`OsError::InvalidTimerInterval`] for a zero
+    /// interval.
+    pub fn apply(&self, kernel: &mut Kernel) -> Result<(), OsError> {
+        match *self {
+            SysfsRequest::SetPriority { thread, priority } => {
+                kernel.set_user_priority(thread, priority)
+            }
+            SysfsRequest::SetTimerInterval { cycles } => kernel.set_timer_interval(cycles),
+        }
+    }
+}
+
 /// The `/sys` pseudo-file interface the paper's patch adds: writing a
 /// priority level to `thread<N>/priority` requests that priority for
 /// context N with user privileges.
+///
+/// This is the thin string-parsing shim over [`SysfsRequest`] kept for
+/// the repro binary and examples; programmatic callers should construct
+/// a [`SysfsRequest`] directly.
 ///
 /// ```
 /// use p5_core::{CoreConfig, SmtCore};
@@ -378,14 +533,7 @@ impl Kernel {
 /// [`OsError::InsufficientPrivilege`] if the kernel mode forbids the
 /// level.
 pub fn sysfs_write(kernel: &mut Kernel, path: &str, value: &str) -> Result<(), OsError> {
-    let thread = match path {
-        "thread0/priority" => ThreadId::T0,
-        "thread1/priority" => ThreadId::T1,
-        _ => return Err(OsError::InvalidPath),
-    };
-    let level: u8 = value.trim().parse().map_err(|_| OsError::InvalidValue)?;
-    let priority = Priority::from_level(level).ok_or(OsError::InvalidValue)?;
-    kernel.set_user_priority(thread, priority)
+    SysfsRequest::parse(path, value)?.apply(kernel)
 }
 
 #[cfg(test)]
@@ -531,6 +679,76 @@ mod tests {
             Err(OsError::InsufficientPrivilege {
                 requested: Priority::VeryHigh
             })
+        );
+    }
+
+    #[test]
+    fn sysfs_nodes_round_trip_through_paths() {
+        for node in SysfsNode::ALL {
+            assert_eq!(SysfsNode::parse(&node.path()), Ok(node), "{node}");
+        }
+        assert_eq!(SysfsNode::parse("thread9/priority"), Err(OsError::InvalidPath));
+        assert_eq!(SysfsNode::parse(""), Err(OsError::InvalidPath));
+    }
+
+    #[test]
+    fn sysfs_requests_round_trip_exhaustively() {
+        // Every representable priority request...
+        for t in ThreadId::ALL {
+            for level in 0..=7u8 {
+                let Some(priority) = Priority::from_level(level) else {
+                    continue;
+                };
+                let req = SysfsRequest::set_priority(t, priority);
+                assert_eq!(
+                    SysfsRequest::parse(&req.node().path(), &req.value_string()),
+                    Ok(req),
+                    "thread {t} level {level}"
+                );
+            }
+        }
+        // ...and timer-interval requests, including the zero that only
+        // apply() rejects.
+        for cycles in [0u64, 1, 10_000, u64::MAX] {
+            let req = SysfsRequest::set_timer_interval(cycles);
+            assert_eq!(
+                SysfsRequest::parse(&req.node().path(), &req.value_string()),
+                Ok(req)
+            );
+        }
+    }
+
+    #[test]
+    fn typed_requests_apply_with_privilege_checks() {
+        let mut k = kernel(KernelMode::Vanilla);
+        assert_eq!(
+            SysfsRequest::set_priority(ThreadId::T0, Priority::Medium).apply(&mut k),
+            Ok(())
+        );
+        assert_eq!(
+            SysfsRequest::set_priority(ThreadId::T0, Priority::High).apply(&mut k),
+            Err(OsError::InsufficientPrivilege {
+                requested: Priority::High
+            })
+        );
+        assert_eq!(
+            SysfsRequest::set_timer_interval(0).apply(&mut k),
+            Err(OsError::InvalidTimerInterval)
+        );
+        assert_eq!(SysfsRequest::set_timer_interval(5_000).apply(&mut k), Ok(()));
+    }
+
+    #[test]
+    fn sysfs_timer_interval_string_writes() {
+        let mut k = kernel(KernelMode::Patched);
+        assert_eq!(sysfs_write(&mut k, "timer/interval_cycles", " 8000 "), Ok(()));
+        assert_eq!(
+            sysfs_write(&mut k, "timer/interval_cycles", "soon"),
+            Err(OsError::InvalidValue)
+        );
+        assert_eq!(
+            sysfs_write(&mut k, "timer/interval_cycles", "0"),
+            Err(OsError::InvalidTimerInterval)
         );
     }
 

@@ -6,8 +6,7 @@
 //! occupancy, balancer actions, and (via [`MemCounters`], shared with
 //! the memory hierarchy) per-level cache hits and TLB misses.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Core-side counter group, maintained by the engine once per cycle
 /// while the PMU is enabled.
@@ -70,14 +69,16 @@ impl MemCounters {
     }
 }
 
-/// The shared cell the memory hierarchy publishes into. Single-threaded
-/// by construction (the simulator is single-threaded), hence `Rc`.
-pub type SharedMemCounters = Rc<RefCell<MemCounters>>;
+/// The shared cell the memory hierarchy publishes into. `Arc<Mutex<_>>`
+/// so a core (and the PMU riding on it) is `Send`: the campaign engine
+/// runs one simulation per worker thread, and each cell owns its own
+/// uncontended counter cell, so the lock never blocks in practice.
+pub type SharedMemCounters = Arc<Mutex<MemCounters>>;
 
 /// Creates a fresh zeroed shared memory-counter cell.
 #[must_use]
 pub fn new_shared_mem_counters() -> SharedMemCounters {
-    Rc::new(RefCell::new(MemCounters::default()))
+    Arc::new(Mutex::new(MemCounters::default()))
 }
 
 #[cfg(test)]
@@ -100,8 +101,8 @@ mod tests {
     #[test]
     fn shared_cell_is_shared() {
         let a = new_shared_mem_counters();
-        let b = Rc::clone(&a);
-        b.borrow_mut().accesses[0] = 5;
-        assert_eq!(a.borrow().accesses[0], 5);
+        let b = Arc::clone(&a);
+        b.lock().unwrap().accesses[0] = 5;
+        assert_eq!(a.lock().unwrap().accesses[0], 5);
     }
 }

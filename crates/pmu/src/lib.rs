@@ -259,13 +259,13 @@ impl Pmu {
     /// clone to `MemoryHierarchy::attach_pmu_counters`).
     #[must_use]
     pub fn mem_counters(&self) -> SharedMemCounters {
-        std::rc::Rc::clone(&self.mem)
+        std::sync::Arc::clone(&self.mem)
     }
 
     /// A copy of the memory-hierarchy counters accumulated so far.
     #[must_use]
     pub fn mem_snapshot(&self) -> MemCounters {
-        *self.mem.borrow()
+        *self.mem.lock().expect("mem counter cell poisoned")
     }
 
     /// Cycles observed since the PMU was enabled.
@@ -384,7 +384,7 @@ impl Pmu {
 
     fn flush_sample(&mut self, rec: &CycleRecord) {
         let interval = self.cycles_in_interval;
-        let mem = *self.mem.borrow();
+        let mem = *self.mem.lock().expect("mem counter cell poisoned");
         if self.samples.len() < self.config.max_samples {
             let sample = Sample {
                 cycle: self.cycles,
@@ -531,8 +531,8 @@ mod tests {
     fn mem_counters_flow_into_samples() {
         let mut pmu = Pmu::new(PmuConfig::sampling(1));
         let cell = pmu.mem_counters();
-        cell.borrow_mut().served_by[3][0] = 7;
-        cell.borrow_mut().tlb_misses[0] = 2;
+        cell.lock().unwrap().served_by[3][0] = 7;
+        cell.lock().unwrap().tlb_misses[0] = 2;
         pmu.on_cycle(1, &rec([CpiComponent::Base, CpiComponent::Idle], [1, 0]));
         let s = &pmu.samples()[0];
         assert_eq!(s.memory_accesses[0], 7);

@@ -38,7 +38,7 @@ fn deterministic_pmu() -> Pmu {
         // Steady trickle of memory traffic so the mem counter series is
         // non-trivial: one access per cycle, every third missing the L2.
         {
-            let mut m = mem.borrow_mut();
+            let mut m = mem.lock().expect("mem counter cell poisoned");
             m.accesses[0] += 1;
             m.served_by[if cycle.is_multiple_of(3) { 2 } else { 0 }][0] += 1;
             if cycle.is_multiple_of(4) {

@@ -16,6 +16,21 @@ cargo test -q --offline
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== campaign determinism: --jobs 1 vs --jobs 2 artifacts =="
+mkdir -p artifacts/jobs1 artifacts/jobs2
+cargo run --release --offline -p p5-experiments --bin repro -- \
+  --quick --only table3 --jobs 1 \
+  --csv-dir artifacts/jobs1 --json-dir artifacts/jobs1 > /dev/null
+cargo run --release --offline -p p5-experiments --bin repro -- \
+  --quick --only table3 --jobs 2 \
+  --csv-dir artifacts/jobs2 --json-dir artifacts/jobs2 > /dev/null
+if ! diff -r artifacts/jobs1 artifacts/jobs2 > artifacts/determinism.diff; then
+  echo "DETERMINISM GATE FAILED: --jobs 1 and --jobs 2 artifacts differ"
+  cat artifacts/determinism.diff
+  exit 1
+fi
+rm artifacts/determinism.diff
+
 echo "== PMU smoke: CPI stacks + Chrome trace =="
 mkdir -p artifacts
 cargo run --release --offline -p p5-experiments --bin repro -- \

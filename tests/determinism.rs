@@ -1,0 +1,155 @@
+//! Determinism contract for the campaign engine: the same spec yields
+//! byte-identical artifacts at every worker count — cell seeds are a
+//! pure function of (campaign seed, cell id), results are aggregated by
+//! id, and no cell observes another — including under a seeded fault
+//! plan.
+
+use p5repro::core::CoreConfig;
+use p5repro::experiments::campaign::{Campaign, CampaignSpec, CellFaults, CellSpec};
+use p5repro::experiments::{export, sweep, table3, Experiments};
+use p5repro::fame::FameConfig;
+use p5repro::isa::{DataKind, Op, Priority, Program, Reg, StaticInst, StreamSpec, ThreadId};
+
+/// A fast context on the tiny test core: small enough that a whole
+/// artifact runs in seconds, real enough to exercise every cell path.
+fn ctx(jobs: usize) -> Experiments {
+    Experiments {
+        core: CoreConfig::tiny_for_tests(),
+        fame: FameConfig {
+            maiv: 0.05,
+            stable_window: 2,
+            min_repetitions: 3,
+            max_cycles: 3_000_000,
+            warmup_max_cycles: 300_000,
+            warmup_ring_passes: 1,
+            warmup_min_cycles: 5_000,
+        },
+        jobs,
+    }
+}
+
+fn cpu_program(iters: u64) -> Program {
+    let mut b = Program::builder("cpu");
+    for i in 0..10 {
+        b.push(StaticInst::new(Op::IntAlu).dst(Reg::new(32 + i)));
+    }
+    b.iterations(iters);
+    b.build().unwrap()
+}
+
+fn chase_program(footprint: u64) -> Program {
+    let ptr = Reg::new(1);
+    let mut b = Program::builder("chase");
+    let s = b.stream(StreamSpec::pointer_chase(footprint));
+    b.push(
+        StaticInst::new(Op::Load {
+            stream: s,
+            kind: DataKind::Int,
+        })
+        .dst(ptr)
+        .src1(ptr),
+    );
+    b.iterations(100);
+    b.build().unwrap()
+}
+
+#[test]
+fn table3_artifacts_are_byte_identical_across_worker_counts() {
+    let serial = table3::run(&ctx(1)).expect("serial table3");
+    let parallel = table3::run(&ctx(4)).expect("parallel table3");
+    assert_eq!(
+        export::table3_csv(&serial),
+        export::table3_csv(&parallel),
+        "CSV must not depend on worker count"
+    );
+    assert_eq!(
+        export::table3_json(&serial),
+        export::table3_json(&parallel),
+        "JSON must not depend on worker count"
+    );
+}
+
+#[test]
+fn sweep_grids_are_bit_identical_across_worker_counts() {
+    // Two diffs keep the cell count (72 per run) affordable; the figure
+    // projections and exports are pure functions of these grids, so grid
+    // equality implies artifact equality.
+    let diffs = [0, 3];
+    let serial = sweep::run(&ctx(1), &diffs).expect("serial sweep");
+    let parallel = sweep::run(&ctx(4), &diffs).expect("parallel sweep");
+    assert_eq!(serial.diffs, parallel.diffs);
+    assert_eq!(serial.recovered, parallel.recovered);
+    for (&d, (ga, gb)) in diffs.iter().zip(serial.grids.iter().zip(&parallel.grids)) {
+        for p in 0..6 {
+            for s in 0..6 {
+                let (a, b) = (&ga[p][s], &gb[p][s]);
+                for (x, y) in [
+                    (a.pt_ipc, b.pt_ipc),
+                    (a.st_ipc, b.st_ipc),
+                    (a.total_ipc, b.total_ipc),
+                ] {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "diff {d} cell ({p},{s}): grids must be bit-identical"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_campaign_outcomes_are_identical_across_worker_counts() {
+    let run = |jobs: usize| {
+        let c = ctx(jobs);
+        let cells: Vec<CellSpec> = (0..8u64)
+            .map(|i| {
+                CellSpec::pair(
+                    format!("cell{i}"),
+                    cpu_program(80),
+                    chase_program(32 * 1024),
+                    (
+                        Priority::from_level(6).unwrap(),
+                        Priority::from_level(2).unwrap(),
+                    ),
+                )
+                .with_faults(CellFaults {
+                    seed: 0xC0FF_EE00 + i,
+                    count: 4,
+                    horizon: 40_000,
+                })
+            })
+            .collect();
+        Campaign::run(&c, &CampaignSpec::for_ctx(&c, cells))
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.cells.len(), parallel.cells.len());
+    for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.measured.status, b.measured.status, "cell {}", a.label);
+        for t in [ThreadId::T0, ThreadId::T1] {
+            assert_eq!(
+                a.measured.ipc(t).map(f64::to_bits),
+                b.measured.ipc(t).map(f64::to_bits),
+                "cell {} thread {t:?}: IPC must be bit-identical",
+                a.label
+            );
+        }
+    }
+    assert_eq!(serial.recovered, parallel.recovered);
+    assert_eq!(
+        serial
+            .degraded
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>(),
+        parallel
+            .degraded
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+}

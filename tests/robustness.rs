@@ -128,6 +128,7 @@ fn healthy_and_wedged_cells_coexist_in_a_partial_report() {
     let ctx = Experiments {
         core: wedged_config(),
         fame: FameConfig::quick(),
+        jobs: 1,
     };
 
     // A pure-ALU cell never touches the LMQ: it measures normally even
@@ -144,8 +145,12 @@ fn healthy_and_wedged_cells_coexist_in_a_partial_report() {
     let note = wedged
         .degradation("(chase)")
         .expect("degraded cells carry a note");
-    assert!(note.starts_with("(chase): "), "note: {note}");
-    assert!(note.contains("lmq"), "note names the culprit: {note}");
+    assert_eq!(note.label, "(chase)");
+    assert!(
+        note.to_string().starts_with("(chase): "),
+        "note renders label: cause — {note}"
+    );
+    assert!(note.cause.contains("lmq"), "note names the culprit: {note}");
 }
 
 #[test]
@@ -158,6 +163,7 @@ fn losing_the_baseline_cell_is_a_typed_total_loss() {
     let ctx = Experiments {
         core,
         fame: FameConfig::quick(),
+        jobs: 1,
     };
     let err = p5repro::experiments::mpi::run_with(&ctx, ImbalancedApp::default())
         .expect_err("an invalid core yields no data at all");
@@ -177,6 +183,7 @@ fn escalated_retry_recovers_a_tight_budget() {
             warmup_min_cycles: 500,
             ..FameConfig::quick()
         },
+        jobs: 1,
     };
     // 8k cycles is too tight for 40 repetitions, but the one retry at
     // Experiments::RETRY_ESCALATION times the budget completes: the cell
