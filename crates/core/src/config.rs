@@ -137,6 +137,30 @@ impl BalancerConfig {
     }
 }
 
+/// How the engine executes the warmup phase that precedes measurement.
+///
+/// The FAME runner (and anything else that warms a core before taking
+/// numbers) can either simulate warmup cycle-by-cycle on the detailed
+/// pipeline, or fast-forward it functionally: instructions execute in
+/// program order and touch the caches, the data TLB and the branch
+/// predictor, but no GCT, issue-queue or PMU state is modelled. See
+/// [`SmtCore::functional_warmup`](crate::SmtCore::functional_warmup) for
+/// the exact contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmupMode {
+    /// Warm up on the detailed cycle-by-cycle engine. This is the
+    /// default: with it, every artifact output is bit-identical to the
+    /// pre-two-speed engine.
+    #[default]
+    Detailed,
+    /// Fast-forward warmup with
+    /// [`SmtCore::functional_warmup`](crate::SmtCore::functional_warmup).
+    /// Measured results are statistically equivalent (warmed cache, TLB
+    /// and predictor state) but not bit-identical to `Detailed`, because
+    /// the warmup interleaving is approximated.
+    Functional,
+}
+
 /// Full configuration of the SMT2 core.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoreConfig {
@@ -198,6 +222,10 @@ pub struct CoreConfig {
     /// (a full LMQ of memory-latency misses plus a mispredict penalty is
     /// well under 1 000 cycles).
     pub watchdog_stall_cycles: u64,
+    /// How the warmup phase is executed (see [`WarmupMode`]). Only the
+    /// FAME warmup loop consults this; measured cycles always run on the
+    /// detailed engine.
+    pub warmup_mode: WarmupMode,
 }
 
 impl CoreConfig {
@@ -225,6 +253,7 @@ impl CoreConfig {
             rng_seed: 0x5eed_cafe_f00d_0001,
             steal_idle_decode_slots: false,
             watchdog_stall_cycles: 100_000,
+            warmup_mode: WarmupMode::Detailed,
         }
     }
 
@@ -413,6 +442,14 @@ impl CoreConfigBuilder {
     #[must_use]
     pub fn watchdog_stall_cycles(mut self, cycles: u64) -> Self {
         self.config.watchdog_stall_cycles = cycles;
+        self
+    }
+
+    /// How the warmup phase is executed (default:
+    /// [`WarmupMode::Detailed`]).
+    #[must_use]
+    pub fn warmup_mode(mut self, mode: WarmupMode) -> Self {
+        self.config.warmup_mode = mode;
         self
     }
 

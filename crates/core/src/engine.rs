@@ -388,6 +388,175 @@ impl SmtCore {
         }
     }
 
+    /// Fast-forwards `cycles` cycles of warmup on the functional engine
+    /// (the [`WarmupMode::Functional`](crate::WarmupMode::Functional)
+    /// path of the two-speed design).
+    ///
+    /// Instructions execute in program order and touch exactly the state
+    /// that must be warm at the measurement boundary — data caches, data
+    /// TLB, branch predictor, stream cursors, and the priority registers
+    /// (`or-nop`s take effect, with the same privilege check as the
+    /// detailed engine) — but no GCT, issue-queue, LMQ, finish-table or
+    /// PMU state is modelled. Each instruction is charged an approximate
+    /// cost in virtual cycles: its thread's decode share under the
+    /// current priority policy, raised to the full memory latency for
+    /// loads (dependent chains serialize on it; overcharging independent
+    /// loads only shortens the fast-forward, never the warmed footprint)
+    /// and by the mispredict penalty for mispredicted branches. The two
+    /// contexts advance in virtual-time order, so cache and LRU
+    /// interference between threads is preserved at instruction
+    /// granularity.
+    ///
+    /// On return the core sits at a clean pipeline boundary: nothing is
+    /// in flight, `cycle` has advanced by exactly `cycles`, and the
+    /// forward-progress watchdog window restarts (the fast-forward is
+    /// stall-free by construction). Statistics accumulated during the
+    /// fast-forward are approximate and should be discarded with
+    /// [`reset_stats`](SmtCore::reset_stats) before measuring — exactly
+    /// as after a detailed warmup. Random-branch outcomes draw from the
+    /// same seeded RNG as the detailed engine, so the fast-forward is
+    /// fully deterministic, but the draw *count* differs from a detailed
+    /// warmup; measured results under this mode are statistically
+    /// equivalent, not bit-identical.
+    pub fn functional_warmup(&mut self, cycles: u64) {
+        #[allow(clippy::cast_precision_loss)]
+        let budget = cycles as f64;
+        // Virtual cycles consumed so far, per context.
+        let mut consumed = [0.0f64; 2];
+        let mut costs = self.functional_decode_costs();
+        loop {
+            // Advance the runnable context furthest behind in virtual
+            // time; stop once every runnable context has consumed the
+            // budget.
+            let mut pick: Option<usize> = None;
+            for i in 0..2 {
+                if self.threads[i].is_none() || !costs[i].is_finite() || consumed[i] >= budget {
+                    continue;
+                }
+                if pick.is_none_or(|p| consumed[i] < consumed[p]) {
+                    pick = Some(i);
+                }
+            }
+            let Some(i) = pick else { break };
+            let (cost, policy_changed) = self.functional_step(ThreadId::from_index(i), costs[i]);
+            consumed[i] += cost;
+            if policy_changed {
+                costs = self.functional_decode_costs();
+            }
+        }
+        self.cycle += cycles;
+        self.stats.cycles += cycles;
+        // Stall-free by construction: restart the watchdog window at the
+        // warmup→detailed boundary.
+        self.last_commit_cycle = self.cycle;
+    }
+
+    /// Per-instruction decode cost in virtual cycles for each context
+    /// under the current priority policy (`INFINITY` for a context that
+    /// holds no decode slots at all). Used by
+    /// [`functional_warmup`](SmtCore::functional_warmup).
+    fn functional_decode_costs(&self) -> [f64; 2] {
+        #[allow(clippy::cast_precision_loss)]
+        let width = self.config.decode_width as f64;
+        let mut costs = [f64::INFINITY; 2];
+        match self.effective_policy() {
+            DecodePolicy::BothOff => {}
+            DecodePolicy::SingleThread { runner } => costs[runner.index()] = 1.0 / width,
+            DecodePolicy::LowPower => {
+                // One single-instruction decode every `period` cycles,
+                // alternating between the two contexts.
+                #[allow(clippy::cast_precision_loss)]
+                let per_inst = 2.0 * self.config.low_power_decode_period as f64;
+                costs = [per_inst, per_inst];
+            }
+            DecodePolicy::Ratio {
+                favoured,
+                favoured_slots,
+                period,
+            } => {
+                let f = favoured.index();
+                costs[f] = f64::from(period) / (width * f64::from(favoured_slots));
+                costs[1 - f] = f64::from(period) / (width * f64::from(period - favoured_slots));
+            }
+        }
+        costs
+    }
+
+    /// Executes one instruction of `tid` functionally. Returns the
+    /// virtual-cycle cost and whether the instruction changed a priority
+    /// (invalidating the caller's cached decode costs).
+    fn functional_step(&mut self, tid: ThreadId, decode_cost: f64) -> (f64, bool) {
+        let i = tid.index();
+        let thread = self.threads[i]
+            .as_mut()
+            .expect("functional_step requires an active context");
+        let inst = thread.program.body()[thread.pc];
+        let mut cost = decode_cost;
+        let mut policy_changed = false;
+        match inst.op {
+            Op::IntAlu | Op::IntMul | Op::IntDiv | Op::FpAlu | Op::FpDiv | Op::Nop => {}
+            Op::OrNop(requested) => {
+                // Same semantics as the detailed decode stage: the change
+                // takes effect in program order, or is silently ignored
+                // without the required privilege.
+                if requested.settable_by(thread.privilege) {
+                    policy_changed = self.priorities[i] != requested;
+                    self.priorities[i] = requested;
+                    self.stats.threads[i].priority_changes += 1;
+                } else {
+                    self.stats.threads[i].priority_nops += 1;
+                }
+            }
+            Op::Load { stream, .. } => {
+                let addr = thread.cursors[stream.index()].next_load_addr();
+                let access = self.mem.access(tid, addr, false);
+                #[allow(clippy::cast_precision_loss)]
+                let latency = access.latency.max(1) as f64;
+                cost = cost.max(latency);
+                self.stats.threads[i].loads += 1;
+            }
+            Op::Store { stream, .. } => {
+                let addr = thread.cursors[stream.index()].store_addr();
+                let _ = self.mem.access(tid, addr, true);
+                self.stats.threads[i].stores += 1;
+            }
+            Op::Branch(behavior) => {
+                let pc_addr = 0x1_0000 + (thread.pc as u64) * 4;
+                let taken = match behavior {
+                    BranchBehavior::LoopBack => thread.iter + 1 < thread.program.iterations(),
+                    BranchBehavior::ConstantTaken => true,
+                    BranchBehavior::ConstantNotTaken => false,
+                    BranchBehavior::Random { taken_permille } => {
+                        // Same xorshift64* stream as the detailed engine,
+                        // so the fast-forward stays deterministic.
+                        let mut x = self.rng;
+                        x ^= x >> 12;
+                        x ^= x << 25;
+                        x ^= x >> 27;
+                        self.rng = x;
+                        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % 1000) < u64::from(taken_permille)
+                    }
+                };
+                let predicted = self.predictor.predict(tid, pc_addr);
+                self.predictor.update(tid, pc_addr, taken);
+                let mispredicted = predicted != taken;
+                self.predictor.record(tid, mispredicted);
+                let st = &mut self.stats.threads[i];
+                st.branches += 1;
+                if mispredicted {
+                    st.mispredicts += 1;
+                    #[allow(clippy::cast_precision_loss)]
+                    let penalty = self.config.mispredict_penalty as f64;
+                    cost += penalty;
+                }
+            }
+        }
+        let thread = self.threads[i].as_mut().expect("still active");
+        thread.advance();
+        self.stats.threads[i].decoded += 1;
+        (cost, policy_changed)
+    }
+
     /// Advances the simulation by `n` cycles under the forward-progress
     /// watchdog: a wedged core returns early with the diagnostic instead
     /// of silently burning the whole span.
@@ -712,6 +881,15 @@ impl SmtCore {
             if free_units == 0 {
                 continue;
             }
+            // Oldest-first scan with `remove` on issue. This looks like
+            // an O(n²) smell, but it measures *faster* than read/write
+            // compaction rewrites (~12% whole-sim, see PERF.md): issues
+            // per cycle are bounded by the unit count, so `remove` is
+            // rare and shifts a short tail, while the common
+            // nothing-issues scan stays read-only — compaction variants
+            // tax every scanned entry with a store. `mem::take` detaches
+            // the queue (a pointer swap, no allocation) so `try_issue`
+            // can borrow the rest of the core.
             let mut queue = std::mem::take(self.queues.queue(class));
             let mut i = 0usize;
             while i < queue.len() && free_units > 0 {

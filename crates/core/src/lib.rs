@@ -49,6 +49,44 @@
 //! assert!(s.committed(ThreadId::T0) > s.committed(ThreadId::T1));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Engine modes
+//!
+//! The core is a *two-speed* engine. The detailed, cycle-level pipeline
+//! above is the only mode that produces measurements; for the warmup
+//! phase — whose sole purpose is to populate caches, TLB and branch
+//! predictor before statistics are reset — [`SmtCore::functional_warmup`]
+//! fast-forwards in program order, touching the same architectural
+//! warm state without any pipeline bookkeeping. Which engine warms a
+//! run is selected by [`CoreConfig::warmup_mode`] (a [`WarmupMode`],
+//! default [`WarmupMode::Detailed`], so artifacts stay bit-identical
+//! unless fast-forward is explicitly requested):
+//!
+//! ```
+//! use p5_core::{CoreConfig, SmtCore, WarmupMode};
+//! use p5_isa::{DataKind, Op, Program, StaticInst, StreamSpec, ThreadId};
+//!
+//! // A loop with a strided load, so warmup has cache state to build.
+//! let mut b = Program::builder("ld_loop");
+//! let stream = b.stream(StreamSpec::sequential(64 * 1024, 64));
+//! b.push(StaticInst::new(Op::Load { stream, kind: DataKind::Int }));
+//! b.push(StaticInst::new(Op::IntAlu));
+//! b.iterations(10_000);
+//! let prog = b.build()?;
+//!
+//! let config = CoreConfig::builder()
+//!     .warmup_mode(WarmupMode::Functional)
+//!     .build()?;
+//! assert_eq!(config.warmup_mode, WarmupMode::Functional);
+//!
+//! let mut core = SmtCore::new(config);
+//! core.load_program(ThreadId::T0, prog);
+//! core.functional_warmup(50_000);      // fast-forward the warm phase
+//! core.reset_stats();
+//! core.run_cycles(10_000);             // measure on the detailed engine
+//! assert!(core.stats().ipc(ThreadId::T0) > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -63,7 +101,7 @@ mod thread;
 mod trace;
 
 pub use chip::{Chip, CoreId};
-pub use config::{BalancerConfig, ConfigError, CoreConfig, CoreConfigBuilder, OpLatencies};
+pub use config::{BalancerConfig, ConfigError, CoreConfig, CoreConfigBuilder, OpLatencies, WarmupMode};
 pub use engine::{RunOutcome, SmtCore};
 pub use error::{DiagnosticSnapshot, SimError, StuckResource, ThreadDiag};
 pub use stats::{CoreStats, DecodeBlock, RepetitionRecord, ThreadStats};

@@ -127,8 +127,10 @@ pub(crate) struct ThreadState {
     pub(crate) iter: u64,
     pub(crate) cursors: Vec<StreamCursor>,
     /// Sequence number of the most recent producer of each architectural
-    /// register (0 = no in-flight producer).
-    pub(crate) reg_producer: Vec<u64>,
+    /// register (0 = no in-flight producer). A fixed inline array: the
+    /// dependency lookup is on the per-instruction decode path and must
+    /// not chase a heap pointer.
+    pub(crate) reg_producer: [u64; p5_isa::Reg::COUNT],
     /// Decode is stalled until this cycle (branch redirect).
     pub(crate) fetch_stall_until: u64,
     /// A mispredicted branch was decoded and has not yet resolved; decode
@@ -158,7 +160,7 @@ impl ThreadState {
             pc: 0,
             iter: 0,
             cursors,
-            reg_producer: vec![0; p5_isa::Reg::COUNT],
+            reg_producer: [0; p5_isa::Reg::COUNT],
             fetch_stall_until: 0,
             redirect_pending: None,
             groups: VecDeque::new(),

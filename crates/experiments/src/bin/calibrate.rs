@@ -4,12 +4,29 @@
 //! Run with `cargo run --release -p p5-experiments --bin calibrate`.
 //! Pass `--pmu` to append a single-thread CPI-stack table: where each
 //! benchmark's cycles go, which is the first place to look when a
-//! measured IPC drifts from the paper's column.
+//! measured IPC drifts from the paper's column. Pass `--fast-forward`
+//! to warm each cell on the functional fast-forward engine (two-speed
+//! path, DESIGN.md §11) — faster, statistically equivalent, not
+//! bit-identical to the default detailed warmup.
 
 use p5_core::{CoreConfig, RunOutcome, SmtCore};
 use p5_isa::ThreadId;
 use p5_microbench::MicroBenchmark;
 use p5_pmu::{CpiComponent, PmuConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Whether `--fast-forward` was passed: warmups then run on the
+/// functional engine instead of the detailed one.
+static FAST_FORWARD: AtomicBool = AtomicBool::new(false);
+
+/// Warms `core` for `cycles` on whichever engine the flags selected.
+fn warm(core: &mut SmtCore, cycles: u64) {
+    if FAST_FORWARD.load(Ordering::Relaxed) {
+        core.functional_warmup(cycles);
+    } else {
+        core.run_cycles(cycles);
+    }
+}
 
 /// The calibrated core: the POWER5-like defaults routed through the
 /// validating builder, the same construction path the experiments use.
@@ -37,7 +54,7 @@ fn st_ipc(bench: MicroBenchmark) -> Result<(f64, bool), String> {
     let mut core = calibrated_core();
     core.load_program(ThreadId::T0, bench.program());
     // Warm caches/TLB/predictor, then measure.
-    core.run_cycles(4_000_000);
+    warm(&mut core, 4_000_000);
     core.reset_stats();
     let complete = run_to(&mut core, [10, 0], 50_000_000)?;
     Ok((core.stats().ipc(ThreadId::T0), complete))
@@ -47,7 +64,7 @@ fn smt_ipc(a: MicroBenchmark, b: MicroBenchmark) -> Result<(f64, bool), String> 
     let mut core = calibrated_core();
     core.load_program(ThreadId::T0, a.program());
     core.load_program(ThreadId::T1, b.program());
-    core.run_cycles(6_000_000);
+    warm(&mut core, 6_000_000);
     core.reset_stats();
     let complete = run_to(&mut core, [10, 10], 100_000_000)?;
     Ok((core.stats().ipc(ThreadId::T0), complete))
@@ -59,7 +76,7 @@ fn st_cpi_stack(bench: MicroBenchmark) -> Result<[f64; CpiComponent::COUNT], Str
     const MEASURE_CYCLES: u64 = 2_000_000;
     let mut core = calibrated_core();
     core.load_program(ThreadId::T0, bench.program());
-    core.run_cycles(4_000_000);
+    warm(&mut core, 4_000_000);
     core.reset_stats();
     core.enable_pmu(PmuConfig::counters_only());
     core.try_run_cycles(MEASURE_CYCLES).map_err(|e| e.to_string())?;
@@ -95,7 +112,9 @@ fn print_cpi_stacks() {
 }
 
 fn main() {
-    let pmu_flag = std::env::args().skip(1).any(|a| a == "--pmu");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pmu_flag = args.iter().any(|a| a == "--pmu");
+    FAST_FORWARD.store(args.iter().any(|a| a == "--fast-forward"), Ordering::Relaxed);
     println!("== Single-thread IPC (paper Table 3 ST column) ==");
     for b in MicroBenchmark::PRESENTED {
         let paper = b

@@ -1,20 +1,34 @@
 //! Performance snapshot: wall-time and simulated-cycles-per-second of a
-//! fixed workload with the PMU off, counting, and sampling, written as
-//! `BENCH_repro.json`.
+//! fixed workload with the PMU off, counting, and sampling, plus the
+//! two-speed engine's functional-vs-detailed warmup throughput, written
+//! as `BENCH_repro.json`.
 //!
 //! ```text
 //! cargo run --release -p p5-experiments --bin perf_snapshot
 //! cargo run --release -p p5-experiments --bin perf_snapshot -- --check
+//! cargo run --release -p p5-experiments --bin perf_snapshot -- --check --quick
 //! cargo run --release -p p5-experiments --bin perf_snapshot -- --out path.json
 //! ```
 //!
+//! Methodology (see PERF.md for the full discussion): runs are
+//! **interleaved** — every round times each PMU mode once before the
+//! next round starts — and the reported number per mode is the
+//! **median** across rounds, with the max−min spread recorded next to
+//! it. Interleaving spreads slow-host transients (frequency ramps, cron
+//! jobs) across all modes instead of letting them bias whichever mode
+//! ran first, which is what previously produced *negative* measured PMU
+//! overheads; the medians make single outlier rounds irrelevant.
+//!
 //! `--check` exits non-zero if the PMU's measured overhead exceeds the
-//! gates ([`MAX_COUNTERS_OVERHEAD_PCT`], [`MAX_SAMPLING_OVERHEAD_PCT`]),
-//! which is how CI keeps the instrumentation honest. The `off` mode *is*
+//! gates ([`MAX_COUNTERS_OVERHEAD_PCT`], [`MAX_SAMPLING_OVERHEAD_PCT`])
+//! or the functional warmup path is less than
+//! [`MIN_WARMUP_SPEEDUP`]× faster than detailed warmup — how CI keeps
+//! both the instrumentation and the two-speed engine honest. `--quick`
+//! shrinks the cycle budgets for a CI smoke run. The `off` mode *is*
 //! the disabled-PMU state — its hot-path cost is one never-taken branch
 //! per cycle, so the disabled overhead is bounded by run-to-run noise
-//! (see the Observability section of DESIGN.md); the modes measured here
-//! gate the cost of actually turning the PMU on.
+//! (see the Observability section of DESIGN.md); the modes measured
+//! here gate the cost of actually turning the PMU on.
 
 use p5_core::{CoreConfig, SmtCore};
 use p5_experiments::campaign::{Campaign, CampaignSpec, CellSpec};
@@ -25,12 +39,6 @@ use p5_pmu::json::{JsonObject, JsonValue};
 use p5_pmu::PmuConfig;
 use std::time::Instant;
 
-/// Warm-up cycles before the timed window (caches, TLB, predictor).
-const WARM_CYCLES: u64 = 500_000;
-/// Timed simulated cycles per run.
-const MEASURE_CYCLES: u64 = 2_000_000;
-/// Timed runs per mode; the best (minimum) wall time is reported.
-const RUNS_PER_MODE: u32 = 3;
 /// Sampling interval used by the `sampling` mode.
 const SAMPLE_INTERVAL: u64 = 4_096;
 
@@ -38,11 +46,41 @@ const SAMPLE_INTERVAL: u64 = 4_096;
 const MAX_COUNTERS_OVERHEAD_PCT: f64 = 20.0;
 /// Overhead gate for sampling mode, percent over `off`.
 const MAX_SAMPLING_OVERHEAD_PCT: f64 = 20.0;
+/// Gate: functional warmup must fast-forward the warm phase at least
+/// this many times faster than the detailed engine simulates it.
+const MIN_WARMUP_SPEEDUP: f64 = 2.0;
 
 /// Worker count for the parallel leg of the campaign-scaling benchmark.
 const CAMPAIGN_JOBS: usize = 4;
-/// Timed campaign runs per leg; the best (minimum) wall time is reported.
-const CAMPAIGN_RUNS: u32 = 2;
+
+/// Cycle budgets and round counts; `--quick` swaps in the smoke-sized
+/// set so the CI perf gate costs seconds, not minutes.
+struct Params {
+    warm_cycles: u64,
+    measure_cycles: u64,
+    rounds: usize,
+    campaign_rounds: usize,
+}
+
+impl Params {
+    fn full() -> Params {
+        Params {
+            warm_cycles: 500_000,
+            measure_cycles: 2_000_000,
+            rounds: 5,
+            campaign_rounds: 2,
+        }
+    }
+
+    fn quick() -> Params {
+        Params {
+            warm_cycles: 200_000,
+            measure_cycles: 500_000,
+            rounds: 3,
+            campaign_rounds: 1,
+        }
+    }
+}
 
 /// PMU operating modes the snapshot times.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -64,29 +102,77 @@ impl Mode {
     }
 }
 
-/// One timed run: the fixed workload for [`MEASURE_CYCLES`] cycles with
-/// the PMU in `mode`. Returns the wall time of the measured window in
-/// seconds.
-fn timed_run(mode: Mode) -> f64 {
+/// Median of a sample set (interleaved rounds are few, so a sort is
+/// fine). Panics on an empty slice.
+fn median(samples: &[f64]) -> f64 {
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        (s[n / 2 - 1] + s[n / 2]) / 2.0
+    }
+}
+
+/// Run-to-run spread as a percentage of the median: `(max − min) /
+/// median`. Reported next to every median so a reader can tell signal
+/// from noise.
+fn spread_pct(samples: &[f64]) -> f64 {
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    100.0 * (max - min) / median(samples)
+}
+
+/// The fixed snapshot workload: `cpu_int` against `ldint_l2` at (4,4).
+fn workload_core() -> SmtCore {
     let mut core = SmtCore::new(CoreConfig::power5_like());
     core.load_program(ThreadId::T0, MicroBenchmark::CpuInt.program());
     core.load_program(ThreadId::T1, MicroBenchmark::LdintL2.program());
     core.set_priority(ThreadId::T0, Priority::from_level(4).expect("valid"));
     core.set_priority(ThreadId::T1, Priority::from_level(4).expect("valid"));
-    core.run_cycles(WARM_CYCLES);
+    core
+}
+
+/// One timed run: detailed warmup, then the measured window with the
+/// PMU in `mode`. Returns `(warm_wall, measure_wall)` in seconds so the
+/// warmup and measure phases can be reported separately.
+fn timed_run(p: &Params, mode: Mode) -> (f64, f64) {
+    let mut core = workload_core();
+    let t = Instant::now();
+    core.run_cycles(p.warm_cycles);
+    let warm_wall = t.elapsed().as_secs_f64();
     match mode {
         Mode::Off => {}
         Mode::Counters => core.enable_pmu(PmuConfig::counters_only()),
         Mode::Sampling => core.enable_pmu(PmuConfig::sampling(SAMPLE_INTERVAL)),
     }
     let t = Instant::now();
-    core.run_cycles(MEASURE_CYCLES);
-    let wall = t.elapsed().as_secs_f64();
+    core.run_cycles(p.measure_cycles);
+    let measure_wall = t.elapsed().as_secs_f64();
     if mode != Mode::Off {
         let pmu = core.take_pmu().expect("enabled above");
-        assert_eq!(pmu.cycles(), MEASURE_CYCLES, "PMU observed the full window");
+        assert_eq!(
+            pmu.cycles(),
+            p.measure_cycles,
+            "PMU observed the full window"
+        );
     }
-    wall
+    (warm_wall, measure_wall)
+}
+
+/// Times one warmup of `cycles` on the chosen engine (`functional`
+/// selects the two-speed fast-forward path) and returns the wall time
+/// in seconds.
+fn timed_warmup(cycles: u64, functional: bool) -> f64 {
+    let mut core = workload_core();
+    let t = Instant::now();
+    if functional {
+        core.functional_warmup(cycles);
+    } else {
+        core.run_cycles(cycles);
+    }
+    t.elapsed().as_secs_f64()
 }
 
 /// The campaign-scaling workload: every presented benchmark paired with
@@ -122,48 +208,97 @@ fn timed_campaign(jobs: usize) -> f64 {
     wall
 }
 
+#[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
+    let quick = args.iter().any(|a| a == "--quick");
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_repro.json", String::as_str);
+    let p = if quick { Params::quick() } else { Params::full() };
 
     println!(
-        "== perf snapshot: cpu_int/ldint_l2 (4,4), {MEASURE_CYCLES} cycles, best of {RUNS_PER_MODE} =="
+        "== perf snapshot: cpu_int/ldint_l2 (4,4), {} cycles, median of {} interleaved rounds{} ==",
+        p.measure_cycles,
+        p.rounds,
+        if quick { " (quick)" } else { "" }
     );
-    let mut best = [f64::INFINITY; 3];
-    let mut mode_rows = Vec::new();
-    for (i, mode) in Mode::ALL.into_iter().enumerate() {
-        for _ in 0..RUNS_PER_MODE {
-            best[i] = best[i].min(timed_run(mode));
+
+    // PMU modes, interleaved: each round times every mode once, so host
+    // transients land on all modes evenly instead of biasing the first.
+    let mut warm_samples: Vec<f64> = Vec::new();
+    let mut measure_samples: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for _ in 0..p.rounds {
+        for (i, mode) in Mode::ALL.into_iter().enumerate() {
+            let (warm, measure) = timed_run(&p, mode);
+            warm_samples.push(warm);
+            measure_samples[i].push(measure);
         }
-        let cps = MEASURE_CYCLES as f64 / best[i];
+    }
+    let mut mode_rows = Vec::new();
+    let mut med = [0.0f64; 3];
+    for (i, mode) in Mode::ALL.into_iter().enumerate() {
+        med[i] = median(&measure_samples[i]);
+        let spread = spread_pct(&measure_samples[i]);
+        let cps = p.measure_cycles as f64 / med[i];
         println!(
-            "{:<9} {:>8.1} ms   {:>12.0} cycles/s",
+            "{:<9} {:>8.1} ms (spread {:>4.1}%)   {:>12.0} cycles/s",
             mode.name(),
-            best[i] * 1e3,
+            med[i] * 1e3,
+            spread,
             cps
         );
         mode_rows.push(
             JsonObject::new()
                 .field("mode", mode.name())
-                .field("wall_ms", best[i] * 1e3)
+                .field("wall_ms", med[i] * 1e3)
+                .field("spread_pct", spread)
                 .field("cycles_per_sec", cps)
                 .build(),
         );
     }
-    let overhead_pct = |i: usize| 100.0 * (best[i] / best[0] - 1.0);
-    let counters_pct = overhead_pct(1);
-    let sampling_pct = overhead_pct(2);
-    println!(
-        "overhead vs off: counters {counters_pct:+.1}%  sampling {sampling_pct:+.1}%"
-    );
+    let counters_pct = 100.0 * (med[1] / med[0] - 1.0);
+    let sampling_pct = 100.0 * (med[2] / med[0] - 1.0);
+    println!("overhead vs off: counters {counters_pct:+.1}%  sampling {sampling_pct:+.1}%");
 
     let counters_ok = counters_pct < MAX_COUNTERS_OVERHEAD_PCT;
     let sampling_ok = sampling_pct < MAX_SAMPLING_OVERHEAD_PCT;
+
+    // Phase split: the same detailed engine runs both phases, so their
+    // throughputs should agree; a divergence flags a phase-dependent
+    // regression (e.g. cold-start effects) that end-to-end numbers hide.
+    let warm_med = median(&warm_samples);
+    let warm_cps = p.warm_cycles as f64 / warm_med;
+    let measure_cps = p.measure_cycles as f64 / med[0];
+    println!(
+        "phases (detailed engine): warmup {warm_cps:>12.0} cycles/s   measure {measure_cps:>12.0} cycles/s"
+    );
+
+    // Two-speed warmup: functional fast-forward vs detailed simulation
+    // of the identical warm phase, interleaved and medianed the same
+    // way. Gated: the fast path must actually be fast.
+    let warmup_bench_cycles = p.measure_cycles;
+    let mut detailed_samples = Vec::new();
+    let mut functional_samples = Vec::new();
+    for _ in 0..p.rounds {
+        detailed_samples.push(timed_warmup(warmup_bench_cycles, false));
+        functional_samples.push(timed_warmup(warmup_bench_cycles, true));
+    }
+    let detailed_med = median(&detailed_samples);
+    let functional_med = median(&functional_samples);
+    let warmup_speedup = detailed_med / functional_med;
+    let warmup_ok = warmup_speedup >= MIN_WARMUP_SPEEDUP;
+    println!(
+        "== two-speed warmup: {warmup_bench_cycles} cycles, detailed vs functional ==\n\
+         detailed  {:>8.1} ms (spread {:>4.1}%)   functional {:>8.1} ms (spread {:>4.1}%)   speedup {warmup_speedup:.1}x",
+        detailed_med * 1e3,
+        spread_pct(&detailed_samples),
+        functional_med * 1e3,
+        spread_pct(&functional_samples),
+    );
 
     // Campaign scaling: the same cell list serial and with CAMPAIGN_JOBS
     // workers. Recorded, not gated — the speedup is bounded by the host's
@@ -173,12 +308,14 @@ fn main() {
         "== campaign scaling: {} quick cells, serial vs {CAMPAIGN_JOBS} jobs (host has {host_cpus} CPU(s)) ==",
         MicroBenchmark::PRESENTED.len()
     );
-    let mut serial_wall = f64::INFINITY;
-    let mut parallel_wall = f64::INFINITY;
-    for _ in 0..CAMPAIGN_RUNS {
-        serial_wall = serial_wall.min(timed_campaign(1));
-        parallel_wall = parallel_wall.min(timed_campaign(CAMPAIGN_JOBS));
+    let mut serial_samples = Vec::new();
+    let mut parallel_samples = Vec::new();
+    for _ in 0..p.campaign_rounds {
+        serial_samples.push(timed_campaign(1));
+        parallel_samples.push(timed_campaign(CAMPAIGN_JOBS));
     }
+    let serial_wall = median(&serial_samples);
+    let parallel_wall = median(&parallel_samples);
     let speedup = serial_wall / parallel_wall;
     println!(
         "serial {:>8.1} ms   {CAMPAIGN_JOBS} jobs {:>8.1} ms   speedup {speedup:.2}x",
@@ -189,10 +326,12 @@ fn main() {
     let doc = JsonObject::new()
         .field("schema_version", p5_experiments::export::SCHEMA_VERSION)
         .field("artifact", "bench_repro")
+        .field("methodology", "interleaved-median")
         .field("workload", "cpu_int/ldint_l2 (4,4)")
-        .field("warm_cycles", WARM_CYCLES)
-        .field("measure_cycles", MEASURE_CYCLES)
-        .field("runs_per_mode", u64::from(RUNS_PER_MODE))
+        .field("quick", quick)
+        .field("warm_cycles", p.warm_cycles)
+        .field("measure_cycles", p.measure_cycles)
+        .field("rounds", p.rounds as u64)
         .field("sample_interval", SAMPLE_INTERVAL)
         .field("modes", JsonValue::Array(mode_rows))
         .field(
@@ -203,12 +342,36 @@ fn main() {
                 .build(),
         )
         .field(
+            "phases",
+            JsonObject::new()
+                .field("warmup_cycles_per_sec", warm_cps)
+                .field("measure_cycles_per_sec", measure_cps)
+                .build(),
+        )
+        .field(
+            "warmup",
+            JsonObject::new()
+                .field("bench_cycles", warmup_bench_cycles)
+                .field("detailed_wall_ms", detailed_med * 1e3)
+                .field("detailed_spread_pct", spread_pct(&detailed_samples))
+                .field("functional_wall_ms", functional_med * 1e3)
+                .field("functional_spread_pct", spread_pct(&functional_samples))
+                .field(
+                    "functional_cycles_per_sec",
+                    warmup_bench_cycles as f64 / functional_med,
+                )
+                .field("speedup", warmup_speedup)
+                .build(),
+        )
+        .field(
             "gates",
             JsonObject::new()
                 .field("max_counters_overhead_pct", MAX_COUNTERS_OVERHEAD_PCT)
                 .field("max_sampling_overhead_pct", MAX_SAMPLING_OVERHEAD_PCT)
+                .field("min_warmup_speedup", MIN_WARMUP_SPEEDUP)
                 .field("counters_ok", counters_ok)
                 .field("sampling_ok", sampling_ok)
+                .field("warmup_ok", warmup_ok)
                 .build(),
         )
         .field(
@@ -229,11 +392,24 @@ fn main() {
     }
     println!("wrote {out}");
 
-    if check && !(counters_ok && sampling_ok) {
-        eprintln!(
-            "OVERHEAD GATE FAILED: counters {counters_pct:+.1}% (limit {MAX_COUNTERS_OVERHEAD_PCT}%), \
-             sampling {sampling_pct:+.1}% (limit {MAX_SAMPLING_OVERHEAD_PCT}%)"
-        );
-        std::process::exit(1);
+    if check {
+        let mut failed = false;
+        if !(counters_ok && sampling_ok) {
+            eprintln!(
+                "OVERHEAD GATE FAILED: counters {counters_pct:+.1}% (limit {MAX_COUNTERS_OVERHEAD_PCT}%), \
+                 sampling {sampling_pct:+.1}% (limit {MAX_SAMPLING_OVERHEAD_PCT}%)"
+            );
+            failed = true;
+        }
+        if !warmup_ok {
+            eprintln!(
+                "WARMUP GATE FAILED: functional warmup only {warmup_speedup:.2}x faster than \
+                 detailed (minimum {MIN_WARMUP_SPEEDUP}x)"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

@@ -10,11 +10,18 @@
 //! cargo run --release -p p5-experiments --bin repro -- --pmu   # CPI stacks
 //! cargo run --release -p p5-experiments --bin repro -- --pmu --trace out.json
 //! cargo run --release -p p5-experiments --bin repro -- --jobs 4
+//! cargo run --release -p p5-experiments --bin repro -- --fast-forward
 //! ```
 //!
 //! `--jobs N` fans the campaign cells out over N worker threads
 //! (default: available parallelism). Artifacts are byte-identical for
 //! every N — see the campaign module's determinism argument.
+//!
+//! `--fast-forward` warms every cell on the functional fast-forward
+//! engine instead of the detailed one (statistically equivalent, not
+//! bit-identical — see DESIGN.md §11 "Two-speed engine"). The default
+//! keeps warmup on the detailed engine so artifacts stay bit-identical
+//! with earlier revisions.
 //!
 //! `--pmu` adds the per-cell CPI-stack section; `--trace <path>`
 //! additionally captures the priority-switch transient and writes it as
@@ -78,6 +85,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
     let pmu_flag = args.iter().any(|a| a == "--pmu");
+    let fast_forward = args.iter().any(|a| a == "--fast-forward");
     let jobs: usize = match args
         .iter()
         .position(|a| a == "--jobs")
@@ -105,17 +113,29 @@ fn main() {
     }
     let wants = |name: &str| only.as_ref().is_none_or(|set| set.contains(name));
 
-    let ctx = if quick {
+    let mut ctx = if quick {
         Experiments::quick()
     } else {
         Experiments::paper()
     }
     .with_jobs(jobs);
+    if fast_forward {
+        // Two-speed engine: warm every cell on the functional
+        // fast-forward path. Measured phases stay on the detailed
+        // engine; results are statistically equivalent but not
+        // bit-identical to the default. See DESIGN.md §11.
+        ctx.core.warmup_mode = p5_core::WarmupMode::Functional;
+    }
     println!(
-        "== POWER5 software-controlled priority reproduction ({} fidelity, {} job{}) ==\n",
+        "== POWER5 software-controlled priority reproduction ({} fidelity, {} job{}{}) ==\n",
         if quick { "quick" } else { "paper" },
         ctx.jobs,
-        if ctx.jobs == 1 { "" } else { "s" }
+        if ctx.jobs == 1 { "" } else { "s" },
+        if fast_forward {
+            ", fast-forward warmup"
+        } else {
+            ""
+        }
     );
 
     let t0 = Instant::now();

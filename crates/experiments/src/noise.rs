@@ -7,7 +7,7 @@
 //! on the first one."
 //!
 //! This experiment reproduces the effect on the dual-core
-//! [`Chip`](p5_core::Chip): the benchmark under measurement runs on
+//! [`Chip`]: the benchmark under measurement runs on
 //! core 1 while core 0 is either idle (the paper's isolated setup) or
 //! runs an OS-noise stand-in that pressures the shared L2/L3. The report
 //! shows the measured IPC and the per-repetition variability under both

@@ -40,7 +40,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use p5_core::{SimError, SmtCore};
+use p5_core::{SimError, SmtCore, WarmupMode};
 use p5_isa::{AccessPattern, ThreadId};
 
 /// Parameters of a FAME measurement.
@@ -308,15 +308,25 @@ impl FameRunner {
             Ok(())
         };
 
-        // Warm-up, in chunks so a wedge cannot eat the whole budget.
+        // Warm-up. The two-speed engine dispatches here: functional mode
+        // fast-forwards the whole budget in one stall-free call (see
+        // `SmtCore::functional_warmup`); detailed mode simulates it
+        // cycle-by-cycle, in chunks so a wedge cannot eat the whole
+        // budget. Either way the measurement below always runs on the
+        // detailed engine.
         let warmup = self.warmup_budget(core);
-        let warmup_chunk: u64 = 4096;
-        let mut warmed: u64 = 0;
-        while warmed < warmup {
-            let n = warmup_chunk.min(warmup - warmed);
-            core.run_cycles(n);
-            warmed += n;
-            stall_check(core)?;
+        match core.config().warmup_mode {
+            WarmupMode::Functional => core.functional_warmup(warmup),
+            WarmupMode::Detailed => {
+                let warmup_chunk: u64 = 4096;
+                let mut warmed: u64 = 0;
+                while warmed < warmup {
+                    let n = warmup_chunk.min(warmup - warmed);
+                    core.run_cycles(n);
+                    warmed += n;
+                    stall_check(core)?;
+                }
+            }
         }
         core.reset_stats();
 

@@ -67,9 +67,11 @@ const INVALID: Line = Line {
 pub struct Cache {
     config: CacheConfig,
     lines: Vec<Line>,
-    sets: usize,
     set_shift: u32,
     set_mask: u64,
+    /// `sets.trailing_zeros()`, precomputed: the set/tag split happens on
+    /// every lookup and must not redo the bit scan.
+    set_bits: u32,
     tick: u64,
     stats: CacheStats,
 }
@@ -87,9 +89,9 @@ impl Cache {
         Cache {
             config,
             lines: vec![INVALID; sets * config.associativity],
-            sets,
             set_shift: config.line_bytes.trailing_zeros(),
             set_mask: (sets as u64) - 1,
+            set_bits: sets.trailing_zeros(),
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -115,7 +117,7 @@ impl Cache {
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line_addr = addr >> self.set_shift;
         let set = (line_addr & self.set_mask) as usize;
-        let tag = line_addr >> self.sets.trailing_zeros();
+        let tag = line_addr >> self.set_bits;
         (set, tag)
     }
 
@@ -155,7 +157,7 @@ impl Cache {
     pub fn fill(&mut self, addr: u64) -> Option<u64> {
         self.tick += 1;
         let (set, tag) = self.set_and_tag(addr);
-        let set_bits = self.sets.trailing_zeros();
+        let set_bits = self.set_bits;
         let base = set * self.config.associativity;
         let ways = &mut self.lines[base..base + self.config.associativity];
 

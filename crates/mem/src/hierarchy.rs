@@ -122,6 +122,48 @@ impl SharedCaches {
     }
 }
 
+/// L2/L3/TLB levels owned outright by one hierarchy — the single-core
+/// case, which is every campaign cell. Boxed so the enum stays small and
+/// the (large) caches live in one contiguous allocation.
+#[derive(Debug)]
+struct PrivateLevels {
+    l2: Cache,
+    l3: Cache,
+    dtlb: Tlb,
+}
+
+/// How a hierarchy reaches its beyond-L1 levels.
+///
+/// `Private` is the default and the hot path: the levels are plain
+/// fields, so an access touches no `Arc`, no `Mutex` and no atomics at
+/// all. `Shared` routes through [`SharedCaches`] handles and exists only
+/// for the dual-core `Chip`, where both cores must see one another's
+/// traffic (and the locks, while always uncontended within one
+/// simulation thread, keep the hierarchy `Send` for the campaign
+/// worker pool).
+#[derive(Debug)]
+enum Levels {
+    Private(Box<PrivateLevels>),
+    Shared(SharedCaches),
+}
+
+/// Read access to a level that is either a plain field or behind a
+/// mutex; derefs to the level either way.
+enum LevelRead<'a, T> {
+    Plain(&'a T),
+    Locked(MutexGuard<'a, T>),
+}
+
+impl<T> std::ops::Deref for LevelRead<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match self {
+            LevelRead::Plain(t) => t,
+            LevelRead::Locked(g) => g,
+        }
+    }
+}
+
 /// The full data-side memory hierarchy seen by one core: a private L1D
 /// plus the (potentially cross-core) shared L2, L3 and data TLB, and a
 /// next-line prefetcher. Within a core, both SMT contexts share every
@@ -132,7 +174,7 @@ impl SharedCaches {
 pub struct MemoryHierarchy {
     config: MemConfig,
     l1d: Cache,
-    shared: SharedCaches,
+    levels: Levels,
     stats: MemStats,
     /// Last line accessed per context, to detect sequential streams for
     /// the prefetcher.
@@ -144,15 +186,29 @@ pub struct MemoryHierarchy {
 }
 
 impl MemoryHierarchy {
-    /// Creates a cold hierarchy.
+    /// Creates a cold hierarchy with *private* L2/L3/TLB: every level is
+    /// an inline field, so the access path is entirely lock-free. This is
+    /// the constructor used by single-core simulations (every campaign
+    /// cell); cores of a chip use [`MemoryHierarchy::with_shared`].
     ///
     /// # Panics
     ///
     /// Panics if `config` is invalid (see [`MemConfig::validate`]).
     #[must_use]
     pub fn new(config: MemConfig) -> MemoryHierarchy {
-        let shared = SharedCaches::new(&config);
-        MemoryHierarchy::with_shared(config, shared)
+        config.validate();
+        MemoryHierarchy {
+            l1d: Cache::new(config.l1d),
+            levels: Levels::Private(Box::new(PrivateLevels {
+                l2: Cache::new(config.l2),
+                l3: Cache::new(config.l3),
+                dtlb: Tlb::new(config.dtlb),
+            })),
+            stats: MemStats::default(),
+            last_line: [None; 2],
+            pmu: None,
+            config,
+        }
     }
 
     /// Creates a hierarchy whose L2/L3/TLB are the given shared levels —
@@ -167,11 +223,32 @@ impl MemoryHierarchy {
         config.validate();
         MemoryHierarchy {
             l1d: Cache::new(config.l1d),
-            shared,
+            levels: Levels::Shared(shared),
             stats: MemStats::default(),
             last_line: [None; 2],
             pmu: None,
             config,
+        }
+    }
+
+    fn l2_ref(&self) -> LevelRead<'_, Cache> {
+        match &self.levels {
+            Levels::Private(p) => LevelRead::Plain(&p.l2),
+            Levels::Shared(s) => LevelRead::Locked(s.l2()),
+        }
+    }
+
+    fn l3_ref(&self) -> LevelRead<'_, Cache> {
+        match &self.levels {
+            Levels::Private(p) => LevelRead::Plain(&p.l3),
+            Levels::Shared(s) => LevelRead::Locked(s.l3()),
+        }
+    }
+
+    fn dtlb_ref(&self) -> LevelRead<'_, Tlb> {
+        match &self.levels {
+            Levels::Private(p) => LevelRead::Plain(&p.dtlb),
+            Levels::Shared(s) => LevelRead::Locked(s.dtlb()),
         }
     }
 
@@ -207,19 +284,31 @@ impl MemoryHierarchy {
     /// L2 cache statistics (merged across cores if the level is shared).
     #[must_use]
     pub fn l2_stats(&self) -> CacheStats {
-        *self.shared.l2().stats()
+        *self.l2_ref().stats()
     }
 
     /// L3 cache statistics (merged across cores if the level is shared).
     #[must_use]
     pub fn l3_stats(&self) -> CacheStats {
-        *self.shared.l3().stats()
+        *self.l3_ref().stats()
     }
 
     /// TLB statistics (merged across cores if the level is shared).
     #[must_use]
     pub fn tlb_stats(&self) -> TlbStats {
-        *self.shared.dtlb().stats()
+        *self.dtlb_ref().stats()
+    }
+
+    /// Valid lines resident per cache level (`[L1, L2, L3]`) — the
+    /// cheapest way for tests and diagnostics to compare warm states,
+    /// e.g. after a functional versus a detailed warmup.
+    #[must_use]
+    pub fn resident_lines(&self) -> [usize; 3] {
+        [
+            self.l1d.resident_lines(),
+            self.l2_ref().resident_lines(),
+            self.l3_ref().resident_lines(),
+        ]
     }
 
     /// Resets all statistics; cache and TLB contents are preserved (the
@@ -227,74 +316,75 @@ impl MemoryHierarchy {
     pub fn reset_stats(&mut self) {
         self.stats = MemStats::default();
         self.l1d.reset_stats();
-        self.shared.l2().reset_stats();
-        self.shared.l3().reset_stats();
-        self.shared.dtlb().reset_stats();
+        match &mut self.levels {
+            Levels::Private(p) => {
+                p.l2.reset_stats();
+                p.l3.reset_stats();
+                p.dtlb.reset_stats();
+            }
+            Levels::Shared(s) => {
+                s.l2().reset_stats();
+                s.l3().reset_stats();
+                s.dtlb().reset_stats();
+            }
+        }
     }
 
     /// Performs a demand access (load or store; the model allocates on
     /// write like POWER5's store-through-L1/allocate-L2 simplified to
     /// allocate-everywhere) and returns where it was served and its
     /// total latency.
+    ///
+    /// `#[inline]`: the walk sits on the per-load hot path of *both*
+    /// engine speeds; with two call sites in the core the inliner needs
+    /// the hint to keep treating it as it did when there was one.
+    #[inline]
     pub fn access(&mut self, thread: ThreadId, addr: u64, is_store: bool) -> Access {
-        let i = thread.index();
-        self.stats.accesses[i] += 1;
-
-        let tlb_penalty = self.shared.dtlb().access(thread, addr);
-        let tlb_miss = tlb_penalty > 0;
-
-        let (level, base_latency) = if self.l1d.access(thread, addr) {
-            (HitLevel::L1, self.config.l1d.latency)
-        } else if self.shared.l2().access(thread, addr) {
-            self.l1d.fill(addr);
-            (HitLevel::L2, self.config.l2.latency)
-        } else if self.shared.l3().access(thread, addr) {
-            self.l1d.fill(addr);
-            self.shared.l2().fill(addr);
-            (HitLevel::L3, self.config.l3.latency)
-        } else {
-            self.l1d.fill(addr);
-            self.shared.l2().fill(addr);
-            self.shared.l3().fill(addr);
-            (HitLevel::Memory, self.config.memory_latency)
-        };
-
-        self.stats.served_by[level_index(level)][i] += 1;
-
-        // Next-line prefetch: on an L1 miss that continues a sequential
-        // line stream, pull the following lines into L2.
-        if level != HitLevel::L1 && self.config.prefetch_depth > 0 {
-            let line = addr / self.config.l1d.line_bytes;
-            if self.last_line[i] == Some(line.wrapping_sub(1)) {
-                let mut l2 = self.shared.l2();
-                for k in 1..=self.config.prefetch_depth {
-                    let paddr = (line + k) * self.config.l1d.line_bytes;
-                    if !l2.probe(paddr) {
-                        l2.fill_prefetch(paddr);
-                    }
-                }
+        // Destructure so the walk can borrow the levels and the rest of
+        // the hierarchy independently. On the private path this compiles
+        // down to plain field accesses — no `Arc`, no `Mutex`, no
+        // atomics; the shared (dual-core chip) path takes its uncontended
+        // locks once up front.
+        let MemoryHierarchy {
+            config,
+            l1d,
+            levels,
+            stats,
+            last_line,
+            pmu,
+        } = self;
+        match levels {
+            Levels::Private(p) => access_walk(
+                config,
+                l1d,
+                &mut p.l2,
+                &mut p.l3,
+                &mut p.dtlb,
+                stats,
+                last_line,
+                pmu.as_ref(),
+                thread,
+                addr,
+                is_store,
+            ),
+            Levels::Shared(s) => {
+                let mut l2 = s.l2();
+                let mut l3 = s.l3();
+                let mut dtlb = s.dtlb();
+                access_walk(
+                    config,
+                    l1d,
+                    &mut l2,
+                    &mut l3,
+                    &mut dtlb,
+                    stats,
+                    last_line,
+                    pmu.as_ref(),
+                    thread,
+                    addr,
+                    is_store,
+                )
             }
-            self.last_line[i] = Some(line);
-        } else if level != HitLevel::L1 {
-            self.last_line[i] = Some(addr / self.config.l1d.line_bytes);
-        }
-
-        if let Some(pmu) = &self.pmu {
-            let mut c = pmu.lock().expect("mem counter cell poisoned");
-            c.accesses[i] += 1;
-            c.served_by[level_index(level)][i] += 1;
-            if tlb_miss {
-                c.tlb_misses[i] += 1;
-            }
-            if is_store {
-                c.stores[i] += 1;
-            }
-        }
-
-        Access {
-            level,
-            latency: base_latency + tlb_penalty,
-            tlb_miss,
         }
     }
 
@@ -309,9 +399,95 @@ impl MemoryHierarchy {
     /// Invalidates all cache levels (not the TLB).
     pub fn invalidate_caches(&mut self) {
         self.l1d.invalidate_all();
-        self.shared.l2().invalidate_all();
-        self.shared.l3().invalidate_all();
+        match &mut self.levels {
+            Levels::Private(p) => {
+                p.l2.invalidate_all();
+                p.l3.invalidate_all();
+            }
+            Levels::Shared(s) => {
+                s.l2().invalidate_all();
+                s.l3().invalidate_all();
+            }
+        }
         self.last_line = [None; 2];
+    }
+}
+
+/// The level walk shared by the private and shared access paths; order
+/// of operations (TLB first, then L1→L2→L3→memory, fills downward,
+/// prefetch, PMU publish) is identical on both, which is what keeps
+/// single-core results bit-identical regardless of storage.
+#[allow(clippy::too_many_arguments)]
+fn access_walk(
+    config: &MemConfig,
+    l1d: &mut Cache,
+    l2: &mut Cache,
+    l3: &mut Cache,
+    dtlb: &mut Tlb,
+    stats: &mut MemStats,
+    last_line: &mut [Option<u64>; 2],
+    pmu: Option<&SharedMemCounters>,
+    thread: ThreadId,
+    addr: u64,
+    is_store: bool,
+) -> Access {
+    let i = thread.index();
+    stats.accesses[i] += 1;
+
+    let tlb_penalty = dtlb.access(thread, addr);
+    let tlb_miss = tlb_penalty > 0;
+
+    let (level, base_latency) = if l1d.access(thread, addr) {
+        (HitLevel::L1, config.l1d.latency)
+    } else if l2.access(thread, addr) {
+        l1d.fill(addr);
+        (HitLevel::L2, config.l2.latency)
+    } else if l3.access(thread, addr) {
+        l1d.fill(addr);
+        l2.fill(addr);
+        (HitLevel::L3, config.l3.latency)
+    } else {
+        l1d.fill(addr);
+        l2.fill(addr);
+        l3.fill(addr);
+        (HitLevel::Memory, config.memory_latency)
+    };
+
+    stats.served_by[level_index(level)][i] += 1;
+
+    // Next-line prefetch: on an L1 miss that continues a sequential
+    // line stream, pull the following lines into L2.
+    if level != HitLevel::L1 && config.prefetch_depth > 0 {
+        let line = addr / config.l1d.line_bytes;
+        if last_line[i] == Some(line.wrapping_sub(1)) {
+            for k in 1..=config.prefetch_depth {
+                let paddr = (line + k) * config.l1d.line_bytes;
+                if !l2.probe(paddr) {
+                    l2.fill_prefetch(paddr);
+                }
+            }
+        }
+        last_line[i] = Some(line);
+    } else if level != HitLevel::L1 {
+        last_line[i] = Some(addr / config.l1d.line_bytes);
+    }
+
+    if let Some(pmu) = pmu {
+        let mut c = pmu.lock().expect("mem counter cell poisoned");
+        c.accesses[i] += 1;
+        c.served_by[level_index(level)][i] += 1;
+        if tlb_miss {
+            c.tlb_misses[i] += 1;
+        }
+        if is_store {
+            c.stores[i] += 1;
+        }
+    }
+
+    Access {
+        level,
+        latency: base_latency + tlb_penalty,
+        tlb_miss,
     }
 }
 
