@@ -102,7 +102,7 @@ mod trace;
 
 pub use chip::{Chip, CoreId};
 pub use config::{BalancerConfig, ConfigError, CoreConfig, CoreConfigBuilder, OpLatencies, WarmupMode};
-pub use engine::{RunOutcome, SmtCore};
+pub use engine::{RunOutcome, SmtCore, WarmState};
 pub use error::{DiagnosticSnapshot, SimError, StuckResource, ThreadDiag};
 pub use stats::{CoreStats, DecodeBlock, RepetitionRecord, ThreadStats};
 pub use thread::stream_base_address;

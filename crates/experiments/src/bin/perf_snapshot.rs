@@ -20,11 +20,14 @@
 //! overheads; the medians make single outlier rounds irrelevant.
 //!
 //! `--check` exits non-zero if the PMU's measured overhead exceeds the
-//! gates ([`MAX_COUNTERS_OVERHEAD_PCT`], [`MAX_SAMPLING_OVERHEAD_PCT`])
-//! or the functional warmup path is less than
-//! [`MIN_WARMUP_SPEEDUP`]× faster than detailed warmup — how CI keeps
-//! both the instrumentation and the two-speed engine honest. `--quick`
-//! shrinks the cycle budgets for a CI smoke run. The `off` mode *is*
+//! gates ([`MAX_COUNTERS_OVERHEAD_PCT`], [`MAX_SAMPLING_OVERHEAD_PCT`]),
+//! the functional warmup path is less than
+//! [`MIN_WARMUP_SPEEDUP`]× faster than detailed warmup, or warm-state
+//! checkpoint sharing is less than [`MIN_REUSE_SPEEDUP`]× faster (or
+//! not bit-identical) on the sweep-shaped campaign leg — how CI keeps
+//! the instrumentation, the two-speed engine, and the checkpoint layer
+//! honest. `--quick` shrinks the cycle budgets and cell counts for a CI
+//! smoke run. The `off` mode *is*
 //! the disabled-PMU state — its hot-path cost is one never-taken branch
 //! per cycle, so the disabled overhead is bounded by run-to-run noise
 //! (see the Observability section of DESIGN.md); the modes measured
@@ -49,6 +52,10 @@ const MAX_SAMPLING_OVERHEAD_PCT: f64 = 20.0;
 /// Gate: functional warmup must fast-forward the warm phase at least
 /// this many times faster than the detailed engine simulates it.
 const MIN_WARMUP_SPEEDUP: f64 = 2.0;
+/// Gate: warm-state checkpoint sharing must cut the wall-clock of the
+/// sweep-shaped campaign leg by at least this factor (and the shared
+/// results must stay bit-identical to the plain run).
+const MIN_REUSE_SPEEDUP: f64 = 3.0;
 
 /// Worker count for the parallel leg of the campaign-scaling benchmark.
 const CAMPAIGN_JOBS: usize = 4;
@@ -60,6 +67,15 @@ struct Params {
     measure_cycles: u64,
     rounds: usize,
     campaign_rounds: usize,
+    /// Cells in the campaign-scaling leg (quick runs a subset of the
+    /// presented benchmarks so the smoke gate stays cheap).
+    campaign_cells: usize,
+    /// Duplicate cells in the warm-reuse leg.
+    reuse_cells: usize,
+    /// Fixed warm-phase length of the warm-reuse leg: pinned via the
+    /// FAME clamp so warmup dominates each cell, the regime checkpoint
+    /// sharing targets.
+    reuse_warm_cycles: u64,
 }
 
 impl Params {
@@ -69,6 +85,9 @@ impl Params {
             measure_cycles: 2_000_000,
             rounds: 5,
             campaign_rounds: 2,
+            campaign_cells: MicroBenchmark::PRESENTED.len(),
+            reuse_cells: 8,
+            reuse_warm_cycles: 1_500_000,
         }
     }
 
@@ -78,6 +97,9 @@ impl Params {
             measure_cycles: 500_000,
             rounds: 3,
             campaign_rounds: 1,
+            campaign_cells: 3,
+            reuse_cells: 6,
+            reuse_warm_cycles: 600_000,
         }
     }
 }
@@ -175,12 +197,14 @@ fn timed_warmup(cycles: u64, functional: bool) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
-/// The campaign-scaling workload: every presented benchmark paired with
-/// `cpu_int` at default priorities, under the quick FAME policy.
-fn campaign_cells() -> Vec<CellSpec> {
+/// The campaign-scaling workload: the first `count` presented benchmarks
+/// paired with `cpu_int` at default priorities, under the quick FAME
+/// policy.
+fn campaign_cells(count: usize) -> Vec<CellSpec> {
     let default = Priority::from_level(4).expect("valid");
     MicroBenchmark::PRESENTED
         .into_iter()
+        .take(count)
         .map(|b| {
             CellSpec::pair(
                 format!("{}+cpu_int", b.name()),
@@ -194,18 +218,50 @@ fn campaign_cells() -> Vec<CellSpec> {
 
 /// Runs the campaign workload with `jobs` workers and returns the wall
 /// time in seconds.
-fn timed_campaign(jobs: usize) -> f64 {
+fn timed_campaign(jobs: usize, count: usize) -> f64 {
     let ctx = Experiments::quick().with_jobs(jobs);
-    let spec = CampaignSpec::for_ctx(&ctx, campaign_cells());
+    let spec = CampaignSpec::for_ctx(&ctx, campaign_cells(count));
     let t = Instant::now();
     let result = Campaign::run(&ctx, &spec);
     let wall = t.elapsed().as_secs_f64();
-    assert_eq!(
-        result.cells.len(),
-        MicroBenchmark::PRESENTED.len(),
-        "every cell produced an outcome"
-    );
+    assert_eq!(result.cells.len(), count, "every cell produced an outcome");
     wall
+}
+
+/// Runs the sweep-shaped warm-reuse leg — `reuse_cells` copies of the
+/// identical `ldint_l2`+`cpu_int` pair at (4,4), each dominated by the
+/// same fixed-length warm phase — with checkpoint sharing on or off.
+/// Returns the wall time and the per-cell IPC bit patterns so the two
+/// runs can be checked for bit-identity, which is the optimisation's
+/// whole contract.
+fn timed_reuse(p: &Params, reuse: bool) -> (f64, Vec<u64>) {
+    let mut ctx = Experiments::quick().with_jobs(1).with_reuse_warmup(reuse);
+    ctx.fame.warmup_min_cycles = p.reuse_warm_cycles;
+    ctx.fame.warmup_max_cycles = p.reuse_warm_cycles;
+    let default = Priority::from_level(4).expect("valid");
+    // Short repetitions keep the measure phase small next to the pinned
+    // warm phase — the leg exists to time warm-up amortisation, not
+    // measurement.
+    let cells: Vec<CellSpec> = (0..p.reuse_cells)
+        .map(|i| {
+            CellSpec::pair(
+                format!("sweep{i}"),
+                MicroBenchmark::LdintL2.program_with_iterations(150),
+                MicroBenchmark::CpuInt.program_with_iterations(150),
+                (default, default),
+            )
+        })
+        .collect();
+    let spec = CampaignSpec::for_ctx(&ctx, cells);
+    let t = Instant::now();
+    let result = Campaign::run(&ctx, &spec);
+    let wall = t.elapsed().as_secs_f64();
+    let bits = result
+        .cells
+        .iter()
+        .map(|c| c.measured.total_ipc().map_or(0, f64::to_bits))
+        .collect();
+    (wall, bits)
 }
 
 #[allow(clippy::too_many_lines)]
@@ -306,13 +362,13 @@ fn main() {
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     println!(
         "== campaign scaling: {} quick cells, serial vs {CAMPAIGN_JOBS} jobs (host has {host_cpus} CPU(s)) ==",
-        MicroBenchmark::PRESENTED.len()
+        p.campaign_cells
     );
     let mut serial_samples = Vec::new();
     let mut parallel_samples = Vec::new();
     for _ in 0..p.campaign_rounds {
-        serial_samples.push(timed_campaign(1));
-        parallel_samples.push(timed_campaign(CAMPAIGN_JOBS));
+        serial_samples.push(timed_campaign(1, p.campaign_cells));
+        parallel_samples.push(timed_campaign(CAMPAIGN_JOBS, p.campaign_cells));
     }
     let serial_wall = median(&serial_samples);
     let parallel_wall = median(&parallel_samples);
@@ -321,6 +377,35 @@ fn main() {
         "serial {:>8.1} ms   {CAMPAIGN_JOBS} jobs {:>8.1} ms   speedup {speedup:.2}x",
         serial_wall * 1e3,
         parallel_wall * 1e3
+    );
+
+    // Warm-state checkpoint sharing on a sweep-shaped campaign: many
+    // cells repeating one workload pair, each dominated by the identical
+    // warm phase. Interleaved off/on rounds, medians, and a bit-identity
+    // check — the optimisation must be both fast and invisible.
+    println!(
+        "== warm reuse: {} duplicate cells, {} warm cycles each, reuse off vs on ==",
+        p.reuse_cells, p.reuse_warm_cycles
+    );
+    let mut reuse_off_samples = Vec::new();
+    let mut reuse_on_samples = Vec::new();
+    let mut reuse_identical = true;
+    for _ in 0..p.campaign_rounds {
+        let (off_wall, off_bits) = timed_reuse(&p, false);
+        let (on_wall, on_bits) = timed_reuse(&p, true);
+        reuse_off_samples.push(off_wall);
+        reuse_on_samples.push(on_wall);
+        reuse_identical &= off_bits == on_bits;
+    }
+    let reuse_off = median(&reuse_off_samples);
+    let reuse_on = median(&reuse_on_samples);
+    let reuse_speedup = reuse_off / reuse_on;
+    let reuse_ok = reuse_speedup >= MIN_REUSE_SPEEDUP && reuse_identical;
+    println!(
+        "off {:>8.1} ms   on {:>8.1} ms   speedup {reuse_speedup:.2}x   bit-identical: {}",
+        reuse_off * 1e3,
+        reuse_on * 1e3,
+        if reuse_identical { "yes" } else { "NO" }
     );
 
     let doc = JsonObject::new()
@@ -369,20 +454,33 @@ fn main() {
                 .field("max_counters_overhead_pct", MAX_COUNTERS_OVERHEAD_PCT)
                 .field("max_sampling_overhead_pct", MAX_SAMPLING_OVERHEAD_PCT)
                 .field("min_warmup_speedup", MIN_WARMUP_SPEEDUP)
+                .field("min_reuse_speedup", MIN_REUSE_SPEEDUP)
                 .field("counters_ok", counters_ok)
                 .field("sampling_ok", sampling_ok)
                 .field("warmup_ok", warmup_ok)
+                .field("reuse_ok", reuse_ok)
                 .build(),
         )
         .field(
             "campaign",
             JsonObject::new()
-                .field("cells", MicroBenchmark::PRESENTED.len() as u64)
+                .field("cells", p.campaign_cells as u64)
                 .field("jobs", CAMPAIGN_JOBS as u64)
                 .field("available_parallelism", host_cpus as u64)
                 .field("serial_wall_ms", serial_wall * 1e3)
                 .field("parallel_wall_ms", parallel_wall * 1e3)
                 .field("speedup", speedup)
+                .build(),
+        )
+        .field(
+            "warm_reuse",
+            JsonObject::new()
+                .field("cells", p.reuse_cells as u64)
+                .field("warm_cycles", p.reuse_warm_cycles)
+                .field("off_wall_ms", reuse_off * 1e3)
+                .field("on_wall_ms", reuse_on * 1e3)
+                .field("speedup", reuse_speedup)
+                .field("bit_identical", reuse_identical)
                 .build(),
         )
         .build();
@@ -405,6 +503,13 @@ fn main() {
             eprintln!(
                 "WARMUP GATE FAILED: functional warmup only {warmup_speedup:.2}x faster than \
                  detailed (minimum {MIN_WARMUP_SPEEDUP}x)"
+            );
+            failed = true;
+        }
+        if !reuse_ok {
+            eprintln!(
+                "WARM-REUSE GATE FAILED: speedup {reuse_speedup:.2}x (minimum \
+                 {MIN_REUSE_SPEEDUP}x), bit-identical: {reuse_identical}"
             );
             failed = true;
         }

@@ -11,6 +11,7 @@
 //! cargo run --release -p p5-experiments --bin repro -- --pmu --trace out.json
 //! cargo run --release -p p5-experiments --bin repro -- --jobs 4
 //! cargo run --release -p p5-experiments --bin repro -- --fast-forward
+//! cargo run --release -p p5-experiments --bin repro -- --reuse-warmup
 //! ```
 //!
 //! `--jobs N` fans the campaign cells out over N worker threads
@@ -22,6 +23,12 @@
 //! bit-identical — see DESIGN.md §11 "Two-speed engine"). The default
 //! keeps warmup on the detailed engine so artifacts stay bit-identical
 //! with earlier revisions.
+//!
+//! `--reuse-warmup` lets campaign cells with provably identical warm
+//! phases share one warm-state checkpoint instead of each re-simulating
+//! the warm-up (bit-identical output, wall-clock only — see DESIGN.md
+//! §12 "Warm-state checkpointing"). Off by default so the presented
+//! artifacts exercise the plain path.
 //!
 //! `--pmu` adds the per-cell CPI-stack section; `--trace <path>`
 //! additionally captures the priority-switch transient and writes it as
@@ -86,6 +93,7 @@ fn main() {
         .map(PathBuf::from);
     let pmu_flag = args.iter().any(|a| a == "--pmu");
     let fast_forward = args.iter().any(|a| a == "--fast-forward");
+    let reuse_warmup = args.iter().any(|a| a == "--reuse-warmup");
     let jobs: usize = match args
         .iter()
         .position(|a| a == "--jobs")
@@ -126,8 +134,11 @@ fn main() {
         // bit-identical to the default. See DESIGN.md §11.
         ctx.core.warmup_mode = p5_core::WarmupMode::Functional;
     }
+    // Warm-state checkpoint sharing: purely a wall-clock optimisation,
+    // artifacts stay byte-identical. See DESIGN.md §12.
+    ctx.reuse_warmup = reuse_warmup;
     println!(
-        "== POWER5 software-controlled priority reproduction ({} fidelity, {} job{}{}) ==\n",
+        "== POWER5 software-controlled priority reproduction ({} fidelity, {} job{}{}{}) ==\n",
         if quick { "quick" } else { "paper" },
         ctx.jobs,
         if ctx.jobs == 1 { "" } else { "s" },
@@ -135,7 +146,8 @@ fn main() {
             ", fast-forward warmup"
         } else {
             ""
-        }
+        },
+        if reuse_warmup { ", warm reuse" } else { "" }
     );
 
     let t0 = Instant::now();

@@ -65,19 +65,27 @@
 //! ```
 
 use crate::{CellStatus, Degradation, Experiments, Measured};
-use p5_core::WarmupMode;
+use p5_core::{WarmState, WarmupMode};
+use p5_fame::FameRunner;
 use p5_fault::{FaultKind, FaultPlan};
-use p5_isa::{Priority, Program, ThreadId};
+use p5_isa::{BranchBehavior, Op, Priority, Program, ThreadId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Runs `f(0..n)` on up to `jobs` worker threads and returns the results
 /// in index order.
 ///
-/// This is the engine's only parallel primitive. `jobs <= 1` (or a
-/// single item) short-circuits to a plain serial loop — the parallel
-/// path differs only in *where* each `f(i)` executes, so any
-/// index-addressed computation is `jobs`-independent by construction.
+/// This is the engine's only parallel primitive. The requested `jobs`
+/// is first clamped to the host's available parallelism — on a 1-CPU
+/// container (common in CI) a worker pool can only lose to a plain
+/// loop, and `BENCH_repro.json` measured it doing exactly that (0.95×)
+/// before this clamp. An effective `jobs <= 1` (or a single item) then
+/// short-circuits to a plain serial loop — the parallel path differs
+/// only in *where* each `f(i)` executes, so any index-addressed
+/// computation is `jobs`-independent by construction.
 ///
 /// # Panics
 ///
@@ -88,6 +96,8 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let jobs = jobs.min(host);
     if jobs <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
@@ -152,6 +162,11 @@ pub struct CellSpec {
     /// inherits the campaign context's
     /// [`CoreConfig::warmup_mode`](p5_core::CoreConfig).
     pub warmup: Option<WarmupMode>,
+    /// Per-cell warm-reuse override: `Some(flag)` forces checkpoint
+    /// sharing on or off for this cell; `None` (the default) inherits
+    /// [`CampaignSpec::reuse_warmup`]. Faulted cells never share
+    /// regardless (their faults land inside the warm phase).
+    pub warm_reuse: Option<bool>,
 }
 
 impl CellSpec {
@@ -165,6 +180,7 @@ impl CellSpec {
             priorities: (Priority::Medium, Priority::Medium),
             faults: None,
             warmup: None,
+            warm_reuse: None,
         }
     }
 
@@ -183,6 +199,7 @@ impl CellSpec {
             priorities,
             faults: None,
             warmup: None,
+            warm_reuse: None,
         }
     }
 
@@ -200,6 +217,15 @@ impl CellSpec {
         self.warmup = Some(mode);
         self
     }
+
+    /// Returns this cell with warm-state checkpoint sharing forced on or
+    /// off, overriding the campaign default
+    /// ([`CampaignSpec::reuse_warmup`]).
+    #[must_use]
+    pub fn with_warm_reuse(mut self, reuse: bool) -> CellSpec {
+        self.warm_reuse = Some(reuse);
+        self
+    }
 }
 
 /// A full campaign: the flat cell list plus the execution policy.
@@ -211,17 +237,25 @@ pub struct CampaignSpec {
     pub jobs: usize,
     /// Campaign seed each cell's RNG seed is derived from.
     pub seed: u64,
+    /// Whether cells with provably identical warm-ups may share one
+    /// warm-state checkpoint instead of each re-running the warm-up.
+    /// Results are byte-identical either way (see the warm-reuse notes
+    /// in the module docs); cells can override per-spec via
+    /// [`CellSpec::with_warm_reuse`].
+    pub reuse_warmup: bool,
 }
 
 impl CampaignSpec {
     /// Builds a spec from an [`Experiments`] context: `jobs` from
-    /// `ctx.jobs`, campaign seed from the configured core RNG seed.
+    /// `ctx.jobs`, campaign seed from the configured core RNG seed,
+    /// warm-reuse from `ctx.reuse_warmup`.
     #[must_use]
     pub fn for_ctx(ctx: &Experiments, cells: Vec<CellSpec>) -> CampaignSpec {
         CampaignSpec {
             cells,
             jobs: ctx.jobs,
             seed: ctx.core.rng_seed,
+            reuse_warmup: ctx.reuse_warmup,
         }
     }
 }
@@ -304,6 +338,186 @@ pub fn derive_cell_seed(campaign_seed: u64, cell_id: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Identity of a cell's warm-up, for checkpoint sharing: two cells with
+/// equal keys run bit-identical warm phases, so the warm state of one
+/// is, byte for byte, the warm state of the other.
+///
+/// The key covers everything the warm phase can observe: both programs
+/// (full structural fingerprints — body, streams, iteration counts),
+/// the priorities applied at setup (normalized to a sentinel for
+/// single-thread cells, which never apply priorities), the effective
+/// warmup engine, and — only when a program contains `Random` branches,
+/// the one place the warm phase can consume the seeded RNG — the
+/// derived per-cell seed. Everything else the warm-up depends on (core
+/// and memory geometry, FAME warm-up budgets) is campaign-wide and thus
+/// equal across cells by construction; `restore_warm_state` re-checks
+/// the configuration anyway and the cell falls back to warming in place
+/// if it ever mismatched.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct WarmupKey {
+    primary: u64,
+    secondary: Option<u64>,
+    priorities: (u8, u8),
+    mode: u8,
+    seed: Option<u64>,
+}
+
+/// Structural fingerprint of a program (name, iteration count, loop
+/// body, address streams). `DefaultHasher` is deterministic within a
+/// process, which is all the sharing table needs.
+fn program_fingerprint(program: &Program) -> u64 {
+    let mut h = DefaultHasher::new();
+    program.name().hash(&mut h);
+    program.iterations().hash(&mut h);
+    program.body().hash(&mut h);
+    program.streams().hash(&mut h);
+    h.finish()
+}
+
+/// Whether the program can draw from the core's seeded RNG (only
+/// `Random` branches do). If so, differently-seeded cells warm
+/// differently and must not share.
+fn uses_rng(program: &Program) -> bool {
+    program
+        .body()
+        .iter()
+        .any(|inst| matches!(inst.op, Op::Branch(BranchBehavior::Random { .. })))
+}
+
+/// The warm-up identity of cell `id`, or `None` if the cell is excluded
+/// from sharing: reuse disabled (campaign-wide or per-cell), or a fault
+/// schedule attached (faults are injected at setup and land inside the
+/// warm phase, so a faulted warm-up is never identical to a clean one).
+fn warmup_key(
+    ctx: &Experiments,
+    spec: &CampaignSpec,
+    id: usize,
+    cell: &CellSpec,
+) -> Option<WarmupKey> {
+    if !cell.warm_reuse.unwrap_or(spec.reuse_warmup) || cell.faults.is_some() {
+        return None;
+    }
+    let mode = cell.warmup.unwrap_or(ctx.core.warmup_mode);
+    let rng_relevant =
+        uses_rng(&cell.primary) || cell.secondary.as_ref().is_some_and(uses_rng);
+    Some(WarmupKey {
+        primary: program_fingerprint(&cell.primary),
+        secondary: cell.secondary.as_ref().map(program_fingerprint),
+        priorities: if cell.secondary.is_some() {
+            (cell.priorities.0.level(), cell.priorities.1.level())
+        } else {
+            // Single-thread cells run at the default priority; their
+            // spec's `priorities` field is ignored and must not split
+            // otherwise-identical warm-ups.
+            (u8::MAX, u8::MAX)
+        },
+        mode: match mode {
+            WarmupMode::Detailed => 0,
+            WarmupMode::Functional => 1,
+        },
+        seed: rng_relevant.then(|| derive_cell_seed(spec.seed, id as u64)),
+    })
+}
+
+/// Loads a cell's programs and priorities onto a core — the setup every
+/// attempt (warm-in-place, checkpoint donor, restored) runs identically.
+fn setup_cell(core: &mut p5_core::SmtCore, cell: &CellSpec) {
+    core.load_program(ThreadId::T0, cell.primary.clone());
+    if let Some(secondary) = &cell.secondary {
+        core.load_program(ThreadId::T1, secondary.clone());
+        core.set_priority(ThreadId::T0, cell.priorities.0);
+        core.set_priority(ThreadId::T1, cell.priorities.1);
+    }
+}
+
+/// One shared warm-state checkpoint: which cell defines it and its
+/// lazily-computed payload.
+struct WarmGroup {
+    /// The *lowest* cell id carrying this key — chosen at planning time,
+    /// in id order, so the checkpoint's defining cell is independent of
+    /// worker scheduling.
+    rep_id: usize,
+    /// Computed by whichever worker needs the key first. `Some(None)`
+    /// records a failed computation (e.g. the warm-up stalled): every
+    /// member then warms in place, reproducing the non-reuse flow —
+    /// including its errors — exactly.
+    slot: OnceLock<Option<(Arc<WarmState>, u64)>>,
+}
+
+/// The campaign's checkpoint table: one [`WarmGroup`] per
+/// [`WarmupKey`] shared by at least two cells. Singleton keys get no
+/// entry — a checkpoint nobody else restores is pure overhead.
+struct WarmCheckpoints {
+    groups: HashMap<WarmupKey, WarmGroup>,
+}
+
+impl WarmCheckpoints {
+    /// Plans the sharing table for a campaign (cheap: hashes programs,
+    /// simulates nothing).
+    fn plan(ctx: &Experiments, spec: &CampaignSpec) -> WarmCheckpoints {
+        let mut members: HashMap<WarmupKey, (usize, usize)> = HashMap::new();
+        for (id, cell) in spec.cells.iter().enumerate() {
+            if let Some(key) = warmup_key(ctx, spec, id, cell) {
+                members.entry(key).or_insert((id, 0)).1 += 1;
+            }
+        }
+        WarmCheckpoints {
+            groups: members
+                .into_iter()
+                .filter(|&(_, (_, count))| count >= 2)
+                .map(|(key, (rep_id, _))| {
+                    (
+                        key,
+                        WarmGroup {
+                            rep_id,
+                            slot: OnceLock::new(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The shared checkpoint for cell `id`, computing it on first use,
+    /// or `None` if the cell does not participate in sharing (or the
+    /// computation failed).
+    fn checkpoint_for(
+        &self,
+        ctx: &Experiments,
+        spec: &CampaignSpec,
+        id: usize,
+        cell: &CellSpec,
+    ) -> Option<(Arc<WarmState>, u64)> {
+        let key = warmup_key(ctx, spec, id, cell)?;
+        let group = self.groups.get(&key)?;
+        group
+            .slot
+            .get_or_init(|| compute_checkpoint(ctx, spec, group.rep_id))
+            .clone()
+    }
+}
+
+/// Warms the representative cell once and checkpoints the boundary. A
+/// pure function of (ctx, spec, rep_id) — no worker identity, no time —
+/// so the checkpoint is deterministic no matter which worker gets here
+/// first.
+fn compute_checkpoint(
+    ctx: &Experiments,
+    spec: &CampaignSpec,
+    rep_id: usize,
+) -> Option<(Arc<WarmState>, u64)> {
+    let cell = &spec.cells[rep_id];
+    let mut rep_ctx = ctx.clone();
+    rep_ctx.core.rng_seed = derive_cell_seed(spec.seed, rep_id as u64);
+    if let Some(mode) = cell.warmup {
+        rep_ctx.core.warmup_mode = mode;
+    }
+    let mut core = rep_ctx.try_new_core().ok()?;
+    setup_cell(&mut core, cell);
+    let warmup = FameRunner::new(rep_ctx.fame).warm_only(&mut core).ok()?;
+    Some((Arc::new(core.snapshot_warm_state()), warmup))
+}
+
 /// The campaign engine. Stateless: [`Campaign::run`] is a function from
 /// (context, spec) to result.
 #[derive(Debug, Clone, Copy)]
@@ -325,13 +539,21 @@ impl Campaign {
         spec: &CampaignSpec,
         on_event: impl Fn(&CampaignEvent<'_>) + Sync,
     ) -> CampaignResult {
+        let checkpoints = WarmCheckpoints::plan(ctx, spec);
         let cells = parallel_map(spec.jobs, spec.cells.len(), |id| {
             let cell = &spec.cells[id];
             on_event(&CampaignEvent::CellStarted {
                 id,
                 label: &cell.label,
             });
-            let measured = run_cell(ctx, spec, id, cell);
+            let warm = checkpoints.checkpoint_for(ctx, spec, id, cell);
+            let measured = run_cell(
+                ctx,
+                spec,
+                id,
+                cell,
+                warm.as_ref().map(|(state, cycles)| (&**state, *cycles)),
+            );
             on_event(&CampaignEvent::CellFinished {
                 id,
                 label: &cell.label,
@@ -361,8 +583,16 @@ impl Campaign {
 
 /// Simulates one cell: fresh context with the derived per-cell seed,
 /// programs loaded, priorities applied (pairs only), faults injected,
-/// then the shared resilient measure/retry path.
-fn run_cell(ctx: &Experiments, spec: &CampaignSpec, id: usize, cell: &CellSpec) -> Measured {
+/// then the shared resilient measure/retry path. When `warm` carries a
+/// shared checkpoint the first attempt restores it instead of warming
+/// in place; the result is bit-identical either way.
+fn run_cell(
+    ctx: &Experiments,
+    spec: &CampaignSpec,
+    id: usize,
+    cell: &CellSpec,
+    warm: Option<(&WarmState, u64)>,
+) -> Measured {
     let mut cell_ctx = ctx.clone();
     cell_ctx.core.rng_seed = derive_cell_seed(spec.seed, id as u64);
     if let Some(mode) = cell.warmup {
@@ -371,19 +601,17 @@ fn run_cell(ctx: &Experiments, spec: &CampaignSpec, id: usize, cell: &CellSpec) 
     let plan = cell
         .faults
         .map(|f| FaultPlan::generate(f.seed, f.horizon, f.count));
-    cell_ctx.measure_resilient(move |core| {
-        core.load_program(ThreadId::T0, cell.primary.clone());
-        if let Some(secondary) = &cell.secondary {
-            core.load_program(ThreadId::T1, secondary.clone());
-            core.set_priority(ThreadId::T0, cell.priorities.0);
-            core.set_priority(ThreadId::T1, cell.priorities.1);
-        }
-        if let Some(plan) = &plan {
-            for fault in plan.faults() {
-                apply_fault(core, &fault.kind);
+    cell_ctx.measure_resilient_warm(
+        move |core| {
+            setup_cell(core, cell);
+            if let Some(plan) = &plan {
+                for fault in plan.faults() {
+                    apply_fault(core, &fault.kind);
+                }
             }
-        }
-    })
+        },
+        warm,
+    )
 }
 
 /// Maps a [`FaultKind`] onto the core's injection hooks at cell setup
@@ -421,6 +649,7 @@ mod tests {
             core: p5_core::CoreConfig::tiny_for_tests(),
             fame: p5_fame::FameConfig::quick(),
             jobs: 1,
+            reuse_warmup: false,
         }
     }
 
@@ -496,6 +725,7 @@ mod tests {
                 cells: cells.clone(),
                 jobs: 1,
                 seed: 42,
+                reuse_warmup: false,
             },
         );
         let parallel = Campaign::run(
@@ -504,6 +734,7 @@ mod tests {
                 cells,
                 jobs: 4,
                 seed: 42,
+                reuse_warmup: false,
             },
         );
         assert_eq!(serial.cells.len(), parallel.cells.len());
@@ -531,6 +762,7 @@ mod tests {
                 .collect(),
             jobs: 2,
             seed: 7,
+            reuse_warmup: false,
         };
         let started = Mutex::new(HashSet::new());
         let finished = Mutex::new(HashSet::new());
@@ -562,7 +794,15 @@ mod tests {
                 count: 3,
                 horizon: 5_000,
             })];
-            Campaign::run(&ctx, &CampaignSpec { cells, jobs, seed: 9 })
+            Campaign::run(
+                &ctx,
+                &CampaignSpec {
+                    cells,
+                    jobs,
+                    seed: 9,
+                    reuse_warmup: false,
+                },
+            )
         };
         let a = faulted(1);
         let b = faulted(4);
@@ -578,5 +818,115 @@ mod tests {
             degraded: vec![],
         };
         assert!(!result.all_degraded());
+    }
+
+    fn load_program(iters: u64) -> Program {
+        let mut b = Program::builder("ld");
+        let stream = b.stream(p5_isa::StreamSpec::sequential(16 * 1024, 64));
+        b.push(
+            StaticInst::new(Op::Load {
+                stream,
+                kind: p5_isa::DataKind::Int,
+            })
+            .dst(Reg::new(40)),
+        );
+        b.push(StaticInst::new(Op::IntAlu).src1(Reg::new(40)));
+        b.iterations(iters);
+        b.build().unwrap()
+    }
+
+    /// A sweep-shaped campaign (identical workload pair, varying
+    /// priorities would split keys, so priorities are held fixed here)
+    /// plus one faulted cell. With reuse on, the three clean cells share
+    /// one checkpoint and the faulted cell is excluded; every number
+    /// must still be bit-identical to the reuse-off run.
+    #[test]
+    fn warm_reuse_is_bit_identical_and_excludes_faulted_cells() {
+        let ctx = tiny_ctx();
+        let run = |reuse: bool, jobs: usize| {
+            let mut cells: Vec<CellSpec> = (0..3)
+                .map(|i| {
+                    CellSpec::pair(
+                        format!("cell{i}"),
+                        load_program(60),
+                        cpu_program(40),
+                        crate::priority_pair(2),
+                    )
+                })
+                .collect();
+            cells.push(
+                CellSpec::pair(
+                    "faulted",
+                    load_program(60),
+                    cpu_program(40),
+                    crate::priority_pair(2),
+                )
+                .with_faults(CellFaults {
+                    seed: 0xFA_17,
+                    count: 2,
+                    horizon: 5_000,
+                }),
+            );
+            Campaign::run(
+                &ctx,
+                &CampaignSpec {
+                    cells,
+                    jobs,
+                    seed: 21,
+                    reuse_warmup: reuse,
+                },
+            )
+        };
+        let baseline = run(false, 1);
+        for (reuse, jobs) in [(true, 1), (true, 4)] {
+            let shared = run(reuse, jobs);
+            assert_eq!(baseline.cells.len(), shared.cells.len());
+            for (b, s) in baseline.cells.iter().zip(&shared.cells) {
+                assert_eq!(b.id, s.id);
+                assert_eq!(b.measured.status, s.measured.status);
+                assert_eq!(
+                    b.measured.total_ipc().map(f64::to_bits),
+                    s.measured.total_ipc().map(f64::to_bits),
+                    "cell {} must be bit-identical (reuse={reuse}, jobs={jobs})",
+                    b.label,
+                );
+            }
+        }
+    }
+
+    /// `with_warm_reuse(false)` opts a single cell out of sharing even
+    /// when the campaign default is on; its key is `None`, so the other
+    /// members of its would-be group still share among themselves.
+    #[test]
+    fn warmup_key_respects_cell_overrides_and_faults() {
+        let ctx = tiny_ctx();
+        let spec = CampaignSpec {
+            cells: vec![
+                CellSpec::single("a", cpu_program(40)),
+                CellSpec::single("b", cpu_program(40)),
+                CellSpec::single("c", cpu_program(40)).with_warm_reuse(false),
+                CellSpec::single("d", cpu_program(40)).with_faults(CellFaults {
+                    seed: 1,
+                    count: 1,
+                    horizon: 1_000,
+                }),
+            ],
+            jobs: 1,
+            seed: 5,
+            reuse_warmup: true,
+        };
+        let keys: Vec<Option<WarmupKey>> = spec
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(id, cell)| warmup_key(&ctx, &spec, id, cell))
+            .collect();
+        assert!(keys[0].is_some());
+        assert_eq!(keys[0], keys[1], "identical clean cells share a key");
+        assert_eq!(keys[2], None, "per-cell opt-out wins over campaign default");
+        assert_eq!(keys[3], None, "faulted cells never share");
+        let table = WarmCheckpoints::plan(&ctx, &spec);
+        assert_eq!(table.groups.len(), 1, "one group of two members");
+        assert_eq!(table.groups.values().next().unwrap().rep_id, 0);
     }
 }

@@ -208,6 +208,11 @@ pub struct Experiments {
     /// Worker threads used by the campaign engine (`1` = serial; the
     /// artifacts are byte-identical either way, see [`campaign`]).
     pub jobs: usize,
+    /// Whether the campaign engine may share warm-state checkpoints
+    /// between cells with provably identical warm-ups (see
+    /// [`campaign`]'s warm-reuse notes). Off by default; results are
+    /// byte-identical either way, so this is purely a wall-clock knob.
+    pub reuse_warmup: bool,
 }
 
 impl Experiments {
@@ -222,6 +227,7 @@ impl Experiments {
                 .expect("power5_like defaults are valid"),
             fame: FameConfig::paper(),
             jobs: 1,
+            reuse_warmup: false,
         }
     }
 
@@ -243,6 +249,7 @@ impl Experiments {
                 warmup_min_cycles: 20_000,
             },
             jobs: 1,
+            reuse_warmup: false,
         }
     }
 
@@ -250,6 +257,14 @@ impl Experiments {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Experiments {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Returns this context with warm-state checkpoint sharing switched
+    /// on or off (the `--reuse-warmup` flag of the binaries).
+    #[must_use]
+    pub fn with_reuse_warmup(mut self, reuse: bool) -> Experiments {
+        self.reuse_warmup = reuse;
         self
     }
 
@@ -335,10 +350,40 @@ impl Experiments {
     /// that still has no converged report after that is `Degraded`; it
     /// keeps the best report observed plus the error that limited it.
     fn measure_resilient(&self, setup: impl Fn(&mut SmtCore)) -> Measured {
+        self.measure_resilient_warm(setup, None)
+    }
+
+    /// The resilient measure/retry path with an optional
+    /// warm-state checkpoint: when `warm` is `Some((state, cycles))`, the
+    /// first attempt restores `state` (a checkpoint taken at
+    /// [`FameRunner::warm_only`]'s boundary for an identically-prepared
+    /// core) instead of re-running the warm-up, which is bit-identical
+    /// and much cheaper. A checkpoint that does not fit the cell — or a
+    /// first attempt that needs the escalated-budget retry — falls back
+    /// to the full warm-in-place path, so results never depend on
+    /// whether a checkpoint was supplied.
+    pub fn measure_resilient_warm(
+        &self,
+        setup: impl Fn(&mut SmtCore),
+        warm: Option<(&p5_core::WarmState, u64)>,
+    ) -> Measured {
         let attempt = |fame: FameConfig| -> Result<FameReport, SimError> {
             let mut core = self.try_new_core()?;
             setup(&mut core);
             FameRunner::new(fame).try_measure(&mut core)
+        };
+        let attempt_restored = |state: &p5_core::WarmState,
+                                warmup_cycles: u64|
+         -> Result<FameReport, SimError> {
+            let mut core = self.try_new_core()?;
+            setup(&mut core);
+            if core.restore_warm_state(state).is_err() {
+                // Mismatched checkpoint: warm in place instead. The
+                // measurement is bit-identical either way; only the
+                // wall-clock differs.
+                return attempt(self.fame);
+            }
+            FameRunner::new(self.fame).try_measure_restored(&mut core, warmup_cycles)
         };
         let budget_error = |fame: &FameConfig, report: &FameReport| SimError::BudgetExhausted {
             cycle_budget: fame.max_cycles,
@@ -354,7 +399,10 @@ impl Experiments {
             }),
         };
 
-        let first = attempt(self.fame);
+        let first = match warm {
+            Some((state, warmup_cycles)) => attempt_restored(state, warmup_cycles),
+            None => attempt(self.fame),
+        };
         if let Ok(report) = &first {
             if report.converged() {
                 return Measured {
@@ -480,6 +528,7 @@ mod tests {
             core: p5_core::CoreConfig::tiny_for_tests(),
             fame: p5_fame::FameConfig::quick(),
             jobs: 1,
+            reuse_warmup: false,
         }
     }
 

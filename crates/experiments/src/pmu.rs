@@ -305,6 +305,7 @@ mod tests {
             core: p5_core::CoreConfig::tiny_for_tests(),
             fame: p5_fame::FameConfig::quick(),
             jobs: 1,
+            reuse_warmup: false,
         }
     }
 

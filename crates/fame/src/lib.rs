@@ -294,30 +294,40 @@ impl FameRunner {
     /// [`SimError::NoActiveThread`] if no context has a program loaded;
     /// [`SimError::ForwardProgressStall`] if the watchdog trips.
     pub fn try_measure(&self, core: &mut SmtCore) -> Result<FameReport, SimError> {
+        let warmup = self.warm_only(core)?;
+        self.measure_phase(core, warmup)
+    }
+
+    /// Runs *only* the warm-up phase — the same budget, engine dispatch
+    /// and statistics reset [`try_measure`](FameRunner::try_measure)
+    /// performs before it starts measuring — and returns the warm-up
+    /// length in cycles. On success the core sits exactly at the
+    /// warmup→measurement boundary; capturing it there with
+    /// [`SmtCore::snapshot_warm_state`] and later restoring it makes
+    /// [`try_measure_restored`](FameRunner::try_measure_restored)
+    /// bit-identical to having called `try_measure` outright.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoActiveThread`] if no context has a program loaded;
+    /// [`SimError::ForwardProgressStall`] if the watchdog trips during a
+    /// detailed warm-up.
+    pub fn warm_only(&self, core: &mut SmtCore) -> Result<u64, SimError> {
         if !ThreadId::ALL.iter().any(|&t| core.is_active(t)) {
             return Err(SimError::NoActiveThread);
         }
-
-        let watchdog = core.config().watchdog_stall_cycles;
-        let stall_check = |core: &SmtCore| -> Result<(), SimError> {
-            if watchdog != 0 && core.stalled_cycles() >= watchdog {
-                return Err(SimError::ForwardProgressStall {
-                    snapshot: Box::new(core.diagnostic_snapshot()),
-                });
-            }
-            Ok(())
-        };
 
         // Warm-up. The two-speed engine dispatches here: functional mode
         // fast-forwards the whole budget in one stall-free call (see
         // `SmtCore::functional_warmup`); detailed mode simulates it
         // cycle-by-cycle, in chunks so a wedge cannot eat the whole
-        // budget. Either way the measurement below always runs on the
+        // budget. Either way the measurement always runs on the
         // detailed engine.
         let warmup = self.warmup_budget(core);
         match core.config().warmup_mode {
             WarmupMode::Functional => core.functional_warmup(warmup),
             WarmupMode::Detailed => {
+                let stall_check = Self::stall_check(core);
                 let warmup_chunk: u64 = 4096;
                 let mut warmed: u64 = 0;
                 while warmed < warmup {
@@ -329,7 +339,52 @@ impl FameRunner {
             }
         }
         core.reset_stats();
+        Ok(warmup)
+    }
 
+    /// Runs the measurement phase on a core whose warm state was just
+    /// reinstated by [`SmtCore::restore_warm_state`] from a checkpoint
+    /// taken at [`warm_only`](FameRunner::warm_only)'s boundary.
+    /// `warmup_cycles` is the value `warm_only` returned when the
+    /// checkpoint was made (reported verbatim in the
+    /// [`FameReport`]). The report is bit-identical to what
+    /// [`try_measure`](FameRunner::try_measure) would have produced by
+    /// re-running the warm-up in place.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoActiveThread`] if no context has a program loaded;
+    /// [`SimError::ForwardProgressStall`] if the watchdog trips.
+    pub fn try_measure_restored(
+        &self,
+        core: &mut SmtCore,
+        warmup_cycles: u64,
+    ) -> Result<FameReport, SimError> {
+        if !ThreadId::ALL.iter().any(|&t| core.is_active(t)) {
+            return Err(SimError::NoActiveThread);
+        }
+        self.measure_phase(core, warmup_cycles)
+    }
+
+    /// The per-chunk forward-progress check both phases run under.
+    fn stall_check(core: &SmtCore) -> impl Fn(&SmtCore) -> Result<(), SimError> {
+        let watchdog = core.config().watchdog_stall_cycles;
+        move |core: &SmtCore| -> Result<(), SimError> {
+            if watchdog != 0 && core.stalled_cycles() >= watchdog {
+                return Err(SimError::ForwardProgressStall {
+                    snapshot: Box::new(core.diagnostic_snapshot()),
+                });
+            }
+            Ok(())
+        }
+    }
+
+    /// The measurement phase: assumes the core sits at the
+    /// warmup→measurement boundary (statistics already reset), which is
+    /// equally true right after [`warm_only`](FameRunner::warm_only) and
+    /// right after restoring a checkpoint taken there.
+    fn measure_phase(&self, core: &mut SmtCore, warmup: u64) -> Result<FameReport, SimError> {
+        let stall_check = Self::stall_check(core);
         // Measurement: run until every active thread satisfies MAIV and
         // the minimum repetition count.
         let mut last_ipc: [Option<f64>; 2] = [None, None];
@@ -612,6 +667,45 @@ mod tests {
         assert_eq!(up.min_repetitions, base.min_repetitions);
         // Saturates instead of overflowing.
         assert_eq!(base.escalated(u64::MAX).max_cycles, u64::MAX);
+    }
+
+    #[test]
+    fn restored_measurement_is_bit_identical_to_in_place() {
+        for mode in [WarmupMode::Detailed, WarmupMode::Functional] {
+            let mut cfg = CoreConfig::tiny_for_tests();
+            cfg.warmup_mode = mode;
+            let runner = FameRunner::new(FameConfig::quick());
+
+            // Reference: warm and measure in place.
+            let mut reference = SmtCore::new(cfg.clone());
+            reference.load_program(ThreadId::T0, chase_program(8 * 1024, 500));
+            let expected = runner.try_measure(&mut reference).unwrap();
+
+            // Checkpoint path: warm once, snapshot, restore into a cold
+            // core, measure from the restored state.
+            let mut donor = SmtCore::new(cfg.clone());
+            donor.load_program(ThreadId::T0, chase_program(8 * 1024, 500));
+            let warmup = runner.warm_only(&mut donor).unwrap();
+            let snap = donor.snapshot_warm_state();
+
+            let mut restored = SmtCore::new(cfg);
+            restored.restore_warm_state(&snap).unwrap();
+            let got = runner.try_measure_restored(&mut restored, warmup).unwrap();
+
+            assert_eq!(got.warmup_cycles, expected.warmup_cycles, "{mode:?}");
+            assert_eq!(got.measured_cycles, expected.measured_cycles, "{mode:?}");
+            let (a, b) = (
+                got.thread(ThreadId::T0).unwrap(),
+                expected.thread(ThreadId::T0).unwrap(),
+            );
+            assert_eq!(a.ipc.to_bits(), b.ipc.to_bits(), "{mode:?}");
+            assert_eq!(a.repetitions, b.repetitions, "{mode:?}");
+            assert_eq!(
+                a.avg_repetition_cycles.to_bits(),
+                b.avg_repetition_cycles.to_bits(),
+                "{mode:?}"
+            );
+        }
     }
 
     #[test]

@@ -37,6 +37,21 @@ if ! diff -r artifacts/jobs1 artifacts/jobs2 > artifacts/determinism.diff; then
 fi
 rm artifacts/determinism.diff
 
+# Warm-reuse determinism: the same artifact with checkpoint sharing on
+# (and a different worker count) must be byte-identical to the plain
+# jobs-1 run — reuse is wall-clock only (DESIGN.md §12).
+echo "== warm-reuse determinism: --reuse-warmup artifacts vs plain =="
+mkdir -p artifacts/reuse_on
+cargo run --release --offline -p p5-experiments --bin repro -- \
+  --quick --only table3 --jobs 2 --reuse-warmup \
+  --csv-dir artifacts/reuse_on --json-dir artifacts/reuse_on > /dev/null
+if ! diff -r artifacts/jobs1 artifacts/reuse_on > artifacts/warm_reuse.diff; then
+  echo "WARM-REUSE GATE FAILED: --reuse-warmup artifacts differ from plain run"
+  cat artifacts/warm_reuse.diff
+  exit 1
+fi
+rm artifacts/warm_reuse.diff
+
 echo "== PMU smoke: CPI stacks + Chrome trace =="
 mkdir -p artifacts
 cargo run --release --offline -p p5-experiments --bin repro -- \
@@ -45,12 +60,13 @@ cargo run --release --offline -p p5-experiments --bin repro -- \
 test -s artifacts/priority_switch_trace.json
 test -s artifacts/pmu.json
 
-# Smoke-sized run (--quick): gates PMU overhead and the two-speed
-# warmup speedup without the full snapshot's cost. The committed
+# Smoke-sized run (--quick): gates PMU overhead, the two-speed warmup
+# speedup, and the warm-reuse speedup/bit-identity without the full
+# snapshot's cost. The committed
 # BENCH_repro.json is the full-methodology snapshot, refreshed manually
 # on perf-relevant changes (see PERF.md), so the quick artifact stays in
 # artifacts/ and does not overwrite it.
-echo "== perf smoke: PMU overhead + two-speed warmup gates =="
+echo "== perf smoke: PMU overhead + two-speed warmup + warm-reuse gates =="
 cargo run --release --offline -p p5-experiments --bin perf_snapshot -- \
   --out artifacts/BENCH_quick.json --check --quick
 

@@ -25,6 +25,7 @@ fn ctx(jobs: usize) -> Experiments {
             warmup_min_cycles: 5_000,
         },
         jobs,
+        reuse_warmup: false,
     }
 }
 

@@ -129,6 +129,7 @@ fn healthy_and_wedged_cells_coexist_in_a_partial_report() {
         core: wedged_config(),
         fame: FameConfig::quick(),
         jobs: 1,
+        reuse_warmup: false,
     };
 
     // A pure-ALU cell never touches the LMQ: it measures normally even
@@ -164,6 +165,7 @@ fn losing_the_baseline_cell_is_a_typed_total_loss() {
         core,
         fame: FameConfig::quick(),
         jobs: 1,
+        reuse_warmup: false,
     };
     let err = p5repro::experiments::mpi::run_with(&ctx, ImbalancedApp::default())
         .expect_err("an invalid core yields no data at all");
@@ -184,6 +186,7 @@ fn escalated_retry_recovers_a_tight_budget() {
             ..FameConfig::quick()
         },
         jobs: 1,
+        reuse_warmup: false,
     };
     // 8k cycles is too tight for 40 repetitions, but the one retry at
     // Experiments::RETRY_ESCALATION times the budget completes: the cell

@@ -85,6 +85,7 @@ fn ctx(jobs: usize, warmup: WarmupMode) -> Experiments {
             warmup_min_cycles: 5_000,
         },
         jobs,
+        reuse_warmup: false,
     }
 }
 
