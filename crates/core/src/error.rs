@@ -204,6 +204,29 @@ pub enum SimError {
     },
     /// The run needed an active thread but none was loaded.
     NoActiveThread,
+    /// A cooperative wall-clock deadline (see `CancelToken`) expired
+    /// before the run finished. Not retryable: a retry under the same
+    /// expired token fails identically, and under a campaign time budget
+    /// it would double-spend wall-clock the budget no longer has.
+    Deadline {
+        /// Which phase the token expired in (`"warmup"`, `"measure"`,
+        /// or `"campaign"` for cells skipped before starting).
+        phase: &'static str,
+    },
+    /// The worker simulating a cell panicked; the panic was caught at
+    /// the cell boundary and converted into this error instead of
+    /// aborting the campaign.
+    CellPanic {
+        /// The panic payload's message.
+        message: String,
+    },
+    /// A result replayed from a durable journal. The original error's
+    /// rendered text is carried verbatim so replayed degradation
+    /// annotations are byte-identical to the originals.
+    Replayed {
+        /// The original error text.
+        cause: String,
+    },
 }
 
 impl SimError {
@@ -248,6 +271,13 @@ impl fmt::Display for SimError {
                 write!(f, "injected fault at cycle {cycle}: {description}")
             }
             SimError::NoActiveThread => write!(f, "no active thread loaded"),
+            SimError::Deadline { phase } => {
+                write!(f, "wall-clock deadline exceeded during {phase}")
+            }
+            SimError::CellPanic { message } => {
+                write!(f, "cell panicked: {message}")
+            }
+            SimError::Replayed { cause } => f.write_str(cause),
         }
     }
 }
@@ -312,6 +342,27 @@ mod tests {
             message: "must be nonzero".into(),
         }
         .is_retryable());
+        assert!(
+            !SimError::Deadline { phase: "measure" }.is_retryable(),
+            "retrying after a deadline would double-spend the time budget"
+        );
+        assert!(!SimError::CellPanic {
+            message: "boom".into()
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn replayed_error_renders_its_cause_verbatim() {
+        let original = SimError::Deadline { phase: "warmup" };
+        let replayed = SimError::Replayed {
+            cause: original.to_string(),
+        };
+        assert_eq!(
+            replayed.to_string(),
+            original.to_string(),
+            "journal round-trips must preserve degradation text exactly"
+        );
     }
 
     #[test]

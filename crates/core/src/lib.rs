@@ -91,6 +91,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cancel;
 mod chip;
 mod config;
 mod engine;
@@ -100,6 +101,7 @@ mod stats;
 mod thread;
 mod trace;
 
+pub use cancel::CancelToken;
 pub use chip::{Chip, CoreId};
 pub use config::{BalancerConfig, ConfigError, CoreConfig, CoreConfigBuilder, OpLatencies, WarmupMode};
 pub use engine::{RunOutcome, SmtCore, WarmState};

@@ -12,14 +12,62 @@
 //! restore it for later tables that repeat the identical warm phase
 //! (the CPI-stack table re-warms every ST bench otherwise) — output is
 //! bit-identical, only wall-clock changes (DESIGN.md §12).
+//!
+//! Pass `--journal DIR` to journal every measured scalar (ST IPC and
+//! each SMT matrix cell) write-ahead to `DIR/journal.jsonl`, and
+//! `--resume` to replay journaled scalars bit-identically instead of
+//! re-simulating them — an interrupted calibration costs only the cells
+//! that never finished (DESIGN.md §13 "Durability & crash recovery").
 
 use p5_core::{CoreConfig, RunOutcome, SmtCore, WarmState};
+use p5_experiments::journal::{CellKey, ResultJournal, StableHasher, JOURNAL_SCHEMA_VERSION};
 use p5_isa::ThreadId;
 use p5_microbench::MicroBenchmark;
 use p5_pmu::{CpiComponent, PmuConfig};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+/// The scalar journal, when `--journal DIR` was passed.
+fn journal() -> &'static OnceLock<ResultJournal> {
+    static JOURNAL: OnceLock<ResultJournal> = OnceLock::new();
+    &JOURNAL
+}
+
+/// Content-addressed key for one calibration scalar: the schema version,
+/// a label naming the measurement (kind, benchmarks, warm cycles, cycle
+/// budget), the engine flags that change the numbers, and the calibrated
+/// core configuration. Any change to the measurement invalidates the
+/// journaled value; wall-clock-only knobs (`--reuse-warmup`) are
+/// excluded so they replay from the same records.
+fn scalar_key(label: &str) -> CellKey {
+    let mut h = StableHasher::new();
+    JOURNAL_SCHEMA_VERSION.hash(&mut h);
+    label.hash(&mut h);
+    FAST_FORWARD.load(Ordering::Relaxed).hash(&mut h);
+    let cfg = CoreConfig::builder()
+        .build()
+        .expect("power5_like defaults are valid");
+    format!("{cfg:?}").hash(&mut h);
+    CellKey(h.finish())
+}
+
+/// Replays `label` from the journal when possible, otherwise measures it
+/// via `f` and journals the result. Errors are never journaled, so a
+/// resumed run retries them.
+fn journaled(label: &str, f: impl FnOnce() -> Result<(f64, bool), String>) -> Result<(f64, bool), String> {
+    let Some(journal) = journal().get() else {
+        return f();
+    };
+    let key = scalar_key(label);
+    if let Some((value, converged)) = journal.lookup_scalar(key) {
+        return Ok((value, converged));
+    }
+    let (value, converged) = f()?;
+    journal.record_scalar(key, value, converged);
+    Ok((value, converged))
+}
 
 /// Whether `--fast-forward` was passed: warmups then run on the
 /// functional engine instead of the detailed one.
@@ -89,22 +137,29 @@ fn run_to(core: &mut SmtCore, target: [usize; 2], max_cycles: u64) -> Result<boo
 }
 
 fn st_ipc(bench: MicroBenchmark) -> Result<(f64, bool), String> {
-    let mut core = calibrated_core();
-    core.load_program(ThreadId::T0, bench.program());
-    // Warm caches/TLB/predictor, then measure.
-    warm_st_cached(&mut core, bench, 4_000_000);
-    let complete = run_to(&mut core, [10, 0], 50_000_000)?;
-    Ok((core.stats().ipc(ThreadId::T0), complete))
+    journaled(&format!("st_ipc/{}/4000000/50000000", bench.name()), || {
+        let mut core = calibrated_core();
+        core.load_program(ThreadId::T0, bench.program());
+        // Warm caches/TLB/predictor, then measure.
+        warm_st_cached(&mut core, bench, 4_000_000);
+        let complete = run_to(&mut core, [10, 0], 50_000_000)?;
+        Ok((core.stats().ipc(ThreadId::T0), complete))
+    })
 }
 
 fn smt_ipc(a: MicroBenchmark, b: MicroBenchmark) -> Result<(f64, bool), String> {
-    let mut core = calibrated_core();
-    core.load_program(ThreadId::T0, a.program());
-    core.load_program(ThreadId::T1, b.program());
-    warm(&mut core, 6_000_000);
-    core.reset_stats();
-    let complete = run_to(&mut core, [10, 10], 100_000_000)?;
-    Ok((core.stats().ipc(ThreadId::T0), complete))
+    journaled(
+        &format!("smt_ipc/{}/{}/6000000/100000000", a.name(), b.name()),
+        || {
+            let mut core = calibrated_core();
+            core.load_program(ThreadId::T0, a.program());
+            core.load_program(ThreadId::T1, b.program());
+            warm(&mut core, 6_000_000);
+            core.reset_stats();
+            let complete = run_to(&mut core, [10, 10], 100_000_000)?;
+            Ok((core.stats().ipc(ThreadId::T0), complete))
+        },
+    )
 }
 
 /// Measures a single-thread CPI stack over a fixed window and returns
@@ -152,6 +207,39 @@ fn main() {
     let pmu_flag = args.iter().any(|a| a == "--pmu");
     FAST_FORWARD.store(args.iter().any(|a| a == "--fast-forward"), Ordering::Relaxed);
     REUSE_WARMUP.store(args.iter().any(|a| a == "--reuse-warmup"), Ordering::Relaxed);
+    let journal_dir = args
+        .iter()
+        .position(|a| a == "--journal")
+        .and_then(|i| args.get(i + 1));
+    let resume = args.iter().any(|a| a == "--resume");
+    if resume && journal_dir.is_none() {
+        eprintln!("--resume requires --journal DIR");
+        std::process::exit(1);
+    }
+    if let Some(dir) = journal_dir {
+        let dir = std::path::Path::new(dir);
+        let opened = if resume {
+            ResultJournal::resume(dir).map(|(j, stats)| {
+                println!(
+                    "journal: resumed {} with {} record(s)",
+                    j.path().display(),
+                    stats.entries
+                );
+                j
+            })
+        } else {
+            ResultJournal::create(dir)
+        };
+        match opened {
+            Ok(j) => {
+                let _ = journal().set(j);
+            }
+            Err(e) => {
+                eprintln!("could not open journal in {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
     println!("== Single-thread IPC (paper Table 3 ST column) ==");
     for b in MicroBenchmark::PRESENTED {
         let paper = b
@@ -196,5 +284,8 @@ fn main() {
 
     if pmu_flag {
         print_cpi_stacks();
+    }
+    if let Some(j) = journal().get() {
+        j.flush();
     }
 }

@@ -22,10 +22,12 @@
 //! `--check` exits non-zero if the PMU's measured overhead exceeds the
 //! gates ([`MAX_COUNTERS_OVERHEAD_PCT`], [`MAX_SAMPLING_OVERHEAD_PCT`]),
 //! the functional warmup path is less than
-//! [`MIN_WARMUP_SPEEDUP`]× faster than detailed warmup, or warm-state
+//! [`MIN_WARMUP_SPEEDUP`]× faster than detailed warmup, warm-state
 //! checkpoint sharing is less than [`MIN_REUSE_SPEEDUP`]× faster (or
-//! not bit-identical) on the sweep-shaped campaign leg — how CI keeps
-//! the instrumentation, the two-speed engine, and the checkpoint layer
+//! not bit-identical) on the sweep-shaped campaign leg, or write-ahead
+//! result journaling costs more than [`MAX_JOURNAL_OVERHEAD_PCT`] over
+//! the identical un-journaled leg — how CI keeps the instrumentation,
+//! the two-speed engine, the checkpoint layer, and the durability layer
 //! honest. `--quick` shrinks the cycle budgets and cell counts for a CI
 //! smoke run. The `off` mode *is*
 //! the disabled-PMU state — its hot-path cost is one never-taken branch
@@ -35,6 +37,7 @@
 
 use p5_core::{CoreConfig, SmtCore};
 use p5_experiments::campaign::{Campaign, CampaignSpec, CellSpec};
+use p5_experiments::journal::ResultJournal;
 use p5_experiments::Experiments;
 use p5_isa::{Priority, ThreadId};
 use p5_microbench::MicroBenchmark;
@@ -56,6 +59,10 @@ const MIN_WARMUP_SPEEDUP: f64 = 2.0;
 /// sweep-shaped campaign leg by at least this factor (and the shared
 /// results must stay bit-identical to the plain run).
 const MIN_REUSE_SPEEDUP: f64 = 3.0;
+/// Gate: write-ahead result journaling must cost at most this much over
+/// the identical un-journaled campaign leg, in percent of wall-clock —
+/// durability has to stay in the noise.
+const MAX_JOURNAL_OVERHEAD_PCT: f64 = 5.0;
 
 /// Worker count for the parallel leg of the campaign-scaling benchmark.
 const CAMPAIGN_JOBS: usize = 4;
@@ -214,6 +221,33 @@ fn campaign_cells(count: usize) -> Vec<CellSpec> {
             )
         })
         .collect()
+}
+
+/// Runs the serial campaign workload with write-ahead journaling into a
+/// fresh temp-dir journal (`true`) or without (`false`) and returns the
+/// wall time in seconds. A fresh journal per round keeps every round a
+/// cold-start write workload (no replays).
+fn timed_campaign_journaled(count: usize, round: usize, journaled: bool) -> f64 {
+    let mut ctx = Experiments::quick().with_jobs(1);
+    let dir = journaled.then(|| {
+        std::env::temp_dir().join(format!("p5-perf-journal-{}-{round}", std::process::id()))
+    });
+    if let Some(dir) = &dir {
+        let journal = ResultJournal::create(dir).expect("temp journal dir is writable");
+        ctx = ctx.with_journal(std::sync::Arc::new(journal));
+    }
+    let spec = CampaignSpec::for_ctx(&ctx, campaign_cells(count));
+    let t = Instant::now();
+    let result = Campaign::run(&ctx, &spec);
+    let wall = t.elapsed().as_secs_f64();
+    assert_eq!(result.cells.len(), count, "every cell produced an outcome");
+    // Close the journal (Drop flushes) before tearing down its directory.
+    drop(result);
+    drop(ctx);
+    if let Some(dir) = dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    wall
 }
 
 /// Runs the campaign workload with `jobs` workers and returns the wall
@@ -379,6 +413,32 @@ fn main() {
         parallel_wall * 1e3
     );
 
+    // Journal overhead: the identical serial campaign leg with the
+    // write-ahead journal off vs on, interleaved and medianed. Gated:
+    // durability must stay in the noise.
+    let journal_rounds = p.campaign_rounds.max(3);
+    println!(
+        "== journal overhead: {} quick cells at 1 job, journal off vs on ({journal_rounds} rounds) ==",
+        p.campaign_cells
+    );
+    let mut journal_off_samples = Vec::new();
+    let mut journal_on_samples = Vec::new();
+    for round in 0..journal_rounds {
+        journal_off_samples.push(timed_campaign_journaled(p.campaign_cells, round, false));
+        journal_on_samples.push(timed_campaign_journaled(p.campaign_cells, round, true));
+    }
+    let journal_off = median(&journal_off_samples);
+    let journal_on = median(&journal_on_samples);
+    let journal_pct = 100.0 * (journal_on / journal_off - 1.0);
+    let journal_ok = journal_pct <= MAX_JOURNAL_OVERHEAD_PCT;
+    println!(
+        "off {:>8.1} ms (spread {:>4.1}%)   on {:>8.1} ms (spread {:>4.1}%)   overhead {journal_pct:+.1}%",
+        journal_off * 1e3,
+        spread_pct(&journal_off_samples),
+        journal_on * 1e3,
+        spread_pct(&journal_on_samples),
+    );
+
     // Warm-state checkpoint sharing on a sweep-shaped campaign: many
     // cells repeating one workload pair, each dominated by the identical
     // warm phase. Interleaved off/on rounds, medians, and a bit-identity
@@ -455,10 +515,12 @@ fn main() {
                 .field("max_sampling_overhead_pct", MAX_SAMPLING_OVERHEAD_PCT)
                 .field("min_warmup_speedup", MIN_WARMUP_SPEEDUP)
                 .field("min_reuse_speedup", MIN_REUSE_SPEEDUP)
+                .field("max_journal_overhead_pct", MAX_JOURNAL_OVERHEAD_PCT)
                 .field("counters_ok", counters_ok)
                 .field("sampling_ok", sampling_ok)
                 .field("warmup_ok", warmup_ok)
                 .field("reuse_ok", reuse_ok)
+                .field("journal_ok", journal_ok)
                 .build(),
         )
         .field(
@@ -470,6 +532,16 @@ fn main() {
                 .field("serial_wall_ms", serial_wall * 1e3)
                 .field("parallel_wall_ms", parallel_wall * 1e3)
                 .field("speedup", speedup)
+                .build(),
+        )
+        .field(
+            "journal",
+            JsonObject::new()
+                .field("cells", p.campaign_cells as u64)
+                .field("rounds", journal_rounds as u64)
+                .field("off_wall_ms", journal_off * 1e3)
+                .field("on_wall_ms", journal_on * 1e3)
+                .field("overhead_pct", journal_pct)
                 .build(),
         )
         .field(
@@ -510,6 +582,13 @@ fn main() {
             eprintln!(
                 "WARM-REUSE GATE FAILED: speedup {reuse_speedup:.2}x (minimum \
                  {MIN_REUSE_SPEEDUP}x), bit-identical: {reuse_identical}"
+            );
+            failed = true;
+        }
+        if !journal_ok {
+            eprintln!(
+                "JOURNAL GATE FAILED: write-ahead journaling costs {journal_pct:+.1}% \
+                 over the plain leg (limit {MAX_JOURNAL_OVERHEAD_PCT}%)"
             );
             failed = true;
         }

@@ -34,10 +34,24 @@
 //! additionally captures the priority-switch transient and writes it as
 //! Chrome trace-event JSON (open in `chrome://tracing` or Perfetto).
 //!
+//! `--journal DIR` journals every finished campaign cell write-ahead to
+//! `DIR/journal.jsonl`; `--resume` replays journaled cells
+//! bit-identically instead of re-simulating them, so an interrupted run
+//! costs only the cells that never finished (DESIGN.md §13 "Durability
+//! & crash recovery"). `--time-budget-ms N` bounds the whole run in
+//! wall-clock time (remaining cells are skipped, the report stays
+//! valid, exit code 3); `--cell-deadline-ms N` bounds each cell (an
+//! overrunning cell degrades, the run continues). The chaos flags
+//! (`--chaos-abort-after I`, `--chaos-panic I`) rehearse host failures
+//! at campaign cell `I` and exist for the crash-safety CI gate.
+//!
 //! The run is resilient: an experiment whose cells degrade reports them
 //! inline (`DEGRADED ...` lines); an experiment that fails outright is
 //! skipped with its error and the run continues, finishing with a
-//! partial-results summary instead of dying mid-way.
+//! partial-results summary instead of dying mid-way. The exit code
+//! distinguishes the outcomes (see `--help`): 0 clean, 1 usage or I/O
+//! error, 2 completed with degraded cells or failed sections, 3
+//! campaign aborted early (time budget or abort).
 
 use p5_experiments::{
     claims, export, fig2, fig3, fig4, fig5, fig6, mpi, noise, pmu, sweep, table1, table2, table3,
@@ -72,9 +86,66 @@ impl Failures {
     }
 }
 
+const HELP: &str = "\
+repro — regenerate the paper's tables and figures
+
+USAGE:
+    repro [OPTIONS]
+
+OPTIONS:
+    --quick                 reduced-fidelity smoke run
+    --only LIST             comma-separated sections (table1,table2,table3,
+                            fig2,fig3,fig4,fig5,fig6,table4,mpi,noise,pmu,claims)
+    --csv-dir DIR           export CSV artifacts into DIR
+    --json-dir DIR          export JSON artifacts into DIR
+    --jobs N                campaign worker threads (default: all cores);
+                            artifacts are byte-identical for every N
+    --fast-forward          functional fast-forward warmup (DESIGN.md §11)
+    --reuse-warmup          share warm-state checkpoints (DESIGN.md §12)
+    --pmu                   add the per-cell CPI-stack section
+    --trace PATH            write the priority-switch Chrome trace to PATH
+    --journal DIR           journal finished cells to DIR/journal.jsonl
+                            (write-ahead; DESIGN.md §13)
+    --resume                with --journal: replay journaled cells
+                            bit-identically instead of re-simulating them
+    --time-budget-ms N      wall-clock budget for the whole run; on expiry,
+                            remaining cells are skipped and the exit code is 3
+    --cell-deadline-ms N    wall-clock deadline per campaign cell; an
+                            overrunning cell is marked degraded
+    --chaos-abort-after I   (testing) abort the campaign at cell index I
+    --chaos-panic I         (testing) panic the worker at cell index I
+    --help                  print this help and exit
+
+EXIT CODES:
+    0    every requested section completed with no degraded cells
+    1    usage or I/O error
+    2    run completed, but some cells degraded or sections failed
+         (the report is partial but valid)
+    3    campaign aborted early: the time budget expired or an abort
+         fired; unfinished cells were skipped (with --journal, a
+         --resume run picks up exactly where this one stopped)
+";
+
+fn parsed_flag(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|n| match n.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("{flag} expects a non-negative integer, got {n:?}");
+                std::process::exit(1);
+            }
+        })
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let only: Option<HashSet<String>> = args
         .iter()
@@ -113,6 +184,20 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    let journal_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--journal")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let resume = args.iter().any(|a| a == "--resume");
+    if resume && journal_dir.is_none() {
+        eprintln!("--resume requires --journal DIR");
+        std::process::exit(1);
+    }
+    let time_budget_ms = parsed_flag(&args, "--time-budget-ms");
+    let cell_deadline_ms = parsed_flag(&args, "--cell-deadline-ms");
+    let chaos_abort_after = parsed_flag(&args, "--chaos-abort-after");
+    let chaos_panic = parsed_flag(&args, "--chaos-panic");
     for dir in [&csv_dir, &json_dir].into_iter().flatten() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
@@ -137,6 +222,69 @@ fn main() {
     // Warm-state checkpoint sharing: purely a wall-clock optimisation,
     // artifacts stay byte-identical. See DESIGN.md §12.
     ctx.reuse_warmup = reuse_warmup;
+    if let Some(dir) = &journal_dir {
+        let journal = if resume {
+            match p5_experiments::journal::ResultJournal::resume(dir) {
+                Ok((journal, stats)) => {
+                    println!(
+                        "journal: resumed {} with {} record(s){}{}",
+                        journal.path().display(),
+                        stats.entries,
+                        if stats.stale > 0 {
+                            format!(", {} stale (schema mismatch, ignored)", stats.stale)
+                        } else {
+                            String::new()
+                        },
+                        if stats.corrupt > 0 {
+                            format!(", {} corrupt line(s) skipped", stats.corrupt)
+                        } else {
+                            String::new()
+                        },
+                    );
+                    journal
+                }
+                Err(e) => {
+                    eprintln!("cannot resume journal in {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            match p5_experiments::journal::ResultJournal::create(dir) {
+                Ok(journal) => journal,
+                Err(e) => {
+                    eprintln!("cannot create journal in {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        };
+        ctx = ctx.with_journal(std::sync::Arc::new(journal));
+    }
+    // The cancellation token exists only when something can fire it
+    // (a time budget or a chaos abort): tokenless runs stay strictly
+    // wall-clock-independent.
+    let cancel = if time_budget_ms.is_some() || chaos_abort_after.is_some() {
+        let token = match time_budget_ms {
+            Some(ms) => p5_core::CancelToken::with_budget(std::time::Duration::from_millis(ms)),
+            None => p5_core::CancelToken::new(),
+        };
+        ctx = ctx.with_cancel(token.clone());
+        Some(token)
+    } else {
+        None
+    };
+    if let Some(ms) = cell_deadline_ms {
+        ctx = ctx.with_cell_deadline(std::time::Duration::from_millis(ms));
+    }
+    if chaos_abort_after.is_some() || chaos_panic.is_some() {
+        let mut plan = p5_fault::ChaosPlan::new();
+        if let Some(i) = chaos_abort_after {
+            plan = plan.abort_at(usize::try_from(i).unwrap_or(usize::MAX));
+        }
+        if let Some(i) = chaos_panic {
+            plan = plan.panic_cell(usize::try_from(i).unwrap_or(usize::MAX));
+        }
+        ctx = ctx.with_chaos(plan);
+    }
     println!(
         "== POWER5 software-controlled priority reproduction ({} fidelity, {} job{}{}{}) ==\n",
         if quick { "quick" } else { "paper" },
@@ -152,6 +300,7 @@ fn main() {
 
     let t0 = Instant::now();
     let mut failures = Failures::default();
+    let mut degraded_total = 0usize;
 
     if wants("table1") {
         section("Table 1", || table1::run().render());
@@ -164,6 +313,7 @@ fn main() {
         match table3::run(&ctx) {
             Ok(r) => {
                 println!("{}   (Table 3 took {:.1?})\n", r.render(), t.elapsed());
+                degraded_total += r.degraded.len();
                 write_csv(csv_dir.as_ref(), "table3.csv", &export::table3_csv(&r));
                 write_json(json_dir.as_ref(), "table3.json", &export::table3_json(&r));
             }
@@ -183,6 +333,7 @@ fn main() {
         match sweep::run(&ctx, &[-5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5]) {
             Ok(sweep) => {
                 println!("   ({:.1?})", t.elapsed());
+                degraded_total += sweep.degraded.len();
                 if sweep.recovered > 0 {
                     println!(
                         "   {} cell(s) recovered via escalated budget",
@@ -230,6 +381,7 @@ fn main() {
         let t = Instant::now();
         match fig5::run(&ctx) {
             Ok(r) => {
+                degraded_total += r.h264_mcf.degraded.len() + r.applu_equake.degraded.len();
                 if wants("fig5") {
                     println!("{}   ({:.1?})\n", r.render(), t.elapsed());
                     write_csv(csv_dir.as_ref(), "fig5.csv", &export::fig5_csv(&r));
@@ -246,6 +398,7 @@ fn main() {
         let t = Instant::now();
         match table4::run(&ctx) {
             Ok(r) => {
+                degraded_total += r.degraded.len();
                 if wants("table4") {
                     println!("{}   ({:.1?})\n", r.render(), t.elapsed());
                     write_csv(csv_dir.as_ref(), "table4.csv", &export::table4_csv(&r));
@@ -262,6 +415,7 @@ fn main() {
         let t = Instant::now();
         match fig6::run(&ctx) {
             Ok(r) => {
+                degraded_total += r.degraded.len();
                 if wants("fig6") {
                     println!("{}   ({:.1?})\n", r.render(), t.elapsed());
                     write_csv(csv_dir.as_ref(), "fig6.csv", &export::fig6_csv(&r));
@@ -278,6 +432,7 @@ fn main() {
         match mpi::run(&ctx) {
             Ok(r) => {
                 println!("{}   (MPI re-balancing took {:.1?})\n", r.render(), t.elapsed());
+                degraded_total += r.degraded.len();
             }
             Err(e) => failures.record("MPI re-balancing", &e),
         }
@@ -340,9 +495,8 @@ fn main() {
     }
 
     println!("total: {:.1?}", t0.elapsed());
-    if failures.0.is_empty() {
-        println!("all requested sections completed");
-    } else {
+    let aborted = cancel.as_ref().is_some_and(p5_core::CancelToken::expired);
+    if !failures.0.is_empty() {
         println!(
             "PARTIAL REPORT — {} section(s) failed:",
             failures.0.len()
@@ -351,6 +505,22 @@ fn main() {
             println!("  - {f}");
         }
     }
+    // Exit-code contract (documented in --help, asserted by
+    // crates/experiments/tests/cli.rs). Abort wins over degradation:
+    // an aborted run is *expected* to carry skipped cells.
+    if aborted {
+        println!("campaign aborted early — resume with --journal DIR --resume");
+        std::process::exit(3);
+    }
+    if degraded_total > 0 || !failures.0.is_empty() {
+        println!(
+            "completed with {} degraded cell(s) and {} failed section(s)",
+            degraded_total,
+            failures.0.len()
+        );
+        std::process::exit(2);
+    }
+    println!("all requested sections completed");
 }
 
 fn section(name: &str, run: impl FnOnce() -> String) {

@@ -31,6 +31,22 @@
 //! determinism suite (`tests/determinism.rs`) asserts byte-for-byte on
 //! the exported CSV/JSON artifacts.
 //!
+//! # Crash safety
+//!
+//! Cells are *failure domains*: each one runs under `catch_unwind`, so
+//! a panicking cell becomes a typed [`CellStatus::Crashed`] outcome
+//! (never a lost campaign), and every shared `Mutex` a panic could
+//! poison — the chip's shared caches, the PMU counter cells, the
+//! result slots above — recovers the poison instead of cascading it.
+//! An [`Experiments::cancel`] token bounds the campaign in wall-clock
+//! time ([`Experiments::cell_deadline`] bounds each cell), stopping
+//! work at clean chunk boundaries with a valid partial result. With an
+//! [`Experiments::journal`] attached, finished cells are journaled
+//! write-ahead under a content-addressed [`cell_key`] and replayed
+//! bit-identically on `--resume` (see [`crate::journal`]). All of it is
+//! rehearsed deterministically by [`p5_fault::ChaosPlan`] host-fault
+//! schedules in `tests/crash_safety.rs`.
+//!
 //! # Example
 //!
 //! ```
@@ -64,14 +80,15 @@
 //! }
 //! ```
 
+use crate::journal::{CellKey, StableHasher, JOURNAL_SCHEMA_VERSION};
 use crate::{CellStatus, Degradation, Experiments, Measured};
-use p5_core::{WarmState, WarmupMode};
+use p5_core::{CancelToken, SimError, WarmState, WarmupMode};
 use p5_fame::FameRunner;
-use p5_fault::{FaultKind, FaultPlan};
+use p5_fault::{FaultKind, FaultPlan, HostFaultKind};
 use p5_isa::{BranchBehavior, Op, Priority, Program, ThreadId};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -89,8 +106,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (the scope joins its workers), and panics
-/// if a result slot is poisoned.
+/// Propagates panics from `f` (the scope joins its workers). The
+/// campaign engine wraps each cell in `catch_unwind`, so a panicking
+/// *cell* never reaches this boundary — only a panic in the engine's
+/// own bookkeeping would.
 pub fn parallel_map<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -103,6 +122,10 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Slot poisoning is recovered, not propagated: a slot's lock is
+    // only held for the assignment below, which cannot be observed
+    // half-done, so even if a worker died between `f(i)` and the store
+    // the other slots remain valid.
     std::thread::scope(|scope| {
         for _ in 0..jobs.min(n) {
             scope.spawn(|| loop {
@@ -111,7 +134,9 @@ where
                     break;
                 }
                 let value = f(i);
-                *slots[i].lock().expect("campaign result slot poisoned") = Some(value);
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
             });
         }
     });
@@ -119,7 +144,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("campaign result slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("every cell index is claimed exactly once")
         })
         .collect()
@@ -269,6 +294,12 @@ pub struct CellOutcome {
     pub label: String,
     /// The resilient measurement (report, status, error).
     pub measured: Measured,
+    /// Whether the measurement was replayed from the result journal
+    /// instead of simulated. Replayed values are bit-identical to
+    /// simulated ones (that is the journal's contract), so this flag
+    /// never appears in exported artifacts — it exists for progress
+    /// reporting and resume accounting.
+    pub replayed: bool,
 }
 
 /// Aggregated campaign outcome: per-cell results in id order plus the
@@ -281,6 +312,11 @@ pub struct CampaignResult {
     pub recovered: usize,
     /// Degradation annotations, in id order.
     pub degraded: Vec<Degradation>,
+    /// Cells replayed from the result journal (0 without a journal).
+    pub replayed: usize,
+    /// Cells skipped because the campaign's cancellation token had
+    /// expired before they started (they are also in `degraded`).
+    pub skipped: usize,
 }
 
 impl CampaignResult {
@@ -363,10 +399,12 @@ struct WarmupKey {
 }
 
 /// Structural fingerprint of a program (name, iteration count, loop
-/// body, address streams). `DefaultHasher` is deterministic within a
-/// process, which is all the sharing table needs.
+/// body, address streams). Hashed with [`StableHasher`] so the same
+/// binary produces the same fingerprint in every run — the warm-reuse
+/// table only needs within-process stability, but the result journal
+/// addresses records *across* runs with these fingerprints.
 fn program_fingerprint(program: &Program) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = StableHasher::new();
     program.name().hash(&mut h);
     program.iterations().hash(&mut h);
     program.body().hash(&mut h);
@@ -417,6 +455,56 @@ fn warmup_key(
         },
         seed: rng_relevant.then(|| derive_cell_seed(spec.seed, id as u64)),
     })
+}
+
+/// Content-addressed journal key of cell `id` (see
+/// [`crate::journal`]): a [`StableHasher`] digest of everything the
+/// cell's measurement depends on —
+///
+/// - the journal schema version (a bump invalidates every old record);
+/// - both program fingerprints and the normalized priorities (the same
+///   `u8::MAX` sentinel as the warm-reuse `WarmupKey` for
+///   single-thread cells, whose
+///   priorities are ignored);
+/// - the effective warmup engine and the fault schedule (or its
+///   absence);
+/// - the full core configuration with `rng_seed` zeroed plus the FAME
+///   configuration (via their `Debug` renderings — verbose but
+///   complete, so a config change can never replay a stale record);
+/// - the derived per-cell seed, but *only* when a program actually
+///   consumes the seeded RNG — so identical RNG-free cells at
+///   different indices (or in different artifacts) share one record.
+///
+/// Deliberately excluded: `jobs`, warm-reuse, deadlines, chaos — every
+/// knob that is documented not to change the measured bytes.
+#[must_use]
+pub fn cell_key(ctx: &Experiments, spec: &CampaignSpec, id: usize, cell: &CellSpec) -> CellKey {
+    let mut h = StableHasher::new();
+    JOURNAL_SCHEMA_VERSION.hash(&mut h);
+    program_fingerprint(&cell.primary).hash(&mut h);
+    cell.secondary.as_ref().map(program_fingerprint).hash(&mut h);
+    if cell.secondary.is_some() {
+        (cell.priorities.0.level(), cell.priorities.1.level()).hash(&mut h);
+    } else {
+        (u8::MAX, u8::MAX).hash(&mut h);
+    }
+    match cell.warmup.unwrap_or(ctx.core.warmup_mode) {
+        WarmupMode::Detailed => 0u8.hash(&mut h),
+        WarmupMode::Functional => 1u8.hash(&mut h),
+    }
+    match cell.faults {
+        Some(f) => (1u8, f.seed, f.count, f.horizon).hash(&mut h),
+        None => 0u8.hash(&mut h),
+    }
+    let mut core = ctx.core.clone();
+    core.rng_seed = 0;
+    format!("{core:?}").hash(&mut h);
+    format!("{:?}", ctx.fame).hash(&mut h);
+    let rng_relevant = uses_rng(&cell.primary) || cell.secondary.as_ref().is_some_and(uses_rng);
+    if rng_relevant {
+        derive_cell_seed(spec.seed, id as u64).hash(&mut h);
+    }
+    CellKey(h.finish())
 }
 
 /// Loads a cell's programs and priorities onto a core — the setup every
@@ -546,14 +634,7 @@ impl Campaign {
                 id,
                 label: &cell.label,
             });
-            let warm = checkpoints.checkpoint_for(ctx, spec, id, cell);
-            let measured = run_cell(
-                ctx,
-                spec,
-                id,
-                cell,
-                warm.as_ref().map(|(state, cycles)| (&**state, *cycles)),
-            );
+            let (measured, replayed) = execute_cell(ctx, spec, id, cell, &checkpoints);
             on_event(&CampaignEvent::CellFinished {
                 id,
                 label: &cell.label,
@@ -563,8 +644,12 @@ impl Campaign {
                 id,
                 label: cell.label.clone(),
                 measured,
+                replayed,
             }
         });
+        if let Some(journal) = &ctx.journal {
+            journal.flush();
+        }
         let recovered = cells
             .iter()
             .filter(|o| o.measured.status == CellStatus::Recovered)
@@ -573,12 +658,123 @@ impl Campaign {
             .iter()
             .filter_map(|o| o.measured.degradation(&o.label))
             .collect();
+        let replayed = cells.iter().filter(|o| o.replayed).count();
+        let skipped = cells
+            .iter()
+            .filter(|o| o.measured.status == CellStatus::Skipped)
+            .count();
         CampaignResult {
             cells,
             recovered,
             degraded,
+            replayed,
+            skipped,
         }
     }
+}
+
+/// The full per-cell worker flow — everything that sits between "a
+/// worker claimed cell `id`" and "the cell has a [`Measured`]":
+///
+/// 1. **Chaos: abort.** A scheduled [`HostFaultKind::AbortCampaign`]
+///    fires the campaign token *before* the expiry check, so the abort
+///    cell itself is already skipped — rehearsing a SIGTERM landing
+///    between two cells.
+/// 2. **Skip on expired token.** A cell claimed after the campaign
+///    token expired is `Skipped` without simulating (and without being
+///    journaled, so a resumed run retries it).
+/// 3. **Journal replay.** A journaled record under the cell's
+///    content-addressed key stands in for simulation, bit-identically.
+/// 4. **Per-cell deadline.** The cell's token is derived *here*, before
+///    any chaos stall, so a stalled worker burns its own cell's budget.
+/// 5. **Panic isolation.** Everything that can execute cell code —
+///    chaos panics, checkpoint warming, the simulation itself — runs
+///    under `catch_unwind`; a panic becomes a `Crashed` outcome (with
+///    [`SimError::CellPanic`] carrying the message) and the campaign
+///    carries on.
+/// 6. **Write-ahead journaling** of trustworthy outcomes.
+fn execute_cell(
+    ctx: &Experiments,
+    spec: &CampaignSpec,
+    id: usize,
+    cell: &CellSpec,
+    checkpoints: &WarmCheckpoints,
+) -> (Measured, bool) {
+    if let Some(chaos) = &ctx.chaos {
+        if chaos.for_cell(id).any(|k| k == HostFaultKind::AbortCampaign) {
+            if let Some(token) = &ctx.cancel {
+                token.cancel();
+            }
+        }
+    }
+    if ctx.cancel.as_ref().is_some_and(CancelToken::expired) {
+        return (
+            Measured {
+                report: None,
+                status: CellStatus::Skipped,
+                error: Some(SimError::Deadline { phase: "campaign" }),
+            },
+            false,
+        );
+    }
+    let key = ctx.journal.as_ref().map(|_| cell_key(ctx, spec, id, cell));
+    if let (Some(journal), Some(key)) = (&ctx.journal, key) {
+        if let Some(measured) = journal.lookup_cell(key) {
+            return (measured, true);
+        }
+    }
+    let token = match (&ctx.cancel, ctx.cell_deadline) {
+        (Some(t), Some(d)) => Some(t.child_with_budget(d)),
+        (None, Some(d)) => Some(CancelToken::with_budget(d)),
+        (Some(t), None) => Some(t.clone()),
+        (None, None) => None,
+    };
+    if let Some(chaos) = &ctx.chaos {
+        for kind in chaos.for_cell(id) {
+            if let HostFaultKind::StallCell { millis } = kind {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+        }
+    }
+    // `AssertUnwindSafe` is sound here: on panic every value captured
+    // by the closure is either dropped (`core`, locals) or observed
+    // only through the poison-recovering shared cells, whose per-lock
+    // updates are atomic with respect to their guards.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(chaos) = &ctx.chaos {
+            if chaos.for_cell(id).any(|k| k == HostFaultKind::PanicCell) {
+                panic!("chaos: scheduled worker panic in cell {id}");
+            }
+        }
+        let warm = checkpoints.checkpoint_for(ctx, spec, id, cell);
+        run_cell(
+            ctx,
+            spec,
+            id,
+            cell,
+            warm.as_ref().map(|(state, cycles)| (&**state, *cycles)),
+            token.as_ref(),
+        )
+    }));
+    let measured = match result {
+        Ok(measured) => measured,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Measured {
+                report: None,
+                status: CellStatus::Crashed,
+                error: Some(SimError::CellPanic { message }),
+            }
+        }
+    };
+    if let (Some(journal), Some(key)) = (&ctx.journal, key) {
+        journal.record_cell(key, &measured);
+    }
+    (measured, false)
 }
 
 /// Simulates one cell: fresh context with the derived per-cell seed,
@@ -592,6 +788,7 @@ fn run_cell(
     id: usize,
     cell: &CellSpec,
     warm: Option<(&WarmState, u64)>,
+    cancel: Option<&CancelToken>,
 ) -> Measured {
     let mut cell_ctx = ctx.clone();
     cell_ctx.core.rng_seed = derive_cell_seed(spec.seed, id as u64);
@@ -601,7 +798,7 @@ fn run_cell(
     let plan = cell
         .faults
         .map(|f| FaultPlan::generate(f.seed, f.horizon, f.count));
-    cell_ctx.measure_resilient_warm(
+    cell_ctx.measure_resilient_warm_cancel(
         move |core| {
             setup_cell(core, cell);
             if let Some(plan) = &plan {
@@ -611,6 +808,7 @@ fn run_cell(
             }
         },
         warm,
+        cancel,
     )
 }
 
@@ -645,12 +843,10 @@ mod tests {
     use std::sync::atomic::AtomicU64;
 
     fn tiny_ctx() -> Experiments {
-        Experiments {
-            core: p5_core::CoreConfig::tiny_for_tests(),
-            fame: p5_fame::FameConfig::quick(),
-            jobs: 1,
-            reuse_warmup: false,
-        }
+        Experiments::with_configs(
+            p5_core::CoreConfig::tiny_for_tests(),
+            p5_fame::FameConfig::quick(),
+        )
     }
 
     fn cpu_program(iters: u64) -> Program {
@@ -816,6 +1012,8 @@ mod tests {
             cells: vec![],
             recovered: 0,
             degraded: vec![],
+            replayed: 0,
+            skipped: 0,
         };
         assert!(!result.all_degraded());
     }
@@ -892,6 +1090,102 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cell_keys_are_content_addressed() {
+        let ctx = tiny_ctx();
+        let spec = CampaignSpec {
+            cells: vec![
+                CellSpec::single("a", cpu_program(40)),
+                CellSpec::single("b", cpu_program(40)),
+                CellSpec::single("c", cpu_program(41)),
+                CellSpec::pair("d", cpu_program(40), cpu_program(40), crate::priority_pair(2)),
+                CellSpec::pair("e", cpu_program(40), cpu_program(40), crate::priority_pair(3)),
+            ],
+            jobs: 1,
+            seed: 5,
+            reuse_warmup: false,
+        };
+        let keys: Vec<CellKey> = spec
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(id, cell)| cell_key(&ctx, &spec, id, cell))
+            .collect();
+        assert_eq!(
+            keys[0], keys[1],
+            "identical RNG-free cells share a key across indices"
+        );
+        assert_ne!(keys[0], keys[2], "iteration count is part of the key");
+        assert_ne!(keys[0], keys[3], "pairing is part of the key");
+        assert_ne!(keys[3], keys[4], "priorities are part of the key");
+        let mut other_config = ctx.clone();
+        other_config.fame.max_cycles += 1;
+        assert_ne!(
+            cell_key(&other_config, &spec, 0, &spec.cells[0]),
+            keys[0],
+            "config changes invalidate keys"
+        );
+        let mut reseeded = ctx.clone();
+        reseeded.core.rng_seed ^= 0xFFFF;
+        assert_eq!(
+            cell_key(&reseeded, &spec, 0, &spec.cells[0]),
+            keys[0],
+            "the seed is excluded for RNG-free programs"
+        );
+    }
+
+    #[test]
+    fn journal_replays_cells_bit_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "p5-campaign-journal-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ctx = tiny_ctx();
+        let cells = || {
+            (0..3)
+                .map(|i| {
+                    CellSpec::pair(
+                        format!("cell{i}"),
+                        cpu_program(40),
+                        cpu_program(40),
+                        crate::priority_pair(i),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let spec = CampaignSpec {
+            cells: cells(),
+            jobs: 1,
+            seed: 42,
+            reuse_warmup: false,
+        };
+        let baseline = Campaign::run(&ctx, &spec);
+        assert_eq!(baseline.replayed, 0, "no journal, nothing replayed");
+
+        let journal =
+            Arc::new(crate::journal::ResultJournal::create(&dir).expect("journal dir"));
+        let first = Campaign::run(&ctx.clone().with_journal(Arc::clone(&journal)), &spec);
+        assert_eq!(first.replayed, 0, "fresh journal, everything simulated");
+        drop(journal);
+
+        let (journal, stats) =
+            crate::journal::ResultJournal::resume(&dir).expect("resume journal");
+        assert_eq!(stats.entries, 3);
+        let resumed = Campaign::run(&ctx.clone().with_journal(Arc::new(journal)), &spec);
+        assert_eq!(resumed.replayed, 3, "every cell replayed from the journal");
+        for (b, r) in baseline.cells.iter().zip(&resumed.cells) {
+            assert_eq!(b.measured.status, r.measured.status);
+            assert_eq!(
+                b.measured.total_ipc().map(f64::to_bits),
+                r.measured.total_ipc().map(f64::to_bits),
+                "replayed cell {} must be bit-identical",
+                b.label
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// `with_warm_reuse(false)` opts a single cell out of sharing even

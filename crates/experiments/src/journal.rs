@@ -1,0 +1,877 @@
+//! Write-ahead, content-addressed result journal.
+//!
+//! A campaign that dies halfway — OOM-killed worker, CI timeout, a
+//! panicking cell — should not cost the cells that already finished.
+//! The journal makes finished work durable: every completed cell is
+//! appended to a JSONL file *before* aggregation, keyed by a
+//! content-addressed [`CellKey`] that covers everything the measurement
+//! depends on (programs, priorities, fault schedule, warmup engine,
+//! core/FAME configuration, and — only when the cell consumes the
+//! seeded RNG — its derived seed). A re-run with `--resume` replays
+//! journaled cells byte-identically and simulates only the missing
+//! ones.
+//!
+//! # Durability contract
+//!
+//! - **Write-ahead.** A cell is journaled the moment its worker
+//!   finishes it, not at campaign end; a crash loses at most the cells
+//!   in flight plus the last unsynced batch (writes are `fsync`ed every
+//!   [`ResultJournal::SYNC_BATCH`] records and on drop).
+//! - **Truncated tails are tolerated.** A line cut off mid-write (the
+//!   expected shape of a crash) is counted and skipped on resume; it
+//!   never poisons the rest of the file.
+//! - **Last write wins.** Duplicate keys (from an earlier interrupted
+//!   run, or two workers racing on identical cells) resolve to the last
+//!   complete record — which, keys being content-addressed, carries the
+//!   same measurement anyway.
+//! - **Stale schemas are ignored.** Records with a different
+//!   [`JOURNAL_SCHEMA_VERSION`] are counted and skipped, so an old
+//!   journal degrades into extra simulation, never into wrong data.
+//! - **Only trustworthy outcomes are journaled.** `Ok`, `Recovered`
+//!   and `Degraded` cells are recorded; `Crashed` and `Skipped` cells
+//!   are not, so a resumed run retries exactly the cells that never
+//!   really ran.
+//!
+//! Keys are stable across runs of the same binary (FNV-1a over the
+//! `Hash` byte stream), which is the resume contract; a different
+//! build may simply miss and re-simulate.
+//!
+//! Floats are stored as IEEE-754 bit patterns, so a replayed
+//! measurement is *bit*-identical to the original — the resumed CSV and
+//! JSON artifacts match the uninterrupted ones byte for byte.
+
+use crate::{CellStatus, Measured};
+use p5_core::SimError;
+use p5_fame::{FameReport, ThreadMeasurement};
+use p5_pmu::json::{JsonObject, JsonValue};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::hash::Hasher;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Version stamped on every journal line; bump on any change to the key
+/// derivation or record layout. Mismatched lines are skipped on load.
+pub const JOURNAL_SCHEMA_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a as a [`std::hash::Hasher`], for fingerprints that must
+/// be stable across *runs* (unlike `DefaultHasher`, which is only
+/// stable within a process). Integer writes go through the default
+/// `Hasher` byte conversions, so keys are per-binary, which is all the
+/// resume contract needs.
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl StableHasher {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> StableHasher {
+        StableHasher(Self::OFFSET)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
+/// Content-addressed identity of one campaign cell's measurement: equal
+/// keys mean "the simulation would produce bit-identical results", so a
+/// journaled record under this key can stand in for re-running the
+/// cell. Derived by [`crate::campaign::cell_key`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellKey(pub u64);
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// What the loader saw in an existing journal file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Usable records loaded (after last-write-wins deduplication).
+    pub entries: usize,
+    /// Records skipped for a mismatched [`JOURNAL_SCHEMA_VERSION`].
+    pub stale: usize,
+    /// Lines skipped as unparseable (typically one truncated tail).
+    pub corrupt: usize,
+}
+
+/// One journaled cell measurement, convertible to/from [`Measured`].
+#[derive(Debug, Clone, PartialEq)]
+struct CellRecord {
+    status: CellStatus,
+    error: Option<String>,
+    report: Option<FameReport>,
+}
+
+impl CellRecord {
+    /// Captures `m` for the journal; `None` for statuses that must be
+    /// retried on resume rather than replayed.
+    fn capture(m: &Measured) -> Option<CellRecord> {
+        match m.status {
+            CellStatus::Ok | CellStatus::Recovered | CellStatus::Degraded => Some(CellRecord {
+                status: m.status,
+                error: m.error.as_ref().map(SimError::to_string),
+                report: m.report.clone(),
+            }),
+            CellStatus::Crashed | CellStatus::Skipped => None,
+        }
+    }
+
+    /// Reconstructs the measurement a replayed cell reports. The error
+    /// comes back as [`SimError::Replayed`], which displays the
+    /// original cause verbatim, so degradation annotations round-trip
+    /// byte-identically.
+    fn replay(&self) -> Measured {
+        Measured {
+            report: self.report.clone(),
+            status: self.status,
+            error: self
+                .error
+                .as_ref()
+                .map(|cause| SimError::Replayed { cause: cause.clone() }),
+        }
+    }
+}
+
+fn status_tag(status: CellStatus) -> &'static str {
+    match status {
+        CellStatus::Ok => "ok",
+        CellStatus::Recovered => "recovered",
+        CellStatus::Degraded => "degraded",
+        CellStatus::Crashed => "crashed",
+        CellStatus::Skipped => "skipped",
+    }
+}
+
+fn tag_status(tag: &str) -> Option<CellStatus> {
+    match tag {
+        "ok" => Some(CellStatus::Ok),
+        "recovered" => Some(CellStatus::Recovered),
+        "degraded" => Some(CellStatus::Degraded),
+        _ => None,
+    }
+}
+
+fn thread_json(m: &ThreadMeasurement) -> JsonValue {
+    JsonObject::new()
+        .field("repetitions", m.repetitions)
+        .field("avg_bits", m.avg_repetition_cycles.to_bits())
+        .field("ipc_bits", m.ipc.to_bits())
+        .field("converged", m.converged)
+        .build()
+}
+
+fn report_json(r: &FameReport) -> JsonValue {
+    JsonObject::new()
+        .field("measured_cycles", r.measured_cycles)
+        .field("warmup_cycles", r.warmup_cycles)
+        .field(
+            "threads",
+            JsonValue::Array(
+                r.threads
+                    .iter()
+                    .map(|t| t.as_ref().map_or(JsonValue::Null, thread_json))
+                    .collect(),
+            ),
+        )
+        .build()
+}
+
+fn cell_line(key: CellKey, rec: &CellRecord) -> String {
+    let mut obj = JsonObject::new()
+        .field("v", JOURNAL_SCHEMA_VERSION)
+        .field("kind", "cell")
+        .field("key", key.0)
+        .field("status", status_tag(rec.status));
+    if let Some(error) = &rec.error {
+        obj = obj.field("error", error.as_str());
+    }
+    if let Some(report) = &rec.report {
+        obj = obj.field("report", report_json(report));
+    }
+    obj.build().to_string()
+}
+
+fn scalar_line(key: CellKey, bits: u64, converged: bool) -> String {
+    JsonObject::new()
+        .field("v", JOURNAL_SCHEMA_VERSION)
+        .field("kind", "scalar")
+        .field("key", key.0)
+        .field("value_bits", bits)
+        .field("converged", converged)
+        .build()
+        .to_string()
+}
+
+// ---------------------------------------------------------------------
+// A minimal tolerant JSON reader (the workspace has a writer but no
+// parser, and no serde). Only what journal lines need: objects,
+// arrays, strings with the writer's escapes, u64-precise integers,
+// bools and null. Any deviation returns `None` and the caller counts
+// the line as corrupt.
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+struct JsonReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonReader<'a> {
+    fn parse(text: &'a str) -> Option<Json> {
+        let mut r = JsonReader {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = r.value()?;
+        r.skip_ws();
+        (r.pos == r.bytes.len()).then_some(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        self.skip_ws();
+        match *self.bytes.get(self.pos)? {
+            b'n' => self.literal("null").then_some(Json::Null),
+            b't' => self.literal("true").then_some(Json::Bool(true)),
+            b'f' => self.literal("false").then_some(Json::Bool(false)),
+            b'"' => self.string().map(Json::Str),
+            b'{' => self.object(),
+            b'[' => self.array(),
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            match *self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match *self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through intact.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                    let c = rest.chars().next()?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            // u64-precise: float bit patterns exceed f64's 53-bit
+            // mantissa, so integers must never round-trip through f64.
+            return text.parse().ok().map(Json::UInt);
+        }
+        text.parse().ok().map(Json::Float)
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        if !self.eat(b'{') {
+            return None;
+        }
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Some(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return None;
+            }
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Some(Json::Object(fields));
+            }
+            if !self.eat(b',') {
+                return None;
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        if !self.eat(b'[') {
+            return None;
+        }
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Some(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Some(Json::Array(items));
+            }
+            if !self.eat(b',') {
+                return None;
+            }
+        }
+    }
+}
+
+fn parse_thread(v: &Json) -> Option<Option<ThreadMeasurement>> {
+    if *v == Json::Null {
+        return Some(None);
+    }
+    Some(Some(ThreadMeasurement {
+        repetitions: usize::try_from(v.get("repetitions")?.as_u64()?).ok()?,
+        avg_repetition_cycles: f64::from_bits(v.get("avg_bits")?.as_u64()?),
+        ipc: f64::from_bits(v.get("ipc_bits")?.as_u64()?),
+        converged: v.get("converged")?.as_bool()?,
+    }))
+}
+
+fn parse_report(v: &Json) -> Option<FameReport> {
+    let threads = match v.get("threads")? {
+        Json::Array(items) if items.len() == 2 => {
+            [parse_thread(&items[0])?, parse_thread(&items[1])?]
+        }
+        _ => return None,
+    };
+    Some(FameReport {
+        threads,
+        measured_cycles: v.get("measured_cycles")?.as_u64()?,
+        warmup_cycles: v.get("warmup_cycles")?.as_u64()?,
+    })
+}
+
+/// One parsed journal line.
+enum Line {
+    Cell(CellKey, CellRecord),
+    Scalar(CellKey, u64, bool),
+    Stale,
+}
+
+fn parse_line(text: &str) -> Option<Line> {
+    let v = JsonReader::parse(text)?;
+    if v.get("v")?.as_u64()? != u64::from(JOURNAL_SCHEMA_VERSION) {
+        return Some(Line::Stale);
+    }
+    let key = CellKey(v.get("key")?.as_u64()?);
+    match v.get("kind")?.as_str()? {
+        "cell" => {
+            let status = tag_status(v.get("status")?.as_str()?)?;
+            let report = match v.get("report") {
+                Some(r) => Some(parse_report(r)?),
+                None => None,
+            };
+            let error = match v.get("error") {
+                Some(e) => Some(e.as_str()?.to_string()),
+                None => None,
+            };
+            Some(Line::Cell(key, CellRecord { status, error, report }))
+        }
+        "scalar" => Some(Line::Scalar(
+            key,
+            v.get("value_bits")?.as_u64()?,
+            v.get("converged")?.as_bool()?,
+        )),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+
+/// Mutable journal state behind one lock: the in-memory index plus the
+/// append handle and the batched-fsync counter.
+#[derive(Debug)]
+struct JournalState {
+    file: File,
+    cells: HashMap<CellKey, CellRecord>,
+    scalars: HashMap<CellKey, (u64, bool)>,
+    unsynced: usize,
+}
+
+impl JournalState {
+    fn append(&mut self, line: &str) {
+        // Journal I/O is best-effort by design: a full disk degrades
+        // resumability, never the campaign itself.
+        let _ = self.file.write_all(line.as_bytes());
+        let _ = self.file.write_all(b"\n");
+        self.unsynced += 1;
+        if self.unsynced >= ResultJournal::SYNC_BATCH {
+            self.sync();
+        }
+    }
+
+    fn sync(&mut self) {
+        if self.unsynced > 0 {
+            let _ = self.file.sync_data();
+            self.unsynced = 0;
+        }
+    }
+}
+
+/// The write-ahead result journal: an append-only JSONL file plus an
+/// in-memory index of every usable record. See the module docs for the
+/// durability contract.
+#[derive(Debug)]
+pub struct ResultJournal {
+    path: PathBuf,
+    state: Mutex<JournalState>,
+}
+
+impl ResultJournal {
+    /// Records are `fsync`ed in batches of this many (and on flush /
+    /// drop), bounding both the data a crash can lose and the syscall
+    /// overhead per cell.
+    pub const SYNC_BATCH: usize = 16;
+
+    /// File name used inside a `--journal DIR` directory.
+    pub const FILE_NAME: &'static str = "journal.jsonl";
+
+    /// Creates (or truncates) the journal file under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory or file.
+    pub fn create(dir: &Path) -> std::io::Result<ResultJournal> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(Self::FILE_NAME);
+        let file = File::create(&path)?;
+        Ok(ResultJournal {
+            path,
+            state: Mutex::new(JournalState {
+                file,
+                cells: HashMap::new(),
+                scalars: HashMap::new(),
+                unsynced: 0,
+            }),
+        })
+    }
+
+    /// Opens the journal under `dir`, loading every usable record from
+    /// an existing file (tolerating a truncated tail, duplicate keys
+    /// and stale schema versions — see the module docs) and appending
+    /// new records after it. A missing file resumes from nothing.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory or opening the file; a
+    /// *corrupt* file is not an error.
+    pub fn resume(dir: &Path) -> std::io::Result<(ResultJournal, LoadStats)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(Self::FILE_NAME);
+        let mut cells = HashMap::new();
+        let mut scalars = HashMap::new();
+        let mut stats = LoadStats::default();
+        if let Ok(existing) = File::open(&path) {
+            for line in BufReader::new(existing).split(b'\n') {
+                let Ok(bytes) = line else { break };
+                let text = String::from_utf8_lossy(&bytes);
+                if text.trim().is_empty() {
+                    continue;
+                }
+                match parse_line(text.trim()) {
+                    Some(Line::Cell(key, rec)) => {
+                        stats.entries += 1;
+                        cells.insert(key, rec);
+                    }
+                    Some(Line::Scalar(key, bits, converged)) => {
+                        stats.entries += 1;
+                        scalars.insert(key, (bits, converged));
+                    }
+                    Some(Line::Stale) => stats.stale += 1,
+                    None => stats.corrupt += 1,
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((
+            ResultJournal {
+                path,
+                state: Mutex::new(JournalState {
+                    file,
+                    cells,
+                    scalars,
+                    unsynced: 0,
+                }),
+            },
+            stats,
+        ))
+    }
+
+    /// The journal file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, JournalState> {
+        // Same policy as the simulator's shared cells: recover, never
+        // cascade, a neighbor's poison.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The journaled measurement for `key`, if any, reconstructed for
+    /// replay (error causes come back as [`SimError::Replayed`]).
+    #[must_use]
+    pub fn lookup_cell(&self, key: CellKey) -> Option<Measured> {
+        self.state().cells.get(&key).map(CellRecord::replay)
+    }
+
+    /// Journals a finished cell. `Crashed` and `Skipped` measurements
+    /// are deliberately not recorded (they must be retried on resume);
+    /// recording one is a no-op.
+    pub fn record_cell(&self, key: CellKey, measured: &Measured) {
+        let Some(rec) = CellRecord::capture(measured) else {
+            return;
+        };
+        let line = cell_line(key, &rec);
+        let mut state = self.state();
+        state.cells.insert(key, rec);
+        state.append(&line);
+    }
+
+    /// The journaled scalar for `key` (calibration measurements:
+    /// bit-exact value plus its convergence flag).
+    #[must_use]
+    pub fn lookup_scalar(&self, key: CellKey) -> Option<(f64, bool)> {
+        self.state()
+            .scalars
+            .get(&key)
+            .map(|&(bits, converged)| (f64::from_bits(bits), converged))
+    }
+
+    /// Journals one calibration scalar.
+    pub fn record_scalar(&self, key: CellKey, value: f64, converged: bool) {
+        let line = scalar_line(key, value.to_bits(), converged);
+        let mut state = self.state();
+        state.scalars.insert(key, (value.to_bits(), converged));
+        state.append(&line);
+    }
+
+    /// Number of cell records currently indexed.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.state().cells.len()
+    }
+
+    /// Forces any unsynced records to disk.
+    pub fn flush(&self) {
+        self.state().sync();
+    }
+}
+
+impl Drop for ResultJournal {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "p5-journal-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_measured(status: CellStatus) -> Measured {
+        Measured {
+            report: Some(FameReport {
+                threads: [
+                    Some(ThreadMeasurement {
+                        repetitions: 12,
+                        avg_repetition_cycles: 123.456_789,
+                        ipc: 1.234_567_890_123,
+                        converged: true,
+                    }),
+                    None,
+                ],
+                measured_cycles: 98_765,
+                warmup_cycles: 4_321,
+            }),
+            status,
+            error: (status == CellStatus::Degraded).then_some(SimError::Deadline {
+                phase: "measure",
+            }),
+        }
+    }
+
+    #[test]
+    fn cell_records_round_trip_bit_exactly() {
+        let dir = tmp_dir("roundtrip");
+        let key = CellKey(0xDEAD_BEEF_CAFE_F00D);
+        {
+            let j = ResultJournal::create(&dir).unwrap();
+            j.record_cell(key, &sample_measured(CellStatus::Degraded));
+        }
+        let (j, stats) = ResultJournal::resume(&dir).unwrap();
+        assert_eq!(stats, LoadStats { entries: 1, stale: 0, corrupt: 0 });
+        let m = j.lookup_cell(key).expect("journaled cell found");
+        assert_eq!(m.status, CellStatus::Degraded);
+        let original = sample_measured(CellStatus::Degraded);
+        let (a, b) = (m.report.unwrap(), original.report.unwrap());
+        assert_eq!(a, b, "report round-trips exactly");
+        assert_eq!(
+            a.threads[0].unwrap().ipc.to_bits(),
+            b.threads[0].unwrap().ipc.to_bits(),
+            "floats are bit-exact"
+        );
+        assert_eq!(
+            m.error.unwrap().to_string(),
+            original.error.unwrap().to_string(),
+            "error text replays verbatim"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crashed_and_skipped_cells_are_never_journaled() {
+        let dir = tmp_dir("retry");
+        let j = ResultJournal::create(&dir).unwrap();
+        let key = CellKey(7);
+        j.record_cell(key, &sample_measured(CellStatus::Crashed));
+        j.record_cell(key, &sample_measured(CellStatus::Skipped));
+        assert_eq!(j.cell_count(), 0, "both must be retried on resume");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated() {
+        let dir = tmp_dir("truncated");
+        {
+            let j = ResultJournal::create(&dir).unwrap();
+            j.record_cell(CellKey(1), &sample_measured(CellStatus::Ok));
+            j.record_cell(CellKey(2), &sample_measured(CellStatus::Ok));
+        }
+        // Chop the file mid-way through the last record, as a crash
+        // mid-write would.
+        let path = dir.join(ResultJournal::FILE_NAME);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 30]).unwrap();
+        let (j, stats) = ResultJournal::resume(&dir).unwrap();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.corrupt, 1, "the torn tail is counted, not fatal");
+        assert!(j.lookup_cell(CellKey(1)).is_some());
+        assert!(j.lookup_cell(CellKey(2)).is_none(), "torn record is lost");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_last_write_wins() {
+        let dir = tmp_dir("dup");
+        {
+            let j = ResultJournal::create(&dir).unwrap();
+            let mut first = sample_measured(CellStatus::Ok);
+            if let Some(r) = &mut first.report {
+                r.measured_cycles = 111;
+            }
+            j.record_cell(CellKey(9), &first);
+            let mut second = sample_measured(CellStatus::Recovered);
+            if let Some(r) = &mut second.report {
+                r.measured_cycles = 222;
+            }
+            j.record_cell(CellKey(9), &second);
+        }
+        let (j, stats) = ResultJournal::resume(&dir).unwrap();
+        assert_eq!(stats.entries, 2, "both lines load");
+        let m = j.lookup_cell(CellKey(9)).unwrap();
+        assert_eq!(m.status, CellStatus::Recovered);
+        assert_eq!(m.report.unwrap().measured_cycles, 222);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_schema_versions_are_skipped_not_fatal() {
+        let dir = tmp_dir("stale");
+        {
+            let j = ResultJournal::create(&dir).unwrap();
+            j.record_cell(CellKey(1), &sample_measured(CellStatus::Ok));
+        }
+        let path = dir.join(ResultJournal::FILE_NAME);
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("{\"v\":999,\"kind\":\"cell\",\"key\":2,\"status\":\"ok\"}\n");
+        std::fs::write(&path, content).unwrap();
+        let (j, stats) = ResultJournal::resume(&dir).unwrap();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.stale, 1);
+        assert!(j.lookup_cell(CellKey(2)).is_none(), "stale record ignored");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scalars_round_trip_bit_exactly() {
+        let dir = tmp_dir("scalar");
+        let value = std::f64::consts::PI / 3.0;
+        {
+            let j = ResultJournal::create(&dir).unwrap();
+            j.record_scalar(CellKey(0xAB), value, true);
+        }
+        let (j, _) = ResultJournal::resume(&dir).unwrap();
+        let (v, converged) = j.lookup_scalar(CellKey(0xAB)).unwrap();
+        assert_eq!(v.to_bits(), value.to_bits());
+        assert!(converged);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_on_empty_dir_starts_fresh() {
+        let dir = tmp_dir("fresh");
+        let (j, stats) = ResultJournal::resume(&dir).unwrap();
+        assert_eq!(stats, LoadStats::default());
+        assert_eq!(j.cell_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stable_hasher_is_stable_across_instances() {
+        let mut a = StableHasher::new();
+        let mut b = StableHasher::new();
+        std::hash::Hash::hash(&("p5", 42u64, [1u8, 2, 3]), &mut a);
+        std::hash::Hash::hash(&("p5", 42u64, [1u8, 2, 3]), &mut b);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = StableHasher::new();
+        std::hash::Hash::hash(&("p5", 43u64, [1u8, 2, 3]), &mut c);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn reader_rejects_garbage_and_accepts_writer_output() {
+        assert!(JsonReader::parse("{\"a\":1}").is_some());
+        assert!(JsonReader::parse("{\"a\":1,\"b\":[null,true,\"x\\n\"]}").is_some());
+        assert!(JsonReader::parse("{\"a\":").is_none());
+        assert!(JsonReader::parse("not json").is_none());
+        assert!(JsonReader::parse("{\"a\":1} trailing").is_none());
+        // u64 precision: a float bit pattern survives exactly.
+        let bits = 1.234_567_890_123_f64.to_bits();
+        let v = JsonReader::parse(&format!("{{\"b\":{bits}}}")).unwrap();
+        assert_eq!(v.get("b").unwrap().as_u64(), Some(bits));
+    }
+}

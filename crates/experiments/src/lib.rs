@@ -48,6 +48,7 @@
 pub mod campaign;
 pub mod claims;
 pub mod export;
+pub mod journal;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -135,6 +136,14 @@ pub enum CellStatus {
     /// Both attempts failed to converge; the cell carries whatever data
     /// survived plus the error.
     Degraded,
+    /// The cell's worker panicked; the panic was caught at the cell
+    /// boundary ([`campaign`]'s isolation), so the campaign — and every
+    /// other cell — completed normally.
+    Crashed,
+    /// The cell never ran: the campaign's cancellation token had
+    /// already expired when a worker claimed it. Skipped cells are
+    /// retried by a resumed run (see [`journal`]).
+    Skipped,
 }
 
 /// Result of one resilient measurement (see
@@ -152,10 +161,14 @@ pub struct Measured {
 }
 
 impl Measured {
-    /// Whether the cell carries no trustworthy (converged) measurement.
+    /// Whether the cell carries no trustworthy (converged) measurement
+    /// — it degraded, its worker crashed, or it never ran at all.
     #[must_use]
     pub fn is_degraded(&self) -> bool {
-        self.status == CellStatus::Degraded
+        matches!(
+            self.status,
+            CellStatus::Degraded | CellStatus::Crashed | CellStatus::Skipped
+        )
     }
 
     /// IPC of one thread, if measured.
@@ -213,6 +226,26 @@ pub struct Experiments {
     /// [`campaign`]'s warm-reuse notes). Off by default; results are
     /// byte-identical either way, so this is purely a wall-clock knob.
     pub reuse_warmup: bool,
+    /// Write-ahead result journal: finished cells are recorded here and
+    /// journaled cells are replayed instead of re-simulated (the
+    /// `--journal`/`--resume` flags). `None` (the default) journals
+    /// nothing.
+    pub journal: Option<std::sync::Arc<journal::ResultJournal>>,
+    /// Per-cell wall-clock deadline: a cell still simulating this long
+    /// after it started is stopped at the next FAME chunk boundary and
+    /// marked degraded. `None` (the default) leaves cells unbounded;
+    /// deadlines make outcomes wall-clock-dependent by design.
+    pub cell_deadline: Option<std::time::Duration>,
+    /// Campaign-level cancellation token (typically
+    /// [`CancelToken::with_budget`](p5_core::CancelToken::with_budget)
+    /// for `--time-budget-ms`): once it expires, in-flight cells stop
+    /// at their next chunk boundary and unclaimed cells are skipped,
+    /// yielding a valid partial result.
+    pub cancel: Option<p5_core::CancelToken>,
+    /// Host-level chaos schedule for crash-safety rehearsal (scheduled
+    /// worker panics, stalls, mid-campaign aborts). Test/CI machinery;
+    /// `None` in every normal run.
+    pub chaos: Option<p5_fault::ChaosPlan>,
 }
 
 impl Experiments {
@@ -221,13 +254,28 @@ impl Experiments {
     /// EXPERIMENTS.md.
     #[must_use]
     pub fn paper() -> Experiments {
-        Experiments {
-            core: CoreConfig::builder()
+        Experiments::with_configs(
+            CoreConfig::builder()
                 .build()
                 .expect("power5_like defaults are valid"),
-            fame: FameConfig::paper(),
+            FameConfig::paper(),
+        )
+    }
+
+    /// A context from explicit core and FAME configurations, with every
+    /// execution-policy knob (jobs, warm reuse, journal, deadlines,
+    /// cancellation, chaos) at its default.
+    #[must_use]
+    pub fn with_configs(core: CoreConfig, fame: FameConfig) -> Experiments {
+        Experiments {
+            core,
+            fame,
             jobs: 1,
             reuse_warmup: false,
+            journal: None,
+            cell_deadline: None,
+            cancel: None,
+            chaos: None,
         }
     }
 
@@ -235,11 +283,11 @@ impl Experiments {
     /// fewer repetitions, looser MAIV, tighter cycle caps.
     #[must_use]
     pub fn quick() -> Experiments {
-        Experiments {
-            core: CoreConfig::builder()
+        Experiments::with_configs(
+            CoreConfig::builder()
                 .build()
                 .expect("power5_like defaults are valid"),
-            fame: FameConfig {
+            FameConfig {
                 maiv: 0.05,
                 stable_window: 2,
                 min_repetitions: 3,
@@ -248,9 +296,7 @@ impl Experiments {
                 warmup_ring_passes: 1,
                 warmup_min_cycles: 20_000,
             },
-            jobs: 1,
-            reuse_warmup: false,
-        }
+        )
     }
 
     /// Returns this context with the campaign worker count replaced.
@@ -265,6 +311,38 @@ impl Experiments {
     #[must_use]
     pub fn with_reuse_warmup(mut self, reuse: bool) -> Experiments {
         self.reuse_warmup = reuse;
+        self
+    }
+
+    /// Returns this context with a write-ahead result journal attached
+    /// (the `--journal` flag of the binaries).
+    #[must_use]
+    pub fn with_journal(mut self, journal: std::sync::Arc<journal::ResultJournal>) -> Experiments {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Returns this context with a per-cell wall-clock deadline (the
+    /// `--cell-deadline-ms` flag of the binaries).
+    #[must_use]
+    pub fn with_cell_deadline(mut self, deadline: std::time::Duration) -> Experiments {
+        self.cell_deadline = Some(deadline);
+        self
+    }
+
+    /// Returns this context with a campaign-level cancellation token
+    /// (the `--time-budget-ms` flag of the binaries).
+    #[must_use]
+    pub fn with_cancel(mut self, token: p5_core::CancelToken) -> Experiments {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Returns this context with a host-level chaos schedule attached
+    /// (crash-safety rehearsal; see [`p5_fault::ChaosPlan`]).
+    #[must_use]
+    pub fn with_chaos(mut self, plan: p5_fault::ChaosPlan) -> Experiments {
+        self.chaos = Some(plan);
         self
     }
 
@@ -367,10 +445,32 @@ impl Experiments {
         setup: impl Fn(&mut SmtCore),
         warm: Option<(&p5_core::WarmState, u64)>,
     ) -> Measured {
+        self.measure_resilient_warm_cancel(setup, warm, None)
+    }
+
+    /// [`Experiments::measure_resilient_warm`] under an optional
+    /// [`CancelToken`](p5_core::CancelToken): every attempt's FAME
+    /// runner checks the token between simulation chunks, so an expired
+    /// token stops the measurement at a clean boundary with a
+    /// (non-retryable) [`SimError::Deadline`] and the cell degrades
+    /// instead of running forever. `None` is exactly the tokenless
+    /// path — bit-reproducible, never wall-clock-dependent.
+    pub fn measure_resilient_warm_cancel(
+        &self,
+        setup: impl Fn(&mut SmtCore),
+        warm: Option<(&p5_core::WarmState, u64)>,
+        cancel: Option<&p5_core::CancelToken>,
+    ) -> Measured {
+        let runner = |fame: FameConfig| -> FameRunner {
+            match cancel {
+                Some(token) => FameRunner::new(fame).with_cancel(token.clone()),
+                None => FameRunner::new(fame),
+            }
+        };
         let attempt = |fame: FameConfig| -> Result<FameReport, SimError> {
             let mut core = self.try_new_core()?;
             setup(&mut core);
-            FameRunner::new(fame).try_measure(&mut core)
+            runner(fame).try_measure(&mut core)
         };
         let attempt_restored = |state: &p5_core::WarmState,
                                 warmup_cycles: u64|
@@ -383,7 +483,7 @@ impl Experiments {
                 // wall-clock differs.
                 return attempt(self.fame);
             }
-            FameRunner::new(self.fame).try_measure_restored(&mut core, warmup_cycles)
+            runner(self.fame).try_measure_restored(&mut core, warmup_cycles)
         };
         let budget_error = |fame: &FameConfig, report: &FameReport| SimError::BudgetExhausted {
             cycle_budget: fame.max_cycles,
@@ -524,12 +624,10 @@ mod tests {
     }
 
     fn tiny_ctx() -> Experiments {
-        Experiments {
-            core: p5_core::CoreConfig::tiny_for_tests(),
-            fame: p5_fame::FameConfig::quick(),
-            jobs: 1,
-            reuse_warmup: false,
-        }
+        Experiments::with_configs(
+            p5_core::CoreConfig::tiny_for_tests(),
+            p5_fame::FameConfig::quick(),
+        )
     }
 
     fn cpu_program(iters: u64) -> Program {

@@ -301,12 +301,10 @@ mod tests {
     use super::*;
 
     fn tiny_ctx() -> Experiments {
-        Experiments {
-            core: p5_core::CoreConfig::tiny_for_tests(),
-            fame: p5_fame::FameConfig::quick(),
-            jobs: 1,
-            reuse_warmup: false,
-        }
+        Experiments::with_configs(
+            p5_core::CoreConfig::tiny_for_tests(),
+            p5_fame::FameConfig::quick(),
+        )
     }
 
     #[test]

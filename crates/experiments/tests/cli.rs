@@ -1,0 +1,91 @@
+//! Exit-code contract of the `repro` binary, as documented in its
+//! `--help` text: 0 clean, 1 usage error, 2 completed-with-degradations,
+//! 3 aborted early. CI scripts branch on these codes (the kill-and-
+//! resume gate expects 3 from the interrupted leg), so they are pinned
+//! here.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn help_exits_zero_and_documents_the_exit_codes() {
+    let out = repro().arg("--help").output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).expect("help is UTF-8");
+    assert!(text.contains("EXIT CODES"), "help documents the contract");
+    for line in [
+        "every requested section completed",
+        "usage or I/O error",
+        "some cells degraded or sections failed",
+        "campaign aborted early",
+    ] {
+        assert!(text.contains(line), "help is missing {line:?}");
+    }
+}
+
+#[test]
+fn resume_without_journal_is_a_usage_error() {
+    let out = repro().arg("--resume").output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert!(err.contains("--resume requires --journal"));
+}
+
+#[test]
+fn clean_section_exits_zero() {
+    // Table 1 is the static priority-encoding table: no campaign, no
+    // cells to degrade, so this is the cheapest clean run there is.
+    let out = repro()
+        .args(["--quick", "--only", "table1"])
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(0), "clean run exits 0");
+}
+
+#[test]
+fn degraded_run_exits_two() {
+    // A zero cell deadline degrades every campaign cell without
+    // simulating anything, so the run completes — partially — fast.
+    let out = repro()
+        .args([
+            "--quick",
+            "--only",
+            "table3",
+            "--jobs",
+            "2",
+            "--cell-deadline-ms",
+            "0",
+        ])
+        .output()
+        .expect("repro runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "completed-with-degradations exits 2"
+    );
+}
+
+#[test]
+fn aborted_run_exits_three() {
+    // A zero time budget expires the campaign token before the first
+    // cell is claimed: everything is skipped and the run reports an
+    // early abort.
+    let out = repro()
+        .args([
+            "--quick",
+            "--only",
+            "table3",
+            "--jobs",
+            "2",
+            "--time-budget-ms",
+            "0",
+        ])
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(3), "aborted run exits 3");
+    let text = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    assert!(text.contains("campaign aborted early"));
+}

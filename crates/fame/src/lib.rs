@@ -40,7 +40,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use p5_core::{SimError, SmtCore, WarmupMode};
+use p5_core::{CancelToken, SimError, SmtCore, WarmupMode};
 use p5_isa::{AccessPattern, ThreadId};
 
 /// Parameters of a FAME measurement.
@@ -209,6 +209,7 @@ impl FameReport {
 #[derive(Debug, Clone)]
 pub struct FameRunner {
     config: FameConfig,
+    cancel: Option<CancelToken>,
 }
 
 impl FameRunner {
@@ -220,13 +221,37 @@ impl FameRunner {
     #[must_use]
     pub fn new(config: FameConfig) -> FameRunner {
         config.validate();
-        FameRunner { config }
+        FameRunner {
+            config,
+            cancel: None,
+        }
+    }
+
+    /// Returns this runner with a cooperative wall-clock deadline token:
+    /// both phases check it between simulation chunks (alongside the
+    /// cycle-budget watchdog) and abort with [`SimError::Deadline`] once
+    /// it expires, leaving the core at a clean chunk boundary. Without a
+    /// token nothing wall-clock-dependent is ever consulted, so runs
+    /// stay bit-reproducible.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> FameRunner {
+        self.cancel = Some(token);
+        self
     }
 
     /// The configuration in use.
     #[must_use]
     pub fn config(&self) -> &FameConfig {
         &self.config
+    }
+
+    /// Errors with [`SimError::Deadline`] if the cancellation token (when
+    /// present) has expired.
+    fn deadline_check(&self, phase: &'static str) -> Result<(), SimError> {
+        match &self.cancel {
+            Some(token) if token.expired() => Err(SimError::Deadline { phase }),
+            _ => Ok(()),
+        }
     }
 
     /// Warm-up cycles needed so each pointer-chase ring is walked
@@ -316,6 +341,7 @@ impl FameRunner {
         if !ThreadId::ALL.iter().any(|&t| core.is_active(t)) {
             return Err(SimError::NoActiveThread);
         }
+        self.deadline_check("warmup")?;
 
         // Warm-up. The two-speed engine dispatches here: functional mode
         // fast-forwards the whole budget in one stall-free call (see
@@ -335,6 +361,7 @@ impl FameRunner {
                     core.run_cycles(n);
                     warmed += n;
                     stall_check(core)?;
+                    self.deadline_check("warmup")?;
                 }
             }
         }
@@ -400,6 +427,7 @@ impl FameRunner {
         while !(done[0] && done[1]) && core.stats().cycles < deadline {
             core.run_cycles(check_period);
             stall_check(core)?;
+            self.deadline_check("measure")?;
             for t in ThreadId::ALL {
                 let i = t.index();
                 if done[i] {
@@ -706,6 +734,50 @@ mod tests {
                 "{mode:?}"
             );
         }
+    }
+
+    #[test]
+    fn expired_token_aborts_with_deadline_error() {
+        let mut core = SmtCore::new(CoreConfig::tiny_for_tests());
+        core.load_program(ThreadId::T0, cpu_program(50));
+        let err = FameRunner::new(FameConfig::quick())
+            .with_cancel(p5_core::CancelToken::with_budget(std::time::Duration::ZERO))
+            .try_measure(&mut core)
+            .expect_err("expired token must abort the run");
+        assert!(matches!(err, SimError::Deadline { phase: "warmup" }), "{err:?}");
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_mid_measure() {
+        let token = p5_core::CancelToken::new();
+        let mut core = SmtCore::new(CoreConfig::tiny_for_tests());
+        core.load_program(ThreadId::T0, cpu_program(50));
+        let runner = FameRunner::new(FameConfig::quick()).with_cancel(token.clone());
+        let warmup = runner.warm_only(&mut core).expect("live token warms fine");
+        token.cancel();
+        let err = runner
+            .try_measure_restored(&mut core, warmup)
+            .expect_err("cancelled token must abort the measure phase");
+        assert!(matches!(err, SimError::Deadline { phase: "measure" }), "{err:?}");
+    }
+
+    #[test]
+    fn live_token_is_bit_identical_to_no_token() {
+        let measure = |token: Option<p5_core::CancelToken>| {
+            let mut core = SmtCore::new(CoreConfig::tiny_for_tests());
+            core.load_program(ThreadId::T0, chase_program(8 * 1024, 200));
+            let mut runner = FameRunner::new(FameConfig::quick());
+            if let Some(t) = token {
+                runner = runner.with_cancel(t);
+            }
+            runner.try_measure(&mut core).expect("converges")
+        };
+        let plain = measure(None);
+        let tokened = measure(Some(p5_core::CancelToken::with_budget(
+            std::time::Duration::from_secs(3600),
+        )));
+        assert_eq!(plain, tokened, "a live token must not perturb the measurement");
     }
 
     #[test]

@@ -505,6 +505,114 @@ pub fn check_decode_share_bound(
     }
 }
 
+/// One kind of *host-level* failure — a fault in the machinery running
+/// the simulation rather than in the simulated microarchitecture.
+///
+/// Where [`FaultKind`] perturbs the modeled pipeline, `HostFaultKind`
+/// perturbs the campaign engine itself: a worker panicking mid-cell, a
+/// cell stalling past its wall-clock deadline, the whole campaign being
+/// torn down. The campaign engine consumes a [`ChaosPlan`] to rehearse
+/// exactly these failures deterministically in tests and CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostFaultKind {
+    /// The worker thread panics at the start of the cell (before any
+    /// simulation work), as a wedged allocator or a library bug would.
+    PanicCell,
+    /// The worker sleeps `millis` of wall-clock time before simulating,
+    /// busting any per-cell deadline smaller than that.
+    StallCell {
+        /// Host sleep in milliseconds.
+        millis: u64,
+    },
+    /// The campaign's cancellation token fires when this cell is
+    /// claimed — every cell not yet finished is abandoned, as on a
+    /// SIGTERM or CI timeout.
+    AbortCampaign,
+}
+
+impl fmt::Display for HostFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            HostFaultKind::PanicCell => f.write_str("worker panics at cell start"),
+            HostFaultKind::StallCell { millis } => {
+                write!(f, "worker stalls {millis}ms before simulating")
+            }
+            HostFaultKind::AbortCampaign => f.write_str("campaign aborted at cell claim"),
+        }
+    }
+}
+
+/// A host-level failure pinned to one campaign cell (by its index in
+/// the campaign's cell list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostFault {
+    /// Index of the victim cell in the campaign spec.
+    pub cell_id: usize,
+    /// What happens when a worker claims that cell.
+    pub kind: HostFaultKind,
+}
+
+/// A deterministic schedule of host-level failures for one campaign
+/// run, keyed by cell index (so the plan is independent of worker
+/// count and claim order — the same cell fails at any `--jobs`).
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    faults: Vec<HostFault>,
+}
+
+impl ChaosPlan {
+    /// An empty plan: no host failures.
+    #[must_use]
+    pub fn new() -> ChaosPlan {
+        ChaosPlan::default()
+    }
+
+    /// Adds a worker panic at the start of cell `cell_id`.
+    #[must_use]
+    pub fn panic_cell(mut self, cell_id: usize) -> ChaosPlan {
+        self.faults.push(HostFault {
+            cell_id,
+            kind: HostFaultKind::PanicCell,
+        });
+        self
+    }
+
+    /// Adds a `millis`-millisecond host stall at the start of cell
+    /// `cell_id`.
+    #[must_use]
+    pub fn stall_cell(mut self, cell_id: usize, millis: u64) -> ChaosPlan {
+        self.faults.push(HostFault {
+            cell_id,
+            kind: HostFaultKind::StallCell { millis },
+        });
+        self
+    }
+
+    /// Aborts the whole campaign when cell `cell_id` is claimed.
+    #[must_use]
+    pub fn abort_at(mut self, cell_id: usize) -> ChaosPlan {
+        self.faults.push(HostFault {
+            cell_id,
+            kind: HostFaultKind::AbortCampaign,
+        });
+        self
+    }
+
+    /// All scheduled host faults, in insertion order.
+    #[must_use]
+    pub fn faults(&self) -> &[HostFault] {
+        &self.faults
+    }
+
+    /// The host faults pinned to cell `cell_id`, in insertion order.
+    pub fn for_cell(&self, cell_id: usize) -> impl Iterator<Item = HostFaultKind> + '_ {
+        self.faults
+            .iter()
+            .filter(move |f| f.cell_id == cell_id)
+            .map(|f| f.kind)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,6 +730,32 @@ mod tests {
             .run(&mut core, [5, 5], 5_000_000)
             .expect("transient LMQ saturation completes");
         check_decode_share_bound(&core, p0, p1).expect("Equation 1 bound");
+    }
+
+    #[test]
+    fn chaos_plan_pins_faults_to_cells() {
+        let plan = ChaosPlan::new()
+            .panic_cell(3)
+            .stall_cell(3, 250)
+            .abort_at(7);
+        assert_eq!(plan.faults().len(), 3);
+        let cell3: Vec<_> = plan.for_cell(3).collect();
+        assert_eq!(
+            cell3,
+            vec![
+                HostFaultKind::PanicCell,
+                HostFaultKind::StallCell { millis: 250 }
+            ]
+        );
+        assert_eq!(
+            plan.for_cell(7).collect::<Vec<_>>(),
+            vec![HostFaultKind::AbortCampaign]
+        );
+        assert!(plan.for_cell(0).next().is_none());
+        assert_eq!(
+            HostFaultKind::StallCell { millis: 250 }.to_string(),
+            "worker stalls 250ms before simulating"
+        );
     }
 
     #[test]

@@ -109,16 +109,23 @@ impl SharedCaches {
     // one simulation per worker thread. Within one chip the simulation
     // is still single-threaded, so the locks are never contended; each
     // access is a single uncontested atomic.
+    //
+    // Poisoning is *recovered*, not propagated: a panic can only leave a
+    // guard mid-flight on the panicking worker's own chip, and every
+    // mutation under these locks (cache/TLB lookups and fills) completes
+    // before the guard drops, so the protected data is always
+    // consistent. Propagating the poison would cascade one crashed cell
+    // into every neighbor sharing the chip.
     fn l2(&self) -> MutexGuard<'_, Cache> {
-        self.l2.lock().expect("shared L2 poisoned")
+        self.l2.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn l3(&self) -> MutexGuard<'_, Cache> {
-        self.l3.lock().expect("shared L3 poisoned")
+        self.l3.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn dtlb(&self) -> MutexGuard<'_, Tlb> {
-        self.dtlb.lock().expect("shared TLB poisoned")
+        self.dtlb.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -525,7 +532,10 @@ fn access_walk(
     }
 
     if let Some(pmu) = pmu {
-        let mut c = pmu.lock().expect("mem counter cell poisoned");
+        // Recover (never propagate) poisoning: counter bumps are atomic
+        // with respect to the guard, so a panicking neighbor cannot
+        // leave the counters half-updated.
+        let mut c = pmu.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         c.accesses[i] += 1;
         c.served_by[level_index(level)][i] += 1;
         if tlb_miss {
@@ -747,6 +757,27 @@ mod tests {
             shared.access(ThreadId::T0, 0, false),
             private.access(ThreadId::T0, 0, false)
         );
+    }
+
+    #[test]
+    fn shared_levels_survive_a_neighbor_panic() {
+        let cfg = MemConfig::tiny_for_tests();
+        let shared = SharedCaches::new(&cfg);
+        let mut victim = MemoryHierarchy::with_shared(cfg, shared.clone());
+        victim.access(ThreadId::T0, 0x4000, false); // warm the shared L2/L3
+        // A neighbor core panics while holding a shared-level lock.
+        let poisoner = shared.clone();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = poisoner.l2();
+            panic!("neighbor core crashed");
+        }));
+        // The surviving core keeps walking the shared levels: a fresh
+        // miss must take the poisoned L2/L3/TLB locks, and the line it
+        // warmed earlier is still resident.
+        let a = victim.access(ThreadId::T0, 0x8000, false);
+        assert_eq!(a.level, HitLevel::Memory);
+        let b = victim.access(ThreadId::T0, 0x4000, false);
+        assert_eq!(b.level, HitLevel::L1, "earlier warm state survives");
     }
 
     #[test]

@@ -263,9 +263,16 @@ impl Pmu {
     }
 
     /// A copy of the memory-hierarchy counters accumulated so far.
+    ///
+    /// Poisoning is recovered, never propagated: the hierarchy only
+    /// mutates the counters while holding the lock, so a panicking
+    /// neighbor cannot leave them half-updated.
     #[must_use]
     pub fn mem_snapshot(&self) -> MemCounters {
-        *self.mem.lock().expect("mem counter cell poisoned")
+        *self
+            .mem
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Cycles observed since the PMU was enabled.
@@ -384,7 +391,10 @@ impl Pmu {
 
     fn flush_sample(&mut self, rec: &CycleRecord) {
         let interval = self.cycles_in_interval;
-        let mem = *self.mem.lock().expect("mem counter cell poisoned");
+        let mem = *self
+            .mem
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if self.samples.len() < self.config.max_samples {
             let sample = Sample {
                 cycle: self.cycles,
@@ -479,6 +489,21 @@ mod tests {
         assert_eq!(pmu.counters().gct_high_water, 2);
         assert!((pmu.gct_avg() - 2.0).abs() < 1e-12);
         assert!((pmu.lmq_avg() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_snapshot_recovers_from_poisoned_counter_cell() {
+        let pmu = Pmu::new(PmuConfig::counters_only());
+        let cell = pmu.mem_counters();
+        // Poison the shared cell the way a panicking neighbor cell would:
+        // panic while holding the lock, after a consistent update.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut c = cell.lock().unwrap();
+            c.accesses[0] = 7;
+            panic!("neighbor cell crashed mid-simulation");
+        }));
+        assert!(cell.lock().is_err(), "lock should be poisoned");
+        assert_eq!(pmu.mem_snapshot().accesses[0], 7);
     }
 
     #[test]

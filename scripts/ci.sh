@@ -52,6 +52,35 @@ if ! diff -r artifacts/jobs1 artifacts/reuse_on > artifacts/warm_reuse.diff; the
 fi
 rm artifacts/warm_reuse.diff
 
+# Kill-and-resume determinism: abort the journaled table3 campaign at
+# cell 21 of 42 (exit 3 by the repro exit-code contract), then resume
+# from the journal — the resumed artifacts must be byte-identical to the
+# uninterrupted jobs-1 reference (DESIGN.md §13).
+echo "== kill-and-resume determinism: journaled abort + --resume vs plain =="
+rm -rf artifacts/resume_journal artifacts/resumed
+mkdir -p artifacts/resumed
+set +e
+cargo run --release --offline -p p5-experiments --bin repro -- \
+  --quick --only table3 --jobs 2 \
+  --journal artifacts/resume_journal --chaos-abort-after 21 > /dev/null
+interrupted=$?
+set -e
+if [ "$interrupted" -ne 3 ]; then
+  echo "RESUME GATE FAILED: interrupted run exited $interrupted, expected 3 (aborted)"
+  exit 1
+fi
+cargo run --release --offline -p p5-experiments --bin repro -- \
+  --quick --only table3 --jobs 2 \
+  --journal artifacts/resume_journal --resume \
+  --csv-dir artifacts/resumed --json-dir artifacts/resumed > /dev/null
+if ! diff -r artifacts/jobs1 artifacts/resumed > artifacts/resume.diff; then
+  echo "RESUME GATE FAILED: resumed artifacts differ from the uninterrupted run"
+  cat artifacts/resume.diff
+  exit 1
+fi
+rm artifacts/resume.diff
+rm -rf artifacts/resume_journal
+
 echo "== PMU smoke: CPI stacks + Chrome trace =="
 mkdir -p artifacts
 cargo run --release --offline -p p5-experiments --bin repro -- \
@@ -61,12 +90,12 @@ test -s artifacts/priority_switch_trace.json
 test -s artifacts/pmu.json
 
 # Smoke-sized run (--quick): gates PMU overhead, the two-speed warmup
-# speedup, and the warm-reuse speedup/bit-identity without the full
-# snapshot's cost. The committed
+# speedup, the warm-reuse speedup/bit-identity, and the result-journal
+# write overhead without the full snapshot's cost. The committed
 # BENCH_repro.json is the full-methodology snapshot, refreshed manually
 # on perf-relevant changes (see PERF.md), so the quick artifact stays in
 # artifacts/ and does not overwrite it.
-echo "== perf smoke: PMU overhead + two-speed warmup + warm-reuse gates =="
+echo "== perf smoke: PMU overhead + two-speed warmup + warm-reuse + journal gates =="
 cargo run --release --offline -p p5-experiments --bin perf_snapshot -- \
   --out artifacts/BENCH_quick.json --check --quick
 

@@ -13,9 +13,9 @@ use p5repro::isa::{DataKind, Op, Priority, Program, Reg, StaticInst, StreamSpec,
 /// A fast context on the tiny test core: small enough that a whole
 /// artifact runs in seconds, real enough to exercise every cell path.
 fn ctx(jobs: usize) -> Experiments {
-    Experiments {
-        core: CoreConfig::tiny_for_tests(),
-        fame: FameConfig {
+    Experiments::with_configs(
+        CoreConfig::tiny_for_tests(),
+        FameConfig {
             maiv: 0.05,
             stable_window: 2,
             min_repetitions: 3,
@@ -24,9 +24,8 @@ fn ctx(jobs: usize) -> Experiments {
             warmup_ring_passes: 1,
             warmup_min_cycles: 5_000,
         },
-        jobs,
-        reuse_warmup: false,
-    }
+    )
+    .with_jobs(jobs)
 }
 
 fn cpu_program(iters: u64) -> Program {

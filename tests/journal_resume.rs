@@ -1,0 +1,99 @@
+//! Durability contract for the result journal: a campaign aborted
+//! mid-flight under `--journal` resumes into byte-identical artifacts —
+//! the journaled half replays bit-exactly, the unfinished half
+//! re-simulates deterministically, and the exported CSV/JSON cannot
+//! tell the difference. Exercised at one worker and at four.
+
+use p5repro::core::{CancelToken, CoreConfig};
+use p5repro::experiments::journal::ResultJournal;
+use p5repro::experiments::{export, table3, Experiments};
+use p5repro::fame::FameConfig;
+use p5repro::fault::ChaosPlan;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A fast context on the tiny test core, mirroring the determinism
+/// suite's policy so the 42-cell Table 3 campaign runs in seconds.
+fn ctx(jobs: usize) -> Experiments {
+    Experiments::with_configs(
+        CoreConfig::tiny_for_tests(),
+        FameConfig {
+            maiv: 0.05,
+            stable_window: 2,
+            min_repetitions: 3,
+            max_cycles: 3_000_000,
+            warmup_max_cycles: 300_000,
+            warmup_ring_passes: 1,
+            warmup_min_cycles: 5_000,
+        },
+    )
+    .with_jobs(jobs)
+}
+
+/// A fresh scratch directory for one test's journal.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("p5-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn interrupted_then_resumed_is_byte_identical(jobs: usize) {
+    let dir = scratch(&format!("table3-j{jobs}"));
+
+    // The reference artifacts: one uninterrupted, journal-free run.
+    let baseline = table3::run(&ctx(1)).expect("baseline table3");
+    let want_csv = export::table3_csv(&baseline);
+    let want_json = export::table3_json(&baseline);
+
+    // Interrupted run: journal on, chaos abort at cell 21 of 42. The
+    // run still returns (skipped cells degrade the report), but only
+    // the cells that finished before the abort are journaled.
+    {
+        let c = ctx(jobs)
+            .with_journal(Arc::new(
+                ResultJournal::create(&dir).expect("scratch dir is writable"),
+            ))
+            .with_cancel(CancelToken::new())
+            .with_chaos(ChaosPlan::new().abort_at(21));
+        let partial = table3::run(&c).expect("aborted run still reports");
+        assert!(
+            !partial.degraded.is_empty(),
+            "the abort must actually have skipped cells"
+        );
+    }
+
+    // Resume: fresh context, no chaos, same journal. Finished cells
+    // replay bit-identically, the rest re-simulate.
+    let (journal, stats) = ResultJournal::resume(&dir).expect("journal readable");
+    assert!(
+        stats.entries > 0 && stats.entries < 42,
+        "a mid-campaign abort journals some but not all of the 42 cells, got {}",
+        stats.entries
+    );
+    assert_eq!(stats.corrupt, 0);
+    let c = ctx(jobs).with_journal(Arc::new(journal));
+    let resumed = table3::run(&c).expect("resumed table3");
+    assert!(resumed.degraded.is_empty(), "the resumed run is clean");
+    assert_eq!(
+        export::table3_csv(&resumed),
+        want_csv,
+        "resumed CSV must be byte-identical to an uninterrupted run"
+    );
+    assert_eq!(
+        export::table3_json(&resumed),
+        want_json,
+        "resumed JSON must be byte-identical to an uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_table3_resumes_byte_identical_serial() {
+    interrupted_then_resumed_is_byte_identical(1);
+}
+
+#[test]
+fn interrupted_table3_resumes_byte_identical_parallel() {
+    interrupted_then_resumed_is_byte_identical(4);
+}

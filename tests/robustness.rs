@@ -125,12 +125,7 @@ fn fault_plans_are_reproducible_from_their_seed() {
 
 #[test]
 fn healthy_and_wedged_cells_coexist_in_a_partial_report() {
-    let ctx = Experiments {
-        core: wedged_config(),
-        fame: FameConfig::quick(),
-        jobs: 1,
-        reuse_warmup: false,
-    };
+    let ctx = Experiments::with_configs(wedged_config(), FameConfig::quick());
 
     // A pure-ALU cell never touches the LMQ: it measures normally even
     // on the pathological core.
@@ -161,12 +156,7 @@ fn losing_the_baseline_cell_is_a_typed_total_loss() {
     // experiment reports a typed error instead of dividing by garbage.
     let mut core = CoreConfig::tiny_for_tests();
     core.gct_entries = 0;
-    let ctx = Experiments {
-        core,
-        fame: FameConfig::quick(),
-        jobs: 1,
-        reuse_warmup: false,
-    };
+    let ctx = Experiments::with_configs(core, FameConfig::quick());
     let err = p5repro::experiments::mpi::run_with(&ctx, ImbalancedApp::default())
         .expect_err("an invalid core yields no data at all");
     let msg = err.to_string();
@@ -176,18 +166,16 @@ fn losing_the_baseline_cell_is_a_typed_total_loss() {
 
 #[test]
 fn escalated_retry_recovers_a_tight_budget() {
-    let ctx = Experiments {
-        core: CoreConfig::tiny_for_tests(),
-        fame: FameConfig {
+    let ctx = Experiments::with_configs(
+        CoreConfig::tiny_for_tests(),
+        FameConfig {
             min_repetitions: 40,
             max_cycles: 8_000,
             warmup_max_cycles: 500,
             warmup_min_cycles: 500,
             ..FameConfig::quick()
         },
-        jobs: 1,
-        reuse_warmup: false,
-    };
+    );
     // 8k cycles is too tight for 40 repetitions, but the one retry at
     // Experiments::RETRY_ESCALATION times the budget completes: the cell
     // recovers instead of degrading.

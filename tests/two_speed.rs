@@ -73,9 +73,9 @@ fn functional_warmup_hands_over_equivalent_warm_state() {
 fn ctx(jobs: usize, warmup: WarmupMode) -> Experiments {
     let mut core = CoreConfig::tiny_for_tests();
     core.warmup_mode = warmup;
-    Experiments {
+    Experiments::with_configs(
         core,
-        fame: FameConfig {
+        FameConfig {
             maiv: 0.05,
             stable_window: 2,
             min_repetitions: 3,
@@ -84,9 +84,8 @@ fn ctx(jobs: usize, warmup: WarmupMode) -> Experiments {
             warmup_ring_passes: 1,
             warmup_min_cycles: 5_000,
         },
-        jobs,
-        reuse_warmup: false,
-    }
+    )
+    .with_jobs(jobs)
 }
 
 fn priority_cells() -> Vec<CellSpec> {

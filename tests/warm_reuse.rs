@@ -14,9 +14,9 @@ use p5repro::microbench::MicroBenchmark;
 
 /// The fast context on the tiny test core (mirrors `tests/determinism.rs`).
 fn ctx(jobs: usize, reuse: bool) -> Experiments {
-    Experiments {
-        core: CoreConfig::tiny_for_tests(),
-        fame: FameConfig {
+    Experiments::with_configs(
+        CoreConfig::tiny_for_tests(),
+        FameConfig {
             maiv: 0.05,
             stable_window: 2,
             min_repetitions: 3,
@@ -25,9 +25,9 @@ fn ctx(jobs: usize, reuse: bool) -> Experiments {
             warmup_ring_passes: 1,
             warmup_min_cycles: 5_000,
         },
-        jobs,
-        reuse_warmup: reuse,
-    }
+    )
+    .with_jobs(jobs)
+    .with_reuse_warmup(reuse)
 }
 
 /// Restore-then-measure equals warm-then-measure, bit for bit, for every
