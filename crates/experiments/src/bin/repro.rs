@@ -301,6 +301,10 @@ fn main() {
     let t0 = Instant::now();
     let mut failures = Failures::default();
     let mut degraded_total = 0usize;
+    // Per-status roll-up across every campaign of the run, for the
+    // end-of-run summary (crashed/skipped/replayed cells used to be
+    // visible only via the exit code and journal inspection).
+    let mut counts = p5_experiments::CellCounts::default();
 
     if wants("table1") {
         section("Table 1", || table1::run().render());
@@ -314,6 +318,7 @@ fn main() {
             Ok(r) => {
                 println!("{}   (Table 3 took {:.1?})\n", r.render(), t.elapsed());
                 degraded_total += r.degraded.len();
+                counts += r.counts;
                 write_csv(csv_dir.as_ref(), "table3.csv", &export::table3_csv(&r));
                 write_json(json_dir.as_ref(), "table3.json", &export::table3_json(&r));
             }
@@ -334,6 +339,7 @@ fn main() {
             Ok(sweep) => {
                 println!("   ({:.1?})", t.elapsed());
                 degraded_total += sweep.degraded.len();
+                counts += sweep.counts;
                 if sweep.recovered > 0 {
                     println!(
                         "   {} cell(s) recovered via escalated budget",
@@ -382,6 +388,7 @@ fn main() {
         match fig5::run(&ctx) {
             Ok(r) => {
                 degraded_total += r.h264_mcf.degraded.len() + r.applu_equake.degraded.len();
+                counts += r.counts;
                 if wants("fig5") {
                     println!("{}   ({:.1?})\n", r.render(), t.elapsed());
                     write_csv(csv_dir.as_ref(), "fig5.csv", &export::fig5_csv(&r));
@@ -399,6 +406,7 @@ fn main() {
         match table4::run(&ctx) {
             Ok(r) => {
                 degraded_total += r.degraded.len();
+                counts += r.counts;
                 if wants("table4") {
                     println!("{}   ({:.1?})\n", r.render(), t.elapsed());
                     write_csv(csv_dir.as_ref(), "table4.csv", &export::table4_csv(&r));
@@ -416,6 +424,7 @@ fn main() {
         match fig6::run(&ctx) {
             Ok(r) => {
                 degraded_total += r.degraded.len();
+                counts += r.counts;
                 if wants("fig6") {
                     println!("{}   ({:.1?})\n", r.render(), t.elapsed());
                     write_csv(csv_dir.as_ref(), "fig6.csv", &export::fig6_csv(&r));
@@ -433,6 +442,7 @@ fn main() {
             Ok(r) => {
                 println!("{}   (MPI re-balancing took {:.1?})\n", r.render(), t.elapsed());
                 degraded_total += r.degraded.len();
+                counts += r.counts;
             }
             Err(e) => failures.record("MPI re-balancing", &e),
         }
@@ -495,6 +505,9 @@ fn main() {
     }
 
     println!("total: {:.1?}", t0.elapsed());
+    if counts.total > 0 {
+        println!("{}", counts.render());
+    }
     let aborted = cancel.as_ref().is_some_and(p5_core::CancelToken::expired);
     if !failures.0.is_empty() {
         println!(

@@ -81,7 +81,7 @@
 //! ```
 
 use crate::journal::{CellKey, StableHasher, JOURNAL_SCHEMA_VERSION};
-use crate::{CellStatus, Degradation, Experiments, Measured};
+use crate::{CellCounts, CellStatus, Degradation, Experiments, Measured};
 use p5_core::{CancelToken, SimError, WarmState, WarmupMode};
 use p5_fame::FameRunner;
 use p5_fault::{FaultKind, FaultPlan, HostFaultKind};
@@ -334,6 +334,47 @@ impl CampaignResult {
     #[must_use]
     pub fn all_degraded(&self) -> bool {
         !self.cells.is_empty() && self.degraded.len() == self.cells.len()
+    }
+
+    /// Per-status cell tally — the roll-up the artifact results carry
+    /// into end-of-run summaries.
+    #[must_use]
+    pub fn counts(&self) -> CellCounts {
+        let mut counts = CellCounts::default();
+        for cell in &self.cells {
+            counts.tally(cell.measured.status, cell.replayed);
+        }
+        counts
+    }
+}
+
+/// Folds per-cell outcomes (in id order) into a [`CampaignResult`] —
+/// the aggregation step of [`Campaign::run`], exposed separately so a
+/// caller that obtained its outcomes elsewhere (e.g. streamed from the
+/// `p5-serve` daemon) lands on the exact same roll-up an offline run
+/// produces. The outcomes must already be in id order; aggregation is a
+/// pure fold, so equal inputs give byte-equal results.
+#[must_use]
+pub fn aggregate(cells: Vec<CellOutcome>) -> CampaignResult {
+    let recovered = cells
+        .iter()
+        .filter(|o| o.measured.status == CellStatus::Recovered)
+        .count();
+    let degraded = cells
+        .iter()
+        .filter_map(|o| o.measured.degradation(&o.label))
+        .collect();
+    let replayed = cells.iter().filter(|o| o.replayed).count();
+    let skipped = cells
+        .iter()
+        .filter(|o| o.measured.status == CellStatus::Skipped)
+        .count();
+    CampaignResult {
+        cells,
+        recovered,
+        degraded,
+        replayed,
+        skipped,
     }
 }
 
@@ -650,27 +691,34 @@ impl Campaign {
         if let Some(journal) = &ctx.journal {
             journal.flush();
         }
-        let recovered = cells
-            .iter()
-            .filter(|o| o.measured.status == CellStatus::Recovered)
-            .count();
-        let degraded = cells
-            .iter()
-            .filter_map(|o| o.measured.degradation(&o.label))
-            .collect();
-        let replayed = cells.iter().filter(|o| o.replayed).count();
-        let skipped = cells
-            .iter()
-            .filter(|o| o.measured.status == CellStatus::Skipped)
-            .count();
-        CampaignResult {
-            cells,
-            recovered,
-            degraded,
-            replayed,
-            skipped,
-        }
+        aggregate(cells)
     }
+}
+
+/// Executes one cell of `spec` outside a campaign run — the entry point
+/// the `p5-serve` daemon shards requests through. The cell goes through
+/// the *full* per-cell worker flow (the chaos, cancel,
+/// journal-replay, deadline, panic-isolation and write-ahead steps), so
+/// with a journal attached as `ctx.journal` this is a content-addressed
+/// memoized call: a recorded key returns `(measured, true)` without
+/// simulating. What it deliberately does *not* get is a warm-checkpoint
+/// table — isolated calls have no sibling cells to share warm-ups with —
+/// which cannot change the bytes (warm reuse is bit-identical by
+/// contract), only the wall-clock.
+///
+/// The caller flushes the journal (if any) when its batch of cells is
+/// done; [`Campaign::run`] does the same at campaign end.
+#[must_use]
+pub fn run_isolated_cell(
+    ctx: &Experiments,
+    spec: &CampaignSpec,
+    id: usize,
+    cell: &CellSpec,
+) -> (Measured, bool) {
+    let checkpoints = WarmCheckpoints {
+        groups: HashMap::new(),
+    };
+    execute_cell(ctx, spec, id, cell, &checkpoints)
 }
 
 /// The full per-cell worker flow — everything that sits between "a
@@ -1004,6 +1052,85 @@ mod tests {
         let b = faulted(4);
         assert_eq!(a.measured(0).status, b.measured(0).status);
         assert_eq!(a.measured(0).total_ipc(), b.measured(0).total_ipc());
+    }
+
+    /// `run_isolated_cell` is the serve daemon's per-cell entry point:
+    /// it must produce bit-identical measurements to a campaign run of
+    /// the same spec, and with an attached journal the second call for
+    /// the same key must replay instead of simulate.
+    #[test]
+    fn isolated_cells_match_campaign_and_memoize() {
+        let ctx = tiny_ctx();
+        let spec = CampaignSpec {
+            cells: (0..2)
+                .map(|i| {
+                    CellSpec::pair(
+                        format!("cell{i}"),
+                        cpu_program(40),
+                        cpu_program(40),
+                        crate::priority_pair(i),
+                    )
+                })
+                .collect(),
+            jobs: 1,
+            seed: 42,
+            reuse_warmup: false,
+        };
+        let baseline = Campaign::run(&ctx, &spec);
+        for (id, cell) in spec.cells.iter().enumerate() {
+            let (m, replayed) = run_isolated_cell(&ctx, &spec, id, cell);
+            assert!(!replayed, "no journal, nothing to replay");
+            assert_eq!(m.status, baseline.measured(id).status);
+            assert_eq!(
+                m.total_ipc().map(f64::to_bits),
+                baseline.measured(id).total_ipc().map(f64::to_bits),
+                "isolated cell {id} must be bit-identical to the campaign"
+            );
+        }
+
+        let cache = Arc::new(crate::journal::ResultJournal::in_memory());
+        let cached_ctx = ctx.clone().with_journal(cache);
+        let (first, replayed) = run_isolated_cell(&cached_ctx, &spec, 0, &spec.cells[0]);
+        assert!(!replayed, "cold cache simulates");
+        let (second, replayed) = run_isolated_cell(&cached_ctx, &spec, 0, &spec.cells[0]);
+        assert!(replayed, "warm cache replays");
+        assert_eq!(
+            first.total_ipc().map(f64::to_bits),
+            second.total_ipc().map(f64::to_bits),
+            "replayed value is bit-identical"
+        );
+    }
+
+    #[test]
+    fn aggregate_counts_roll_up() {
+        let outcome = |id: usize, status: CellStatus, replayed: bool| CellOutcome {
+            id,
+            label: format!("cell{id}"),
+            measured: Measured {
+                report: None,
+                status,
+                error: None,
+            },
+            replayed,
+        };
+        let result = aggregate(vec![
+            outcome(0, CellStatus::Ok, true),
+            outcome(1, CellStatus::Recovered, false),
+            outcome(2, CellStatus::Skipped, false),
+            outcome(3, CellStatus::Crashed, false),
+        ]);
+        assert_eq!(result.recovered, 1);
+        assert_eq!(result.replayed, 1);
+        assert_eq!(result.skipped, 1);
+        assert_eq!(result.degraded.len(), 2, "skipped + crashed degrade");
+        let counts = result.counts();
+        assert_eq!(counts.total, 4);
+        assert_eq!(counts.ok, 1);
+        assert_eq!(counts.recovered, 1);
+        assert_eq!(counts.skipped, 1);
+        assert_eq!(counts.crashed, 1);
+        assert_eq!(counts.degraded, 0);
+        assert_eq!(counts.replayed, 1);
     }
 
     #[test]

@@ -324,6 +324,7 @@ mod tests {
             pt: [[0.5; 6]; 6],
             tt: [[1.0; 6]; 6],
             degraded: Vec::new(),
+            counts: crate::CellCounts::default(),
         };
         let csv = table3_csv(&r);
         // header + 6 ST rows + 36 cells
@@ -370,6 +371,7 @@ mod tests {
         let r = Fig5Result {
             h264_mcf: case(SpecProxy::H264ref, SpecProxy::Mcf),
             applu_equake: case(SpecProxy::Applu, SpecProxy::Equake),
+            counts: crate::CellCounts::default(),
         };
         let csv = fig5_csv(&r);
         assert!(csv.contains("h264ref+mcf,0,"));
@@ -388,6 +390,7 @@ mod tests {
                 lu_cycles: 20.0,
             }],
             degraded: Vec::new(),
+            counts: crate::CellCounts::default(),
         };
         let csv = table4_csv(&r);
         assert!(csv.contains("ST,ST,100.0,10.0,110.0"));
@@ -401,6 +404,7 @@ mod tests {
             pt: [[0.5; 6]; 6],
             tt: [[1.0; 6]; 6],
             degraded: Vec::new(),
+            counts: crate::CellCounts::default(),
         };
         let f2 = Fig2Result {
             speedup: [[[1.0; 5]; 6]; 6],
@@ -415,6 +419,7 @@ mod tests {
                 lu_cycles: 20.0,
             }],
             degraded: Vec::new(),
+            counts: crate::CellCounts::default(),
         };
         for json in [table3_json(&t3), fig2_json(&f2), table4_json(&t4)] {
             assert!(
@@ -435,6 +440,7 @@ mod tests {
             fg5: [[(1.1, 0.2); 6]; 6],
             worst_case: vec![],
             degraded: Vec::new(),
+            counts: crate::CellCounts::default(),
         };
         let csv = fig6_csv(&r);
         assert_eq!(csv.lines().count(), 1 + 2 * 36);

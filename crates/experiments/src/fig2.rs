@@ -150,6 +150,7 @@ mod tests {
             grids,
             degraded: Vec::new(),
             recovered: 0,
+            counts: crate::CellCounts::default(),
         }
     }
 

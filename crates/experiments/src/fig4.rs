@@ -142,6 +142,7 @@ mod tests {
             grids,
             degraded: Vec::new(),
             recovered: 0,
+            counts: crate::CellCounts::default(),
         }
     }
 

@@ -11,7 +11,7 @@
 
 use crate::campaign::{Campaign, CampaignResult, CampaignSpec, CellSpec};
 use crate::report::{f3, pct, TextTable};
-use crate::{priority_pair, Degradation, Experiments};
+use crate::{priority_pair, CellCounts, Degradation, Experiments};
 use p5_isa::ThreadId;
 use p5_workloads::SpecProxy;
 
@@ -99,6 +99,8 @@ pub struct Fig5Result {
     pub h264_mcf: CaseStudy,
     /// (b) applu + equake.
     pub applu_equake: CaseStudy,
+    /// Per-status cell tally of the underlying 12-cell campaign.
+    pub counts: CellCounts,
 }
 
 impl Fig5Result {
@@ -193,6 +195,7 @@ pub fn run(ctx: &Experiments) -> Result<Fig5Result, crate::ExpError> {
             SpecProxy::Applu,
             SpecProxy::Equake,
         )?,
+        counts: campaign.counts(),
     })
 }
 

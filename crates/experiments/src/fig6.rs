@@ -18,7 +18,7 @@
 
 use crate::campaign::{Campaign, CampaignResult, CampaignSpec, CellSpec};
 use crate::report::{f3, ratio, TextTable};
-use crate::{Degradation, Experiments};
+use crate::{CellCounts, Degradation, Experiments};
 use p5_isa::{Priority, ThreadId};
 use p5_microbench::MicroBenchmark;
 
@@ -41,6 +41,8 @@ pub struct Fig6Result {
     /// Annotations for measurements that degraded (their cells are kept
     /// at the best unconverged value, or zero).
     pub degraded: Vec<Degradation>,
+    /// Per-status cell tally of the underlying campaign.
+    pub counts: CellCounts,
 }
 
 impl Fig6Result {
@@ -242,6 +244,7 @@ pub fn run(ctx: &Experiments) -> Result<Fig6Result, crate::ExpError> {
         fg6,
         fg5,
         worst_case,
+        counts: campaign.counts(),
         degraded: campaign.degraded,
     })
 }
@@ -263,6 +266,7 @@ mod tests {
                 [1.02, 1.04, 1.1, 1.3, 1.6],
             )],
             degraded: Vec::new(),
+            counts: CellCounts::default(),
         }
     }
 

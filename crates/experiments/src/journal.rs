@@ -215,6 +215,58 @@ fn cell_line(key: CellKey, rec: &CellRecord) -> String {
     obj.build().to_string()
 }
 
+/// Serializes a [`Measured`] — *any* status, unlike the journal's own
+/// records — into the journal's JSON shape (`status`, optional `error`
+/// text, optional bit-exact `report`). This is the wire format the
+/// `p5-serve` protocol streams per-cell results in; floats travel as
+/// IEEE-754 bit patterns, so a measurement received over a socket is
+/// bit-identical to the one the worker produced.
+#[must_use]
+pub fn measured_to_json(m: &Measured) -> JsonValue {
+    let mut obj = JsonObject::new().field("status", status_tag(m.status));
+    if let Some(error) = &m.error {
+        obj = obj.field("error", error.to_string());
+    }
+    if let Some(report) = &m.report {
+        obj = obj.field("report", report_json(report));
+    }
+    obj.build()
+}
+
+/// Reconstructs a [`Measured`] from [`measured_to_json`]'s shape.
+///
+/// Error causes come back as [`SimError::Replayed`], which renders the
+/// original text verbatim — so degradation annotations built from a
+/// received measurement are byte-identical to the ones the producing
+/// side would have reported. The status itself travels structurally
+/// (a `crashed` cell is still [`CellStatus::Crashed`] on arrival).
+#[must_use]
+pub fn measured_from_json(v: &JsonValue) -> Option<Measured> {
+    let status = match v.get("status")?.as_str()? {
+        "ok" => CellStatus::Ok,
+        "recovered" => CellStatus::Recovered,
+        "degraded" => CellStatus::Degraded,
+        "crashed" => CellStatus::Crashed,
+        "skipped" => CellStatus::Skipped,
+        _ => return None,
+    };
+    let error = match v.get("error") {
+        Some(e) => Some(SimError::Replayed {
+            cause: e.as_str()?.to_string(),
+        }),
+        None => None,
+    };
+    let report = match v.get("report") {
+        Some(r) => Some(parse_report(r)?),
+        None => None,
+    };
+    Some(Measured {
+        report,
+        status,
+        error,
+    })
+}
+
 fn scalar_line(key: CellKey, bits: u64, converged: bool) -> String {
     JsonObject::new()
         .field("v", JOURNAL_SCHEMA_VERSION)
@@ -227,218 +279,13 @@ fn scalar_line(key: CellKey, bits: u64, converged: bool) -> String {
 }
 
 // ---------------------------------------------------------------------
-// A minimal tolerant JSON reader (the workspace has a writer but no
-// parser, and no serde). Only what journal lines need: objects,
-// arrays, strings with the writer's escapes, u64-precise integers,
-// bools and null. Any deviation returns `None` and the caller counts
-// the line as corrupt.
+// Parsing rides on the workspace's shared tolerant reader
+// (`JsonValue::parse` in `p5_pmu::json`): any deviation from the
+// writer's grammar returns `None` and the caller counts the line as
+// corrupt.
 
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    UInt(u64),
-    Float(f64),
-    Str(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_u64(&self) -> Option<u64> {
-        match *self {
-            Json::UInt(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_bool(&self) -> Option<bool> {
-        match *self {
-            Json::Bool(b) => Some(b),
-            _ => None,
-        }
-    }
-}
-
-struct JsonReader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonReader<'a> {
-    fn parse(text: &'a str) -> Option<Json> {
-        let mut r = JsonReader {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        let value = r.value()?;
-        r.skip_ws();
-        (r.pos == r.bytes.len()).then_some(value)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.pos += 1;
-        }
-    }
-
-    fn eat(&mut self, b: u8) -> bool {
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn literal(&mut self, lit: &str) -> bool {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn value(&mut self) -> Option<Json> {
-        self.skip_ws();
-        match *self.bytes.get(self.pos)? {
-            b'n' => self.literal("null").then_some(Json::Null),
-            b't' => self.literal("true").then_some(Json::Bool(true)),
-            b'f' => self.literal("false").then_some(Json::Bool(false)),
-            b'"' => self.string().map(Json::Str),
-            b'{' => self.object(),
-            b'[' => self.array(),
-            _ => self.number(),
-        }
-    }
-
-    fn string(&mut self) -> Option<String> {
-        if !self.eat(b'"') {
-            return None;
-        }
-        let mut out = String::new();
-        loop {
-            match *self.bytes.get(self.pos)? {
-                b'"' => {
-                    self.pos += 1;
-                    return Some(out);
-                }
-                b'\\' => {
-                    self.pos += 1;
-                    match *self.bytes.get(self.pos)? {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
-                            let code =
-                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
-                            out.push(char::from_u32(code)?);
-                            self.pos += 4;
-                        }
-                        _ => return None,
-                    }
-                    self.pos += 1;
-                }
-                _ => {
-                    // Multi-byte UTF-8 sequences pass through intact.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
-                    let c = rest.chars().next()?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Option<Json> {
-        let start = self.pos;
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        ) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
-        if text.bytes().all(|b| b.is_ascii_digit()) {
-            // u64-precise: float bit patterns exceed f64's 53-bit
-            // mantissa, so integers must never round-trip through f64.
-            return text.parse().ok().map(Json::UInt);
-        }
-        text.parse().ok().map(Json::Float)
-    }
-
-    fn object(&mut self) -> Option<Json> {
-        if !self.eat(b'{') {
-            return None;
-        }
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.eat(b'}') {
-            return Some(Json::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            if !self.eat(b':') {
-                return None;
-            }
-            fields.push((key, self.value()?));
-            self.skip_ws();
-            if self.eat(b'}') {
-                return Some(Json::Object(fields));
-            }
-            if !self.eat(b',') {
-                return None;
-            }
-        }
-    }
-
-    fn array(&mut self) -> Option<Json> {
-        if !self.eat(b'[') {
-            return None;
-        }
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.eat(b']') {
-            return Some(Json::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            if self.eat(b']') {
-                return Some(Json::Array(items));
-            }
-            if !self.eat(b',') {
-                return None;
-            }
-        }
-    }
-}
-
-fn parse_thread(v: &Json) -> Option<Option<ThreadMeasurement>> {
-    if *v == Json::Null {
+fn parse_thread(v: &JsonValue) -> Option<Option<ThreadMeasurement>> {
+    if *v == JsonValue::Null {
         return Some(None);
     }
     Some(Some(ThreadMeasurement {
@@ -449,11 +296,9 @@ fn parse_thread(v: &Json) -> Option<Option<ThreadMeasurement>> {
     }))
 }
 
-fn parse_report(v: &Json) -> Option<FameReport> {
-    let threads = match v.get("threads")? {
-        Json::Array(items) if items.len() == 2 => {
-            [parse_thread(&items[0])?, parse_thread(&items[1])?]
-        }
+fn parse_report(v: &JsonValue) -> Option<FameReport> {
+    let threads = match v.get("threads")?.as_array()? {
+        items if items.len() == 2 => [parse_thread(&items[0])?, parse_thread(&items[1])?],
         _ => return None,
     };
     Some(FameReport {
@@ -471,7 +316,7 @@ enum Line {
 }
 
 fn parse_line(text: &str) -> Option<Line> {
-    let v = JsonReader::parse(text)?;
+    let v = JsonValue::parse(text)?;
     if v.get("v")?.as_u64()? != u64::from(JOURNAL_SCHEMA_VERSION) {
         return Some(Line::Stale);
     }
@@ -504,7 +349,10 @@ fn parse_line(text: &str) -> Option<Line> {
 /// append handle and the batched-fsync counter.
 #[derive(Debug)]
 struct JournalState {
-    file: File,
+    /// The append handle, or `None` for a purely in-memory journal
+    /// ([`ResultJournal::in_memory`] — the `p5-serve` result cache
+    /// without a `--cache-dir`).
+    file: Option<File>,
     cells: HashMap<CellKey, CellRecord>,
     scalars: HashMap<CellKey, (u64, bool)>,
     unsynced: usize,
@@ -514,8 +362,9 @@ impl JournalState {
     fn append(&mut self, line: &str) {
         // Journal I/O is best-effort by design: a full disk degrades
         // resumability, never the campaign itself.
-        let _ = self.file.write_all(line.as_bytes());
-        let _ = self.file.write_all(b"\n");
+        let Some(file) = &mut self.file else { return };
+        let _ = file.write_all(line.as_bytes());
+        let _ = file.write_all(b"\n");
         self.unsynced += 1;
         if self.unsynced >= ResultJournal::SYNC_BATCH {
             self.sync();
@@ -524,7 +373,9 @@ impl JournalState {
 
     fn sync(&mut self) {
         if self.unsynced > 0 {
-            let _ = self.file.sync_data();
+            if let Some(file) = &self.file {
+                let _ = file.sync_data();
+            }
             self.unsynced = 0;
         }
     }
@@ -560,12 +411,30 @@ impl ResultJournal {
         Ok(ResultJournal {
             path,
             state: Mutex::new(JournalState {
-                file,
+                file: Some(file),
                 cells: HashMap::new(),
                 scalars: HashMap::new(),
                 unsynced: 0,
             }),
         })
+    }
+
+    /// A journal with no backing file: the in-memory index works exactly
+    /// as usual (lookup, record, last-write-wins), nothing is persisted,
+    /// and dropping it loses everything. This is the `p5-serve` result
+    /// cache's default storage; [`ResultJournal::path`] returns an empty
+    /// path for it.
+    #[must_use]
+    pub fn in_memory() -> ResultJournal {
+        ResultJournal {
+            path: PathBuf::new(),
+            state: Mutex::new(JournalState {
+                file: None,
+                cells: HashMap::new(),
+                scalars: HashMap::new(),
+                unsynced: 0,
+            }),
+        }
     }
 
     /// Opens the journal under `dir`, loading every usable record from
@@ -609,7 +478,7 @@ impl ResultJournal {
             ResultJournal {
                 path,
                 state: Mutex::new(JournalState {
-                    file,
+                    file: Some(file),
                     cells,
                     scalars,
                     unsynced: 0,
@@ -863,15 +732,53 @@ mod tests {
     }
 
     #[test]
-    fn reader_rejects_garbage_and_accepts_writer_output() {
-        assert!(JsonReader::parse("{\"a\":1}").is_some());
-        assert!(JsonReader::parse("{\"a\":1,\"b\":[null,true,\"x\\n\"]}").is_some());
-        assert!(JsonReader::parse("{\"a\":").is_none());
-        assert!(JsonReader::parse("not json").is_none());
-        assert!(JsonReader::parse("{\"a\":1} trailing").is_none());
-        // u64 precision: a float bit pattern survives exactly.
-        let bits = 1.234_567_890_123_f64.to_bits();
-        let v = JsonReader::parse(&format!("{{\"b\":{bits}}}")).unwrap();
-        assert_eq!(v.get("b").unwrap().as_u64(), Some(bits));
+    fn in_memory_journal_indexes_but_never_persists() {
+        let j = ResultJournal::in_memory();
+        let key = CellKey(0x11);
+        j.record_cell(key, &sample_measured(CellStatus::Ok));
+        assert_eq!(j.cell_count(), 1);
+        assert!(j.lookup_cell(key).is_some());
+        j.flush();
+        assert_eq!(j.path(), Path::new(""), "no backing file");
+    }
+
+    #[test]
+    fn measured_wire_format_round_trips_every_status() {
+        for status in [
+            CellStatus::Ok,
+            CellStatus::Recovered,
+            CellStatus::Degraded,
+            CellStatus::Crashed,
+            CellStatus::Skipped,
+        ] {
+            let mut original = sample_measured(status);
+            if status == CellStatus::Crashed {
+                original.report = None;
+                original.error = Some(SimError::CellPanic {
+                    message: "boom".to_string(),
+                });
+            }
+            let line = measured_to_json(&original).to_string();
+            let back = measured_from_json(&JsonValue::parse(&line).unwrap())
+                .expect("wire format parses");
+            assert_eq!(back.status, original.status);
+            assert_eq!(
+                back.report
+                    .as_ref()
+                    .and_then(|r| r.threads[0])
+                    .map(|t| t.ipc.to_bits()),
+                original
+                    .report
+                    .as_ref()
+                    .and_then(|r| r.threads[0])
+                    .map(|t| t.ipc.to_bits()),
+                "reports are bit-exact over the wire"
+            );
+            assert_eq!(
+                back.error.map(|e| e.to_string()),
+                original.error.map(|e| e.to_string()),
+                "error text survives verbatim for {status:?}"
+            );
+        }
     }
 }

@@ -125,6 +125,87 @@ impl fmt::Display for Degradation {
     }
 }
 
+/// Per-status cell tally of a campaign — the roll-up every artifact
+/// carries (see [`campaign::CampaignResult::counts`]) so end-of-run
+/// summaries can report *how* their cells finished, not just how many
+/// degraded. Counts by [`CellStatus`] are mutually exclusive and sum to
+/// `total`; `replayed` is orthogonal (a replayed cell also counts under
+/// its journaled status).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellCounts {
+    /// Cells in the campaign.
+    pub total: usize,
+    /// Converged first try ([`CellStatus::Ok`]).
+    pub ok: usize,
+    /// Needed the escalated-budget retry ([`CellStatus::Recovered`]).
+    pub recovered: usize,
+    /// No converged measurement ([`CellStatus::Degraded`]).
+    pub degraded: usize,
+    /// Worker panicked; caught at the cell boundary
+    /// ([`CellStatus::Crashed`]).
+    pub crashed: usize,
+    /// Never ran — claimed after the campaign token expired
+    /// ([`CellStatus::Skipped`]).
+    pub skipped: usize,
+    /// Replayed bit-identically from the result journal instead of
+    /// simulated (any status; `0` without a journal).
+    pub replayed: usize,
+}
+
+impl CellCounts {
+    /// Tallies one measurement into the counts.
+    pub fn tally(&mut self, status: CellStatus, replayed: bool) {
+        self.total += 1;
+        match status {
+            CellStatus::Ok => self.ok += 1,
+            CellStatus::Recovered => self.recovered += 1,
+            CellStatus::Degraded => self.degraded += 1,
+            CellStatus::Crashed => self.crashed += 1,
+            CellStatus::Skipped => self.skipped += 1,
+        }
+        if replayed {
+            self.replayed += 1;
+        }
+    }
+
+    /// One-line human-readable summary, e.g.
+    /// `42 cells: 40 ok, 1 recovered, 1 crashed (2 replayed)`.
+    /// Zero counts are omitted (except `ok`), so a clean run reads
+    /// simply `42 cells: 42 ok`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut parts = vec![format!("{} ok", self.ok)];
+        for (n, what) in [
+            (self.recovered, "recovered"),
+            (self.degraded, "degraded"),
+            (self.crashed, "crashed"),
+            (self.skipped, "skipped"),
+        ] {
+            if n > 0 {
+                parts.push(format!("{n} {what}"));
+            }
+        }
+        let replayed = if self.replayed > 0 {
+            format!(" ({} replayed from journal)", self.replayed)
+        } else {
+            String::new()
+        };
+        format!("{} cells: {}{}", self.total, parts.join(", "), replayed)
+    }
+}
+
+impl std::ops::AddAssign for CellCounts {
+    fn add_assign(&mut self, rhs: CellCounts) {
+        self.total += rhs.total;
+        self.ok += rhs.ok;
+        self.recovered += rhs.recovered;
+        self.degraded += rhs.degraded;
+        self.crashed += rhs.crashed;
+        self.skipped += rhs.skipped;
+        self.replayed += rhs.replayed;
+    }
+}
+
 /// How a resilient measurement ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CellStatus {
@@ -653,6 +734,34 @@ mod tests {
         );
         b.iterations(100);
         b.build().unwrap()
+    }
+
+    #[test]
+    fn cell_counts_tally_and_render() {
+        let mut counts = CellCounts::default();
+        for _ in 0..3 {
+            counts.tally(CellStatus::Ok, false);
+        }
+        counts.tally(CellStatus::Recovered, false);
+        counts.tally(CellStatus::Crashed, false);
+        counts.tally(CellStatus::Ok, true);
+        assert_eq!(counts.total, 6);
+        assert_eq!(counts.ok, 4);
+        assert_eq!(
+            counts.render(),
+            "6 cells: 4 ok, 1 recovered, 1 crashed (1 replayed from journal)"
+        );
+
+        let mut clean = CellCounts::default();
+        clean.tally(CellStatus::Ok, false);
+        assert_eq!(clean.render(), "1 cells: 1 ok");
+
+        let mut sum = CellCounts::default();
+        sum += counts;
+        sum += clean;
+        assert_eq!(sum.total, 7);
+        assert_eq!(sum.ok, 5);
+        assert_eq!(sum.replayed, 1);
     }
 
     #[test]

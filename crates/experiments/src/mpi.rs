@@ -9,7 +9,7 @@
 
 use crate::campaign::{Campaign, CampaignSpec, CellSpec};
 use crate::report::{f2, pct, TextTable};
-use crate::{Degradation, Experiments};
+use crate::{CellCounts, Degradation, Experiments};
 use p5_isa::{Priority, ThreadId};
 use p5_workloads::mpi::ImbalancedApp;
 
@@ -48,6 +48,8 @@ pub struct MpiResult {
     pub rows: Vec<MpiRow>,
     /// Annotations for measurements that degraded.
     pub degraded: Vec<Degradation>,
+    /// Per-status cell tally of the underlying campaign.
+    pub counts: CellCounts,
 }
 
 impl MpiResult {
@@ -180,6 +182,7 @@ pub fn run_with(ctx: &Experiments, app: ImbalancedApp) -> Result<MpiResult, crat
         imbalance: app.heavy_iterations as f64 / app.light_iterations as f64,
         rows,
         degraded,
+        counts: campaign.counts(),
     })
 }
 
@@ -211,6 +214,7 @@ mod tests {
                 },
             ],
             degraded: Vec::new(),
+            counts: CellCounts::default(),
         }
     }
 

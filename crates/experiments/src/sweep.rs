@@ -7,7 +7,7 @@
 //! reproduction run affordable.
 
 use crate::campaign::{Campaign, CampaignSpec, CellSpec};
-use crate::{priority_pair, Degradation, ExpError, Experiments};
+use crate::{priority_pair, CellCounts, Degradation, ExpError, Experiments};
 use p5_isa::ThreadId;
 use p5_microbench::MicroBenchmark;
 
@@ -35,6 +35,8 @@ pub struct PrioritySweep {
     pub degraded: Vec<Degradation>,
     /// Cells that needed the escalated-budget retry but then converged.
     pub recovered: usize,
+    /// Per-status cell tally of the underlying campaign.
+    pub counts: CellCounts,
 }
 
 impl PrioritySweep {
@@ -143,6 +145,7 @@ pub fn run(ctx: &Experiments, diffs: &[i32]) -> Result<PrioritySweep, ExpError> 
     Ok(PrioritySweep {
         diffs: diffs.to_vec(),
         grids,
+        counts: result.counts(),
         degraded: result.degraded,
         recovered: result.recovered,
     })
@@ -163,6 +166,7 @@ mod tests {
             grids: vec![[[cell(1.0); 6]; 6], [[cell(2.0); 6]; 6]],
             degraded: Vec::new(),
             recovered: 0,
+            counts: CellCounts::default(),
         }
     }
 

@@ -5,9 +5,9 @@
 //! for each column co-runner the PThread IPC (`pt`) and the combined IPC
 //! (`tt`) under the default (4,4) priorities.
 
-use crate::campaign::{Campaign, CampaignSpec, CellSpec};
+use crate::campaign::{Campaign, CampaignResult, CampaignSpec, CellSpec};
 use crate::report::{f3, TextTable};
-use crate::{Degradation, Experiments};
+use crate::{CellCounts, Degradation, Experiments};
 use p5_microbench::MicroBenchmark;
 
 /// The paper's Table 3: per row benchmark, the ST IPC and the `(pt, tt)`
@@ -100,6 +100,8 @@ pub struct Table3Result {
     /// Annotations for measurements that degraded (their cells are kept
     /// at the best unconverged value, or zero).
     pub degraded: Vec<Degradation>,
+    /// Per-status cell tally of the underlying campaign.
+    pub counts: CellCounts,
 }
 
 impl Table3Result {
@@ -178,16 +180,14 @@ impl Table3Result {
     }
 }
 
-/// Runs the 6 single-thread and 36 pairwise measurements. Degraded cells
-/// keep their best unconverged value and are annotated on the result.
-///
-/// # Errors
-///
-/// Returns [`crate::ExpError`] only if every measurement degraded.
-pub fn run(ctx: &Experiments) -> Result<Table3Result, crate::ExpError> {
+/// The artifact's flat cell list, in aggregation order: ids `0..6` are
+/// the ST baselines, then `6 + i*6 + j` the (row `i`, column `j`) pairs
+/// under (4,4). Shared by [`run`] and the `p5-serve` protocol's
+/// `table3` grid shorthand, so a server-side expansion measures exactly
+/// the cells an offline run would.
+#[must_use]
+pub fn cells() -> Vec<CellSpec> {
     let benches = MicroBenchmark::PRESENTED;
-    // Cell ids: 0..6 the ST baselines, then 6 + i*6 + j the (row i,
-    // column j) pairs under (4,4).
     let mut cells = Vec::with_capacity(benches.len() * (benches.len() + 1));
     for b in &benches {
         cells.push(CellSpec::single(format!("ST {}", b.name()), b.program()));
@@ -202,7 +202,30 @@ pub fn run(ctx: &Experiments) -> Result<Table3Result, crate::ExpError> {
             ));
         }
     }
-    let campaign = Campaign::run(ctx, &CampaignSpec::for_ctx(ctx, cells));
+    cells
+}
+
+/// Runs the 6 single-thread and 36 pairwise measurements. Degraded cells
+/// keep their best unconverged value and are annotated on the result.
+///
+/// # Errors
+///
+/// Returns [`crate::ExpError`] only if every measurement degraded.
+pub fn run(ctx: &Experiments) -> Result<Table3Result, crate::ExpError> {
+    let campaign = Campaign::run(ctx, &CampaignSpec::for_ctx(ctx, cells()));
+    from_campaign(&campaign)
+}
+
+/// Aggregates a campaign over [`cells`] into the Table 3 matrix — the
+/// projection step of [`run`], exposed separately so outcomes fetched
+/// through `p5-serve` land on the identical aggregation (and therefore
+/// identical exported bytes) as an offline run.
+///
+/// # Errors
+///
+/// Returns [`crate::ExpError`] only if every measurement degraded.
+pub fn from_campaign(campaign: &CampaignResult) -> Result<Table3Result, crate::ExpError> {
+    let benches = MicroBenchmark::PRESENTED;
     if campaign.all_degraded() {
         return Err(crate::ExpError {
             artifact: "table3",
@@ -217,6 +240,7 @@ pub fn run(ctx: &Experiments) -> Result<Table3Result, crate::ExpError> {
     }
     let mut result = Table3Result {
         degraded: campaign.degraded.clone(),
+        counts: campaign.counts(),
         ..Table3Result::default()
     };
     for i in 0..benches.len() {
@@ -258,6 +282,7 @@ mod tests {
             pt: [[0.5; 6]; 6],
             tt: [[1.0; 6]; 6],
             degraded: vec![Degradation::new("(cpu_int,cpu_int)", "budget")],
+            counts: CellCounts::default(),
         };
         let s = r.render();
         assert!(s.contains("ldint_l1"));
@@ -283,6 +308,7 @@ mod tests {
             pt,
             tt,
             degraded: Vec::new(),
+            counts: CellCounts::default(),
         };
         assert!(r.shape_holds());
     }

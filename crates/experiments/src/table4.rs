@@ -8,7 +8,7 @@
 
 use crate::campaign::{Campaign, CampaignSpec, CellSpec};
 use crate::report::{f2, pct, TextTable};
-use crate::{Degradation, Experiments};
+use crate::{CellCounts, Degradation, Experiments};
 use p5_isa::{Priority, ThreadId};
 use p5_workloads::fftlu;
 
@@ -45,6 +45,8 @@ pub struct Table4Result {
     pub rows: Vec<Table4Row>,
     /// Annotations for measurements that degraded.
     pub degraded: Vec<Degradation>,
+    /// Per-status cell tally of the underlying campaign.
+    pub counts: CellCounts,
 }
 
 impl Table4Result {
@@ -231,6 +233,7 @@ pub fn run(ctx: &Experiments) -> Result<Table4Result, crate::ExpError> {
         lu_st_cycles: lu_st,
         rows,
         degraded,
+        counts: campaign.counts(),
     })
 }
 
@@ -269,6 +272,7 @@ mod tests {
                 },
             ],
             degraded: Vec::new(),
+            counts: CellCounts::default(),
         }
     }
 

@@ -10,6 +10,10 @@ fn repro() -> Command {
     Command::new(env!("CARGO_BIN_EXE_repro"))
 }
 
+fn calibrate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_calibrate"))
+}
+
 #[test]
 fn help_exits_zero_and_documents_the_exit_codes() {
     let out = repro().arg("--help").output().expect("repro runs");
@@ -29,6 +33,16 @@ fn help_exits_zero_and_documents_the_exit_codes() {
 #[test]
 fn resume_without_journal_is_a_usage_error() {
     let out = repro().arg("--resume").output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert!(err.contains("--resume requires --journal"));
+}
+
+#[test]
+fn calibrate_resume_without_journal_is_a_usage_error() {
+    // Same contract as repro: `--resume` only means something with a
+    // journal directory to replay from.
+    let out = calibrate().arg("--resume").output().expect("calibrate runs");
     assert_eq!(out.status.code(), Some(1));
     let err = String::from_utf8(out.stderr).expect("stderr is UTF-8");
     assert!(err.contains("--resume requires --journal"));
@@ -88,4 +102,47 @@ fn aborted_run_exits_three() {
     assert_eq!(out.status.code(), Some(3), "aborted run exits 3");
     let text = String::from_utf8(out.stdout).expect("stdout is UTF-8");
     assert!(text.contains("campaign aborted early"));
+}
+
+#[test]
+fn crashed_cell_is_counted_in_summary() {
+    // Chaos-panic the last MPI cell (the smallest campaign section, 4
+    // cells): the crash is isolated, the other three cells complete,
+    // and the end-of-run summary names the crashed cell — previously
+    // crashes were visible only via the exit code and the journal.
+    let out = repro()
+        .args(["--quick", "--only", "mpi", "--jobs", "1", "--chaos-panic", "3"])
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(2), "crashed cell degrades the run");
+    let text = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    assert!(
+        text.contains("4 cells: 3 ok, 1 crashed"),
+        "summary counts the crash: {text}"
+    );
+}
+
+#[test]
+fn skipped_cells_are_counted_in_summary() {
+    // Abort the campaign when the last MPI cell is claimed: at
+    // `--jobs 1` claims are sequential, so exactly cell 3 is skipped
+    // and the summary says so.
+    let out = repro()
+        .args([
+            "--quick",
+            "--only",
+            "mpi",
+            "--jobs",
+            "1",
+            "--chaos-abort-after",
+            "3",
+        ])
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(3), "abort exits 3");
+    let text = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    assert!(
+        text.contains("4 cells: 3 ok, 1 skipped"),
+        "summary counts the skipped cell: {text}"
+    );
 }

@@ -1,0 +1,255 @@
+//! `serve_bench` — load-test harness for the campaign daemon.
+//!
+//! Replays a synthetic multi-client workload against an in-process
+//! server: one cold campaign populates the cache, then several client
+//! threads hammer the daemon with repeated identical and overlapping
+//! campaigns. Each client folds its responses incrementally (counts
+//! and latency samples only — full results are dropped as they
+//! stream), so memory stays bounded no matter how many requests are
+//! replayed. Emits `BENCH_serve.json` with throughput (cells/sec),
+//! cache hit rate, and request latency percentiles.
+
+use p5_experiments::campaign::{Campaign, CampaignSpec};
+use p5_pmu::json::JsonObject;
+use p5_serve::cache::ResultCache;
+use p5_serve::client::{self, Endpoint};
+use p5_serve::protocol::{CampaignRequest, CellRequest, Fidelity};
+use p5_serve::server::Server;
+use std::sync::Mutex;
+use std::time::Instant;
+
+const HELP: &str = "\
+serve_bench — multi-client load test for the p5_serve daemon
+
+USAGE:
+    serve_bench [OPTIONS]
+
+OPTIONS:
+    --out PATH    write the benchmark JSON to PATH (default: BENCH_serve.json)
+    --jobs N      server worker threads (default: 4)
+    --clients N   concurrent client threads in the warm leg (default: 4)
+    --reps N      campaigns per client in the warm leg (default: 5)
+    --quick       small run: 2 clients x 2 reps
+    --check       fail (exit 1) unless the warm-leg cache hit rate is
+                  >= 90% and a served campaign is bit-identical to an
+                  offline run of the same spec
+    --help        print this help and exit
+";
+
+/// The synthetic workload: every pair over three benchmarks plus their
+/// single-thread baselines — 12 tiny-fidelity cells per request.
+fn grid() -> Vec<CellRequest> {
+    let benches = ["cpu_int", "ldint_l1", "ldint_l2"];
+    let mut cells = Vec::new();
+    for b in benches {
+        cells.push(CellRequest {
+            primary: b.to_string(),
+            secondary: None,
+            priorities: (4, 4),
+        });
+    }
+    for a in benches {
+        for b in benches {
+            cells.push(CellRequest {
+                primary: a.to_string(),
+                secondary: Some(b.to_string()),
+                priorities: (4, 4),
+            });
+        }
+    }
+    cells
+}
+
+/// An overlapping sub-grid: a strict subset of [`grid`]'s cells, so a
+/// warm cache serves it entirely from records the full grid paid for.
+fn subgrid() -> Vec<CellRequest> {
+    grid().into_iter().step_by(2).collect()
+}
+
+fn request(cells: Vec<CellRequest>) -> CampaignRequest {
+    CampaignRequest {
+        fidelity: Fidelity::Tiny,
+        grid: None,
+        cells,
+        seed: None,
+        cache: true,
+    }
+}
+
+fn value_of(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_count(args: &[String], flag: &str, default: usize) -> usize {
+    match value_of(args, flag) {
+        None => default,
+        Some(n) => match n.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("{flag} expects a positive integer, got {n:?}");
+                std::process::exit(1);
+            }
+        },
+    }
+}
+
+fn percentile(sorted_ms: &[f64], pct: usize) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    sorted_ms[(sorted_ms.len() - 1) * pct / 100]
+}
+
+#[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out = value_of(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let jobs = parse_count(&args, "--jobs", 4);
+    let clients = parse_count(&args, "--clients", if quick { 2 } else { 4 });
+    let reps = parse_count(&args, "--reps", if quick { 2 } else { 5 });
+
+    let server =
+        Server::bind_tcp("127.0.0.1:0", jobs, ResultCache::in_memory()).expect("bind server");
+    let addr = server.local_addr().expect("tcp server has an address");
+    let endpoint = Endpoint::Tcp(addr.to_string());
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    // Cold leg: one campaign pays for every cell.
+    let started = Instant::now();
+    let cold = client::run_campaign(&endpoint, &request(grid())).expect("cold campaign");
+    let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cold.cached, 0, "a fresh cache has nothing to serve");
+    let cells_per_request = cold.result.cells.len();
+
+    // Warm legs: `clients` threads replay identical and overlapping
+    // campaigns; each folds its stream down to counters immediately.
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(clients * reps));
+    let tallies: Mutex<(usize, usize)> = Mutex::new((0, 0)); // (cells, cached)
+    let warm_started = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let endpoint = &endpoint;
+            let latencies = &latencies;
+            let tallies = &tallies;
+            scope.spawn(move || {
+                for r in 0..reps {
+                    // Odd slots replay the overlapping sub-grid: those
+                    // cells were paid for by the full grid, so they
+                    // must hit too.
+                    let cells = if (c + r) % 2 == 1 { subgrid() } else { grid() };
+                    let t0 = Instant::now();
+                    let served =
+                        client::run_campaign(endpoint, &request(cells)).expect("warm campaign");
+                    latencies
+                        .lock()
+                        .unwrap()
+                        .push(t0.elapsed().as_secs_f64() * 1e3);
+                    let mut tally = tallies.lock().unwrap();
+                    tally.0 += served.result.cells.len();
+                    tally.1 += served.cached;
+                    // `served` drops here: nothing per-cell is retained.
+                }
+            });
+        }
+    });
+    let warm_elapsed = warm_started.elapsed().as_secs_f64();
+    let (warm_cells, warm_cached) = tallies.into_inner().unwrap();
+    let hit_rate = if warm_cells == 0 {
+        0.0
+    } else {
+        warm_cached as f64 / warm_cells as f64
+    };
+
+    let stats = client::stats(&endpoint).expect("stats");
+    let mut sorted_ms = latencies.into_inner().unwrap();
+    sorted_ms.sort_by(f64::total_cmp);
+    let requests = 1 + clients * reps;
+    let total_cells = cells_per_request + warm_cells;
+    let total_elapsed = started.elapsed().as_secs_f64();
+    let cells_per_sec = total_cells as f64 / total_elapsed;
+    let p50 = percentile(&sorted_ms, 50);
+    let p99 = percentile(&sorted_ms, 99);
+
+    println!(
+        "serve_bench: {requests} requests, {total_cells} cells in {total_elapsed:.2}s \
+         ({cells_per_sec:.0} cells/sec)"
+    );
+    println!("  cold campaign: {cold_ms:.1} ms for {cells_per_request} cells");
+    println!(
+        "  warm legs: {clients} clients x {reps} reps in {warm_elapsed:.2}s, \
+         hit rate {:.1}% (server: {} hits / {} misses)",
+        hit_rate * 100.0,
+        stats.hits,
+        stats.misses
+    );
+    println!("  request latency: p50 {p50:.1} ms, p99 {p99:.1} ms");
+
+    let mut check_failed = false;
+    if check {
+        if hit_rate < 0.9 {
+            eprintln!("CHECK FAILED: warm hit rate {:.1}% < 90%", hit_rate * 100.0);
+            check_failed = true;
+        }
+        // Determinism: a served campaign must be bit-identical to an
+        // offline run of the same resolved spec — cache fully warm.
+        let ctx = Fidelity::Tiny.context();
+        let spec = CampaignSpec {
+            cells: request(grid())
+                .resolve_cells()
+                .expect("bench grid resolves"),
+            jobs: 1,
+            seed: ctx.core.rng_seed,
+            reuse_warmup: false,
+        };
+        let offline = Campaign::run(&ctx, &spec);
+        let served = client::run_campaign(&endpoint, &request(grid())).expect("check campaign");
+        for (o, s) in offline.cells.iter().zip(&served.result.cells) {
+            if o.measured.status != s.measured.status
+                || o.measured.total_ipc().map(f64::to_bits)
+                    != s.measured.total_ipc().map(f64::to_bits)
+            {
+                eprintln!("CHECK FAILED: cell {:?} differs from offline run", o.label);
+                check_failed = true;
+            }
+        }
+        if !check_failed {
+            println!("  check: hit rate and offline bit-identity OK");
+        }
+    }
+
+    client::shutdown(&endpoint).expect("shutdown");
+    server_thread.join().expect("server thread").expect("serve");
+
+    let json = JsonObject::new()
+        .field("requests", requests)
+        .field("cells", total_cells)
+        .field("cells_per_sec", cells_per_sec)
+        .field("cold_ms", cold_ms)
+        .field("warm_cells", warm_cells)
+        .field("warm_cached", warm_cached)
+        .field("cache_hit_rate", hit_rate)
+        .field("p50_ms", p50)
+        .field("p99_ms", p99)
+        .field("jobs", jobs)
+        .field("clients", clients)
+        .field("reps", reps)
+        .build()
+        .to_string();
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("  wrote {out}");
+    if check_failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,263 @@
+//! End-to-end: a real daemon on a real socket, driven through the
+//! client library, checked against the offline campaign engine.
+//!
+//! These tests pin the subsystem's two contracts: **determinism** (a
+//! served campaign is bit-identical to an offline run of the same
+//! spec, cache cold or warm) and **cache correctness** (repeated and
+//! overlapping submissions hit; `cache: false` never touches the
+//! cache; restarts resume a persistent cache).
+
+use p5_experiments::campaign::{Campaign, CampaignSpec};
+use p5_serve::cache::ResultCache;
+use p5_serve::client::{self, Endpoint};
+use p5_serve::protocol::{CampaignRequest, CellRequest, Fidelity};
+use p5_serve::server::Server;
+
+/// A small tiny-fidelity workload: two ST baselines and two pairs.
+fn cells() -> Vec<CellRequest> {
+    vec![
+        CellRequest {
+            primary: "cpu_int".to_string(),
+            secondary: None,
+            priorities: (4, 4),
+        },
+        CellRequest {
+            primary: "ldint_l1".to_string(),
+            secondary: None,
+            priorities: (4, 4),
+        },
+        CellRequest {
+            primary: "cpu_int".to_string(),
+            secondary: Some("ldint_l1".to_string()),
+            priorities: (4, 4),
+        },
+        CellRequest {
+            primary: "cpu_int".to_string(),
+            secondary: Some("ldint_l1".to_string()),
+            priorities: (6, 2),
+        },
+    ]
+}
+
+fn request(cache: bool) -> CampaignRequest {
+    CampaignRequest {
+        fidelity: Fidelity::Tiny,
+        grid: None,
+        cells: cells(),
+        seed: None,
+        cache,
+    }
+}
+
+/// Starts a TCP daemon with the given cache; returns its endpoint and
+/// the serving thread (joined by `shutdown_and_join`).
+fn start_server(
+    jobs: usize,
+    cache: ResultCache,
+) -> (Endpoint, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind_tcp("127.0.0.1:0", jobs, cache).expect("bind");
+    let addr = server.local_addr().expect("tcp addr");
+    let handle = std::thread::spawn(move || server.serve());
+    (Endpoint::Tcp(addr.to_string()), handle)
+}
+
+fn shutdown_and_join(
+    endpoint: &Endpoint,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    client::shutdown(endpoint).expect("shutdown request");
+    handle.join().expect("server thread").expect("serve exits cleanly");
+}
+
+/// The offline baseline for [`cells`]: the same resolved spec run
+/// through the campaign engine directly.
+fn offline_baseline() -> p5_experiments::campaign::CampaignResult {
+    let ctx = Fidelity::Tiny.context();
+    let spec = CampaignSpec {
+        cells: request(true).resolve_cells().expect("cells resolve"),
+        jobs: 1,
+        seed: ctx.core.rng_seed,
+        reuse_warmup: false,
+    };
+    Campaign::run(&ctx, &spec)
+}
+
+fn assert_bit_identical(
+    offline: &p5_experiments::campaign::CampaignResult,
+    served: &p5_experiments::campaign::CampaignResult,
+    what: &str,
+) {
+    assert_eq!(offline.cells.len(), served.cells.len(), "{what}: cell count");
+    for (o, s) in offline.cells.iter().zip(&served.cells) {
+        assert_eq!(o.id, s.id, "{what}: id order");
+        assert_eq!(o.label, s.label, "{what}: labels");
+        assert_eq!(o.measured.status, s.measured.status, "{what}: status");
+        assert_eq!(
+            o.measured.total_ipc().map(f64::to_bits),
+            s.measured.total_ipc().map(f64::to_bits),
+            "{what}: cell {} must be bit-identical",
+            o.label
+        );
+    }
+    assert_eq!(offline.degraded, served.degraded, "{what}: degradations");
+    assert_eq!(offline.recovered, served.recovered, "{what}: recovered");
+}
+
+#[test]
+fn served_campaign_is_bit_identical_cold_and_warm() {
+    let offline = offline_baseline();
+    let (endpoint, handle) = start_server(2, ResultCache::in_memory());
+
+    let cold = client::run_campaign(&endpoint, &request(true)).expect("cold campaign");
+    assert_eq!(cold.cached, 0, "fresh cache serves nothing");
+    assert_bit_identical(&offline, &cold.result, "cold");
+
+    let warm = client::run_campaign(&endpoint, &request(true)).expect("warm campaign");
+    assert_eq!(
+        warm.cached,
+        offline.cells.len(),
+        "identical resubmission is fully cached"
+    );
+    assert_eq!(
+        warm.result.replayed,
+        offline.cells.len(),
+        "client-side aggregation sees the replay flags"
+    );
+    assert_bit_identical(&offline, &warm.result, "warm");
+
+    let stats = client::stats(&endpoint).expect("stats");
+    assert_eq!(stats.misses as usize, offline.cells.len());
+    assert_eq!(stats.hits as usize, offline.cells.len());
+    assert_eq!(stats.entries, offline.cells.len());
+
+    shutdown_and_join(&endpoint, handle);
+}
+
+#[test]
+fn overlapping_grids_share_the_cache() {
+    let (endpoint, handle) = start_server(2, ResultCache::in_memory());
+    let full = client::run_campaign(&endpoint, &request(true)).expect("full grid");
+    assert_eq!(full.cached, 0);
+
+    // A subset of the same cells, submitted as its own campaign: every
+    // cell was paid for by the full grid.
+    let subset = CampaignRequest {
+        cells: cells().into_iter().take(2).collect(),
+        ..request(true)
+    };
+    let served = client::run_campaign(&endpoint, &subset).expect("subset");
+    assert_eq!(served.result.cells.len(), 2);
+    assert_eq!(served.cached, 2, "overlap hits, not just identity");
+
+    shutdown_and_join(&endpoint, handle);
+}
+
+#[test]
+fn cache_opt_out_always_simulates() {
+    let (endpoint, handle) = start_server(2, ResultCache::in_memory());
+    let first = client::run_campaign(&endpoint, &request(false)).expect("first");
+    let second = client::run_campaign(&endpoint, &request(false)).expect("second");
+    assert_eq!(first.cached, 0);
+    assert_eq!(second.cached, 0, "cache off: the resubmission simulates too");
+    let stats = client::stats(&endpoint).expect("stats");
+    assert_eq!(stats.entries, 0, "opted-out cells are never recorded");
+    assert_eq!(stats.hits + stats.misses, 0, "nor tallied as lookups");
+
+    // Cache off and cache on agree bit-for-bit.
+    let cached = client::run_campaign(&endpoint, &request(true)).expect("cached");
+    assert_bit_identical(&first.result, &cached.result, "cache on vs off");
+
+    shutdown_and_join(&endpoint, handle);
+}
+
+#[test]
+fn persistent_cache_survives_a_daemon_restart() {
+    let dir = std::env::temp_dir().join(format!("p5-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (cache, stats) = ResultCache::persistent(&dir).expect("create cache");
+    assert_eq!(stats.entries, 0);
+    let (endpoint, handle) = start_server(2, cache);
+    let cold = client::run_campaign(&endpoint, &request(true)).expect("cold");
+    assert_eq!(cold.cached, 0);
+    shutdown_and_join(&endpoint, handle);
+
+    // Second daemon, same journal directory: fully warm from disk.
+    let (cache, stats) = ResultCache::persistent(&dir).expect("resume cache");
+    assert_eq!(stats.entries, cells().len(), "records survived the restart");
+    let (endpoint, handle) = start_server(2, cache);
+    let warm = client::run_campaign(&endpoint, &request(true)).expect("warm");
+    assert_eq!(warm.cached, cells().len(), "restart kept the cache");
+    assert_bit_identical(&cold.result, &warm.result, "across restarts");
+    shutdown_and_join(&endpoint, handle);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unix_socket_transport_works() {
+    let path = std::env::temp_dir().join(format!("p5-serve-e2e-{}.sock", std::process::id()));
+    let server = Server::bind_unix(&path, 2, ResultCache::in_memory()).expect("bind unix");
+    let handle = std::thread::spawn(move || server.serve());
+    let endpoint = Endpoint::Unix(path.clone());
+    client::wait_ready(&endpoint, std::time::Duration::from_secs(5)).expect("ready");
+
+    let served = client::run_campaign(&endpoint, &request(true)).expect("campaign over unix");
+    assert_eq!(served.result.cells.len(), cells().len());
+    shutdown_and_join(&endpoint, handle);
+    assert!(!path.exists(), "socket file unlinked on clean shutdown");
+}
+
+#[test]
+fn bad_requests_get_protocol_errors() {
+    let (endpoint, handle) = start_server(1, ResultCache::in_memory());
+
+    let unknown_grid = CampaignRequest {
+        grid: Some("table9".to_string()),
+        ..CampaignRequest::table3(Fidelity::Tiny)
+    };
+    match client::run_campaign(&endpoint, &unknown_grid) {
+        Err(client::ClientError::Server(message)) => {
+            assert!(message.contains("unknown grid"), "got: {message}");
+        }
+        other => panic!("expected a server error, got {other:?}"),
+    }
+
+    let unknown_bench = CampaignRequest {
+        fidelity: Fidelity::Tiny,
+        grid: None,
+        cells: vec![CellRequest {
+            primary: "no_such_bench".to_string(),
+            secondary: None,
+            priorities: (4, 4),
+        }],
+        seed: None,
+        cache: true,
+    };
+    match client::run_campaign(&endpoint, &unknown_bench) {
+        Err(client::ClientError::Server(message)) => {
+            assert!(message.contains("unknown microbenchmark"), "got: {message}");
+        }
+        other => panic!("expected a server error, got {other:?}"),
+    }
+
+    shutdown_and_join(&endpoint, handle);
+}
+
+#[test]
+fn concurrent_clients_all_get_complete_campaigns() {
+    let (endpoint, handle) = start_server(4, ResultCache::in_memory());
+    let baseline = client::run_campaign(&endpoint, &request(true)).expect("warmup");
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let endpoint = &endpoint;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                let served = client::run_campaign(endpoint, &request(true)).expect("client");
+                assert_bit_identical(&baseline.result, &served.result, "concurrent client");
+                assert_eq!(served.cached, cells().len(), "warm cache serves everyone");
+            });
+        }
+    });
+    shutdown_and_join(&endpoint, handle);
+}

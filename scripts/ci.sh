@@ -8,10 +8,10 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 echo "== cargo build --release =="
-cargo build --release --offline
+cargo build --release --offline --workspace
 
 echo "== cargo test =="
-cargo test -q --offline
+cargo test -q --offline --workspace
 
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -80,6 +80,53 @@ if ! diff -r artifacts/jobs1 artifacts/resumed > artifacts/resume.diff; then
 fi
 rm artifacts/resume.diff
 rm -rf artifacts/resume_journal
+
+# Serve smoke: a daemon on a unix socket serves the same quick table3
+# grid twice. Both fetches must be byte-identical to the offline jobs-1
+# reference, and the second must be answered from the result cache
+# (DESIGN.md §14).
+echo "== p5-serve smoke: daemon-fetched artifacts vs offline + cache hits =="
+rm -rf artifacts/serve1 artifacts/serve2 artifacts/serve.sock
+mkdir -p artifacts/serve1 artifacts/serve2
+cargo run --release --offline -p p5-serve --bin p5_serve -- \
+  --unix artifacts/serve.sock > artifacts/serve.log 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+cargo run --release --offline -p p5-serve --bin p5_client -- \
+  --unix artifacts/serve.sock --wait-ready 30000 \
+  --grid table3 --fidelity quick \
+  --csv-dir artifacts/serve1 --json-dir artifacts/serve1 > artifacts/serve1.out
+cargo run --release --offline -p p5-serve --bin p5_client -- \
+  --unix artifacts/serve.sock \
+  --grid table3 --fidelity quick \
+  --csv-dir artifacts/serve2 --json-dir artifacts/serve2 > artifacts/serve2.out
+cargo run --release --offline -p p5-serve --bin p5_client -- \
+  --unix artifacts/serve.sock --shutdown > /dev/null
+wait "$serve_pid"
+trap - EXIT
+for leg in serve1 serve2; do
+  if ! diff -r artifacts/jobs1 "artifacts/$leg" > "artifacts/$leg.diff"; then
+    echo "SERVE GATE FAILED: $leg artifacts differ from the offline reference"
+    cat "artifacts/$leg.diff"
+    exit 1
+  fi
+  rm "artifacts/$leg.diff"
+done
+if ! grep -q "(0 from server cache)" artifacts/serve1.out; then
+  echo "SERVE GATE FAILED: first fetch should be fully uncached"
+  cat artifacts/serve1.out
+  exit 1
+fi
+if ! grep -q "(42 from server cache)" artifacts/serve2.out; then
+  echo "SERVE GATE FAILED: second fetch should be fully cached"
+  cat artifacts/serve2.out
+  exit 1
+fi
+rm -f artifacts/serve1.out artifacts/serve2.out artifacts/serve.log
+
+echo "== serve_bench: multi-client load + hit-rate/bit-identity check =="
+cargo run --release --offline -p p5-serve --bin serve_bench -- \
+  --quick --check --out artifacts/BENCH_serve_quick.json
 
 echo "== PMU smoke: CPI stacks + Chrome trace =="
 mkdir -p artifacts

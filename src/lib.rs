@@ -18,6 +18,8 @@
 //! * [`fault`] — deterministic fault injection and pipeline invariants.
 //! * [`pmu`] — performance-monitoring unit: counter groups, CPI stacks,
 //!   interval sampling, Chrome-trace export.
+//! * [`serve`] — campaign server: daemon, wire protocol, result cache,
+//!   client library.
 //! * [`workloads`] — SPEC proxies, FFT/LU pipeline, MPI imbalance model.
 //! * [`experiments`] — per-table/per-figure reproduction harness.
 //!
@@ -34,4 +36,5 @@ pub use p5_mem as mem;
 pub use p5_microbench as microbench;
 pub use p5_os as os;
 pub use p5_pmu as pmu;
+pub use p5_serve as serve;
 pub use p5_workloads as workloads;
