@@ -161,6 +161,180 @@ pub enum WarmupMode {
     Functional,
 }
 
+/// Shape of one sampling unit in [`MeasureMode::Sampled`]: a short
+/// detailed measurement interval followed by a functional fast-forward
+/// gap, repeated until the IPC estimate converges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingConfig {
+    /// Cycles simulated on the detailed engine per sample. Each interval
+    /// yields one per-thread IPC sample (committed-instruction delta over
+    /// the interval length).
+    pub interval: u64,
+    /// Cycles fast-forwarded functionally between detailed intervals.
+    /// The functional engine keeps caches, the data TLB and the branch
+    /// predictor warm and advances the virtual clock, so consecutive
+    /// samples observe a continuously aged machine.
+    pub period: u64,
+}
+
+impl SamplingConfig {
+    /// Default schedule: 10 k detailed cycles sampled every 50 k cycles
+    /// (a 20 % detail duty cycle). Chosen so the quick-fidelity Table 3
+    /// grid lands within 5 % of the detailed run while long workloads
+    /// still see an order-of-magnitude speedup.
+    #[must_use]
+    pub fn balanced() -> SamplingConfig {
+        SamplingConfig {
+            interval: 10_000,
+            period: 40_000,
+        }
+    }
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig::balanced()
+    }
+}
+
+/// How the measured phase is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MeasureMode {
+    /// Simulate every measured cycle on the detailed engine (FAME
+    /// repetition-boundary IPC). The default; presented artifacts use it.
+    #[default]
+    Detailed,
+    /// Alternate short detailed intervals with functional fast-forward
+    /// and estimate IPC (mean + 95 % confidence interval) from the
+    /// per-interval sample population — the SMARTS / Pac-Sim idiom.
+    Sampled(SamplingConfig),
+}
+
+/// The unified three-speed execution plan: how a core is warmed, how the
+/// measured phase runs, and whether campaigns may share warm-state
+/// checkpoints between cells. Replaces the former loose trio of
+/// `warmup_mode` / `--fast-forward` / `--reuse-warmup` knobs.
+///
+/// The canonical text form (accepted by [`ExecutionPlan::parse`] and
+/// produced by `Display`) is
+/// `detailed | sampled[:interval,period]` with optional `+ff`
+/// (functional warmup under a detailed measure), `+dw` (detailed warmup
+/// under a sampled measure) and `+reuse` (warm-checkpoint sharing)
+/// suffixes, e.g. `sampled:10000,40000+reuse`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecutionPlan {
+    /// How the warmup phase preceding measurement is executed.
+    pub warmup: WarmupMode,
+    /// How the measured phase is executed.
+    pub measure: MeasureMode,
+    /// Whether campaign cells sharing a warmup signature may reuse one
+    /// warm-state checkpoint (wall-clock only; bit-identical results).
+    pub warm_reuse: bool,
+}
+
+impl ExecutionPlan {
+    /// Fully detailed execution — warmup and measurement both
+    /// cycle-accurate, no checkpoint sharing. Bit-identical to the
+    /// pre-plan engine; presented artifacts use this.
+    #[must_use]
+    pub fn detailed() -> ExecutionPlan {
+        ExecutionPlan::default()
+    }
+
+    /// Sampled execution: functional warmup, then alternating detailed
+    /// intervals and functional fast-forward per `sampling`.
+    #[must_use]
+    pub fn sampled(sampling: SamplingConfig) -> ExecutionPlan {
+        ExecutionPlan {
+            warmup: WarmupMode::Functional,
+            measure: MeasureMode::Sampled(sampling),
+            warm_reuse: false,
+        }
+    }
+
+    /// Returns a copy with `warm_reuse` set.
+    #[must_use]
+    pub fn with_warm_reuse(mut self, reuse: bool) -> ExecutionPlan {
+        self.warm_reuse = reuse;
+        self
+    }
+
+    /// Parses the canonical text form (see the type docs):
+    /// `detailed`, `sampled`, `sampled:interval,period`, each optionally
+    /// followed by `+ff` / `+dw` / `+reuse` flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending token for
+    /// unknown speeds, flags, or malformed/zero sampling parameters.
+    pub fn parse(text: &str) -> Result<ExecutionPlan, String> {
+        let mut parts = text.split('+');
+        let speed = parts.next().unwrap_or_default();
+        let mut plan = if speed == "detailed" {
+            ExecutionPlan::detailed()
+        } else if let Some(rest) = speed.strip_prefix("sampled") {
+            let sampling = if rest.is_empty() {
+                SamplingConfig::default()
+            } else if let Some(args) = rest.strip_prefix(':') {
+                let (i, p) = args
+                    .split_once(',')
+                    .ok_or_else(|| format!("expected sampled:interval,period, got `{speed}`"))?;
+                let interval: u64 = i
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad sampling interval `{i}`"))?;
+                let period: u64 = p
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad sampling period `{p}`"))?;
+                SamplingConfig { interval, period }
+            } else {
+                return Err(format!("unknown plan `{speed}`"));
+            };
+            if sampling.interval == 0 || sampling.period == 0 {
+                return Err("sampling interval and period must be nonzero".into());
+            }
+            ExecutionPlan::sampled(sampling)
+        } else {
+            return Err(format!(
+                "unknown plan `{speed}` (expected `detailed` or `sampled[:interval,period]`)"
+            ));
+        };
+        for flag in parts {
+            match flag {
+                "ff" => plan.warmup = WarmupMode::Functional,
+                "dw" => plan.warmup = WarmupMode::Detailed,
+                "reuse" => plan.warm_reuse = true,
+                other => return Err(format!("unknown plan flag `+{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for ExecutionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.measure {
+            MeasureMode::Detailed => {
+                f.write_str("detailed")?;
+                if self.warmup == WarmupMode::Functional {
+                    f.write_str("+ff")?;
+                }
+            }
+            MeasureMode::Sampled(s) => {
+                write!(f, "sampled:{},{}", s.interval, s.period)?;
+                if self.warmup == WarmupMode::Detailed {
+                    f.write_str("+dw")?;
+                }
+            }
+        }
+        if self.warm_reuse {
+            f.write_str("+reuse")?;
+        }
+        Ok(())
+    }
+}
+
 /// Full configuration of the SMT2 core.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoreConfig {
@@ -222,10 +396,11 @@ pub struct CoreConfig {
     /// (a full LMQ of memory-latency misses plus a mispredict penalty is
     /// well under 1 000 cycles).
     pub watchdog_stall_cycles: u64,
-    /// How the warmup phase is executed (see [`WarmupMode`]). Only the
-    /// FAME warmup loop consults this; measured cycles always run on the
-    /// detailed engine.
-    pub warmup_mode: WarmupMode,
+    /// The execution plan: how warmup runs, how the measured phase runs,
+    /// and whether warm-state checkpoints may be shared (see
+    /// [`ExecutionPlan`]). The FAME runner consults this; the default
+    /// fully detailed plan is bit-identical to the pre-plan engine.
+    pub plan: ExecutionPlan,
 }
 
 impl CoreConfig {
@@ -253,7 +428,7 @@ impl CoreConfig {
             rng_seed: 0x5eed_cafe_f00d_0001,
             steal_idle_decode_slots: false,
             watchdog_stall_cycles: 100_000,
-            warmup_mode: WarmupMode::Detailed,
+            plan: ExecutionPlan::detailed(),
         }
     }
 
@@ -324,6 +499,17 @@ impl CoreConfig {
                     self.watchdog_stall_cycles
                 ),
             });
+        }
+        if let MeasureMode::Sampled(s) = self.plan.measure {
+            if s.interval == 0 || s.period == 0 {
+                return Err(SimError::InvalidConfig {
+                    field: "plan.measure",
+                    message: format!(
+                        "sampled plan needs nonzero interval and period, got {},{}",
+                        s.interval, s.period
+                    ),
+                });
+            }
         }
         self.mem.validate();
         Ok(())
@@ -445,11 +631,19 @@ impl CoreConfigBuilder {
         self
     }
 
+    /// The full execution plan (default: [`ExecutionPlan::detailed`]).
+    #[must_use]
+    pub fn plan(mut self, plan: ExecutionPlan) -> Self {
+        self.config.plan = plan;
+        self
+    }
+
     /// How the warmup phase is executed (default:
     /// [`WarmupMode::Detailed`]).
+    #[deprecated(note = "use `plan(ExecutionPlan { warmup, .. })` instead")]
     #[must_use]
     pub fn warmup_mode(mut self, mode: WarmupMode) -> Self {
-        self.config.warmup_mode = mode;
+        self.config.plan.warmup = mode;
         self
     }
 
@@ -687,6 +881,73 @@ mod tests {
         let err = CoreConfig::builder().gct_entries(1).build().unwrap_err();
         let sim: SimError = err.into();
         assert!(matches!(sim, SimError::InvalidConfig { field: "gct_entries", .. }));
+    }
+
+    #[test]
+    fn plan_parse_display_round_trips() {
+        for text in [
+            "detailed",
+            "detailed+ff",
+            "detailed+reuse",
+            "detailed+ff+reuse",
+            "sampled:10000,40000",
+            "sampled:512,2048+dw",
+            "sampled:512,2048+reuse",
+        ] {
+            let plan = ExecutionPlan::parse(text).expect(text);
+            assert_eq!(plan.to_string(), text, "round-trip of `{text}`");
+        }
+        // Bare `sampled` canonicalizes to the default schedule.
+        let plan = ExecutionPlan::parse("sampled").expect("sampled");
+        assert_eq!(plan, ExecutionPlan::sampled(SamplingConfig::default()));
+        assert_eq!(plan.warmup, WarmupMode::Functional);
+        assert_eq!(ExecutionPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn plan_parse_rejects_garbage() {
+        assert!(ExecutionPlan::parse("fast").is_err());
+        assert!(ExecutionPlan::parse("sampled:10").is_err());
+        assert!(ExecutionPlan::parse("sampled:0,100").is_err());
+        assert!(ExecutionPlan::parse("sampled:10,0").is_err());
+        assert!(ExecutionPlan::parse("sampled:a,b").is_err());
+        assert!(ExecutionPlan::parse("detailed+warp").is_err());
+    }
+
+    #[test]
+    fn zero_sampling_interval_rejected_by_validate() {
+        let cfg = CoreConfig {
+            plan: ExecutionPlan {
+                warmup: WarmupMode::Functional,
+                measure: MeasureMode::Sampled(SamplingConfig {
+                    interval: 0,
+                    period: 100,
+                }),
+                warm_reuse: false,
+            },
+            ..CoreConfig::power5_like()
+        };
+        assert!(matches!(
+            cfg.try_validate(),
+            Err(SimError::InvalidConfig { field: "plan.measure", .. })
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_warmup_mode_builder_delegates_to_plan() {
+        let via_shim = CoreConfig::builder()
+            .warmup_mode(WarmupMode::Functional)
+            .build()
+            .expect("valid");
+        let via_plan = CoreConfig::builder()
+            .plan(ExecutionPlan {
+                warmup: WarmupMode::Functional,
+                ..ExecutionPlan::detailed()
+            })
+            .build()
+            .expect("valid");
+        assert_eq!(via_shim, via_plan);
     }
 
     #[test]

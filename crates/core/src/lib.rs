@@ -52,18 +52,20 @@
 //!
 //! # Engine modes
 //!
-//! The core is a *two-speed* engine. The detailed, cycle-level pipeline
-//! above is the only mode that produces measurements; for the warmup
-//! phase — whose sole purpose is to populate caches, TLB and branch
-//! predictor before statistics are reset — [`SmtCore::functional_warmup`]
-//! fast-forwards in program order, touching the same architectural
-//! warm state without any pipeline bookkeeping. Which engine warms a
-//! run is selected by [`CoreConfig::warmup_mode`] (a [`WarmupMode`],
-//! default [`WarmupMode::Detailed`], so artifacts stay bit-identical
-//! unless fast-forward is explicitly requested):
+//! The core is a *three-speed* engine. The detailed, cycle-level
+//! pipeline above is the only mode that produces per-cycle truth;
+//! [`SmtCore::functional_warmup`] fast-forwards in program order,
+//! touching the same architectural warm state (caches, TLB, branch
+//! predictor) without any pipeline bookkeeping — and, because it never
+//! touches committed-instruction counts or repetition records, it can
+//! also run *mid-measurement* between detailed sampling intervals.
+//! Which speeds a run uses is selected by [`CoreConfig::plan`] (an
+//! [`ExecutionPlan`], default fully [`ExecutionPlan::detailed`], so
+//! artifacts stay bit-identical unless another plan is explicitly
+//! requested):
 //!
 //! ```
-//! use p5_core::{CoreConfig, SmtCore, WarmupMode};
+//! use p5_core::{CoreConfig, ExecutionPlan, SmtCore, WarmupMode};
 //! use p5_isa::{DataKind, Op, Program, StaticInst, StreamSpec, ThreadId};
 //!
 //! // A loop with a strided load, so warmup has cache state to build.
@@ -75,9 +77,9 @@
 //! let prog = b.build()?;
 //!
 //! let config = CoreConfig::builder()
-//!     .warmup_mode(WarmupMode::Functional)
+//!     .plan(ExecutionPlan::parse("detailed+ff").unwrap())
 //!     .build()?;
-//! assert_eq!(config.warmup_mode, WarmupMode::Functional);
+//! assert_eq!(config.plan.warmup, WarmupMode::Functional);
 //!
 //! let mut core = SmtCore::new(config);
 //! core.load_program(ThreadId::T0, prog);
@@ -103,7 +105,10 @@ mod trace;
 
 pub use cancel::CancelToken;
 pub use chip::{Chip, CoreId};
-pub use config::{BalancerConfig, ConfigError, CoreConfig, CoreConfigBuilder, OpLatencies, WarmupMode};
+pub use config::{
+    BalancerConfig, ConfigError, CoreConfig, CoreConfigBuilder, ExecutionPlan, MeasureMode,
+    OpLatencies, SamplingConfig, WarmupMode,
+};
 pub use engine::{RunOutcome, SmtCore, WarmState};
 pub use error::{DiagnosticSnapshot, SimError, StuckResource, ThreadDiag};
 pub use stats::{CoreStats, DecodeBlock, RepetitionRecord, ThreadStats};

@@ -24,11 +24,13 @@
 //! the functional warmup path is less than
 //! [`MIN_WARMUP_SPEEDUP`]× faster than detailed warmup, warm-state
 //! checkpoint sharing is less than [`MIN_REUSE_SPEEDUP`]× faster (or
-//! not bit-identical) on the sweep-shaped campaign leg, or write-ahead
+//! not bit-identical) on the sweep-shaped campaign leg, write-ahead
 //! result journaling costs more than [`MAX_JOURNAL_OVERHEAD_PCT`] over
-//! the identical un-journaled leg — how CI keeps the instrumentation,
-//! the two-speed engine, the checkpoint layer, and the durability layer
-//! honest. `--quick` shrinks the cycle budgets and cell counts for a CI
+//! the identical un-journaled leg, or the three-speed `sampled` plan is
+//! less than [`MIN_SAMPLED_SPEEDUP`]× faster than fully detailed on the
+//! long-repetition cell — how CI keeps the instrumentation, the
+//! two-speed engine, the checkpoint layer, the durability layer, and
+//! the sampling engine honest. `--quick` shrinks the cycle budgets and cell counts for a CI
 //! smoke run. The `off` mode *is*
 //! the disabled-PMU state — its hot-path cost is one never-taken branch
 //! per cycle, so the disabled overhead is bounded by run-to-run noise
@@ -63,6 +65,10 @@ const MIN_REUSE_SPEEDUP: f64 = 3.0;
 /// the identical un-journaled campaign leg, in percent of wall-clock —
 /// durability has to stay in the noise.
 const MAX_JOURNAL_OVERHEAD_PCT: f64 = 5.0;
+/// Gate: the sampled measure plan (three-speed engine) must cut the
+/// wall-clock of the long-repetition cell by at least this factor over
+/// the fully detailed plan — the whole point of interval sampling.
+const MIN_SAMPLED_SPEEDUP: f64 = 10.0;
 
 /// Worker count for the parallel leg of the campaign-scaling benchmark.
 const CAMPAIGN_JOBS: usize = 4;
@@ -83,6 +89,12 @@ struct Params {
     /// FAME clamp so warmup dominates each cell, the regime checkpoint
     /// sharing targets.
     reuse_warm_cycles: u64,
+    /// Iteration count of the sampled-plan leg's programs: long enough
+    /// that one repetition costs far more detailed cycles than the
+    /// sampling schedule spends, the regime interval sampling targets.
+    sampled_iterations: u64,
+    /// Interleaved detailed/sampled rounds in the sampled-plan leg.
+    sampled_rounds: usize,
 }
 
 impl Params {
@@ -95,6 +107,8 @@ impl Params {
             campaign_cells: MicroBenchmark::PRESENTED.len(),
             reuse_cells: 8,
             reuse_warm_cycles: 1_500_000,
+            sampled_iterations: 60_000,
+            sampled_rounds: 3,
         }
     }
 
@@ -107,6 +121,8 @@ impl Params {
             campaign_cells: 3,
             reuse_cells: 6,
             reuse_warm_cycles: 600_000,
+            sampled_iterations: 20_000,
+            sampled_rounds: 2,
         }
     }
 }
@@ -270,8 +286,7 @@ fn timed_campaign(jobs: usize, count: usize) -> f64 {
 /// whole contract.
 fn timed_reuse(p: &Params, reuse: bool) -> (f64, Vec<u64>) {
     let mut ctx = Experiments::quick().with_jobs(1).with_reuse_warmup(reuse);
-    ctx.fame.warmup_min_cycles = p.reuse_warm_cycles;
-    ctx.fame.warmup_max_cycles = p.reuse_warm_cycles;
+    ctx.fame.warmup = p5_fame::WarmupBudget::fixed(p.reuse_warm_cycles);
     let default = Priority::from_level(4).expect("valid");
     // Short repetitions keep the measure phase small next to the pinned
     // warm phase — the leg exists to time warm-up amortisation, not
@@ -296,6 +311,38 @@ fn timed_reuse(p: &Params, reuse: bool) -> (f64, Vec<u64>) {
         .map(|c| c.measured.total_ipc().map_or(0, f64::to_bits))
         .collect();
     (wall, bits)
+}
+
+/// Runs the long-repetition cell — `ldint_l2` against `cpu_int` at
+/// (4,4), both with [`Params::sampled_iterations`]-iteration bodies so
+/// a single repetition dwarfs the sampling schedule — end-to-end under
+/// the fully detailed plan or the three-speed `sampled` plan. Returns
+/// the wall time and the measured total IPC, so the two plans' answers
+/// can be compared (the CI tolerance gate lives in `scripts/ci.sh`;
+/// here the relative error is recorded, the speedup gated).
+fn timed_sampled(p: &Params, sampled: bool) -> (f64, f64) {
+    let mut ctx = Experiments::quick().with_jobs(1);
+    if sampled {
+        ctx = ctx.with_plan(p5_core::ExecutionPlan::sampled(
+            p5_core::SamplingConfig::balanced(),
+        ));
+    }
+    let default = Priority::from_level(4).expect("valid");
+    let cells = vec![CellSpec::pair(
+        "long".to_string(),
+        MicroBenchmark::LdintL2.program_with_iterations(p.sampled_iterations),
+        MicroBenchmark::CpuInt.program_with_iterations(p.sampled_iterations),
+        (default, default),
+    )];
+    let spec = CampaignSpec::for_ctx(&ctx, cells);
+    let t = Instant::now();
+    let result = Campaign::run(&ctx, &spec);
+    let wall = t.elapsed().as_secs_f64();
+    let ipc = result.cells[0]
+        .measured
+        .total_ipc()
+        .expect("the long cell produces a measurement");
+    (wall, ipc)
 }
 
 #[allow(clippy::too_many_lines)]
@@ -468,6 +515,49 @@ fn main() {
         if reuse_identical { "yes" } else { "NO" }
     );
 
+    // Sampled measure (three-speed engine): the identical long-repetition
+    // cell under the fully detailed plan vs `--plan sampled`, interleaved
+    // and medianed. Gated: interval sampling must actually buy its 10x on
+    // workloads whose repetitions are long enough to need it. Accuracy is
+    // recorded here (relative error of the sampled total IPC against the
+    // detailed answer) and gated separately by the CI tolerance check.
+    println!(
+        "== sampled plan: ldint_l2/cpu_int (4,4) x {} iterations, detailed vs sampled ({} rounds) ==",
+        p.sampled_iterations, p.sampled_rounds
+    );
+    let mut plan_detailed_samples = Vec::new();
+    let mut plan_sampled_samples = Vec::new();
+    let mut plan_detailed_ipc = 0.0f64;
+    let mut plan_sampled_ipc = 0.0f64;
+    for _ in 0..p.sampled_rounds {
+        let (wall, ipc) = timed_sampled(&p, false);
+        plan_detailed_samples.push(wall);
+        plan_detailed_ipc = ipc;
+        let (wall, ipc) = timed_sampled(&p, true);
+        plan_sampled_samples.push(wall);
+        plan_sampled_ipc = ipc;
+    }
+    let plan_detailed_wall = median(&plan_detailed_samples);
+    let plan_sampled_wall = median(&plan_sampled_samples);
+    let sampled_speedup = plan_detailed_wall / plan_sampled_wall;
+    let sampled_rel_err = if plan_detailed_ipc > 0.0 {
+        (plan_sampled_ipc - plan_detailed_ipc).abs() / plan_detailed_ipc
+    } else {
+        f64::INFINITY
+    };
+    let sampled_ok = sampled_speedup >= MIN_SAMPLED_SPEEDUP;
+    println!(
+        "detailed {:>8.1} ms (spread {:>4.1}%)   sampled {:>8.1} ms (spread {:>4.1}%)   \
+         speedup {sampled_speedup:.1}x   ipc {:.4} vs {:.4} (rel err {:.2}%)",
+        plan_detailed_wall * 1e3,
+        spread_pct(&plan_detailed_samples),
+        plan_sampled_wall * 1e3,
+        spread_pct(&plan_sampled_samples),
+        plan_detailed_ipc,
+        plan_sampled_ipc,
+        100.0 * sampled_rel_err,
+    );
+
     let doc = JsonObject::new()
         .field("schema_version", p5_experiments::export::SCHEMA_VERSION)
         .field("artifact", "bench_repro")
@@ -516,11 +606,13 @@ fn main() {
                 .field("min_warmup_speedup", MIN_WARMUP_SPEEDUP)
                 .field("min_reuse_speedup", MIN_REUSE_SPEEDUP)
                 .field("max_journal_overhead_pct", MAX_JOURNAL_OVERHEAD_PCT)
+                .field("min_sampled_speedup", MIN_SAMPLED_SPEEDUP)
                 .field("counters_ok", counters_ok)
                 .field("sampling_ok", sampling_ok)
                 .field("warmup_ok", warmup_ok)
                 .field("reuse_ok", reuse_ok)
                 .field("journal_ok", journal_ok)
+                .field("sampled_ok", sampled_ok)
                 .build(),
         )
         .field(
@@ -553,6 +645,19 @@ fn main() {
                 .field("on_wall_ms", reuse_on * 1e3)
                 .field("speedup", reuse_speedup)
                 .field("bit_identical", reuse_identical)
+                .build(),
+        )
+        .field(
+            "sampled",
+            JsonObject::new()
+                .field("iterations", p.sampled_iterations)
+                .field("rounds", p.sampled_rounds as u64)
+                .field("detailed_wall_ms", plan_detailed_wall * 1e3)
+                .field("sampled_wall_ms", plan_sampled_wall * 1e3)
+                .field("speedup", sampled_speedup)
+                .field("detailed_total_ipc", plan_detailed_ipc)
+                .field("sampled_total_ipc", plan_sampled_ipc)
+                .field("rel_err", sampled_rel_err)
                 .build(),
         )
         .build();
@@ -589,6 +694,13 @@ fn main() {
             eprintln!(
                 "JOURNAL GATE FAILED: write-ahead journaling costs {journal_pct:+.1}% \
                  over the plain leg (limit {MAX_JOURNAL_OVERHEAD_PCT}%)"
+            );
+            failed = true;
+        }
+        if !sampled_ok {
+            eprintln!(
+                "SAMPLED GATE FAILED: the sampled plan is only {sampled_speedup:.2}x faster \
+                 than detailed on the long-repetition cell (minimum {MIN_SAMPLED_SPEEDUP}x)"
             );
             failed = true;
         }

@@ -10,25 +10,25 @@
 //! cargo run --release -p p5-experiments --bin repro -- --pmu   # CPI stacks
 //! cargo run --release -p p5-experiments --bin repro -- --pmu --trace out.json
 //! cargo run --release -p p5-experiments --bin repro -- --jobs 4
-//! cargo run --release -p p5-experiments --bin repro -- --fast-forward
-//! cargo run --release -p p5-experiments --bin repro -- --reuse-warmup
+//! cargo run --release -p p5-experiments --bin repro -- --plan detailed+ff
+//! cargo run --release -p p5-experiments --bin repro -- --plan sampled:10000,40000
 //! ```
 //!
 //! `--jobs N` fans the campaign cells out over N worker threads
 //! (default: available parallelism). Artifacts are byte-identical for
 //! every N — see the campaign module's determinism argument.
 //!
-//! `--fast-forward` warms every cell on the functional fast-forward
-//! engine instead of the detailed one (statistically equivalent, not
-//! bit-identical — see DESIGN.md §11 "Two-speed engine"). The default
-//! keeps warmup on the detailed engine so artifacts stay bit-identical
-//! with earlier revisions.
-//!
-//! `--reuse-warmup` lets campaign cells with provably identical warm
-//! phases share one warm-state checkpoint instead of each re-simulating
-//! the warm-up (bit-identical output, wall-clock only — see DESIGN.md
-//! §12 "Warm-state checkpointing"). Off by default so the presented
-//! artifacts exercise the plain path.
+//! `--plan SPEC` selects the execution plan (DESIGN.md §15 "Three-speed
+//! engine"): `detailed` (the default — bit-identical with earlier
+//! revisions), `detailed+ff` (functional fast-forward warmup,
+//! statistically equivalent), or `sampled[:interval,period]` (interval
+//! sampling: short detailed measurement bursts alternating with
+//! functional fast-forward, every IPC reported as a mean with a 95%
+//! confidence interval). Suffix `+reuse` shares warm-state checkpoints
+//! across identical warm phases (bit-identical, wall-clock only —
+//! DESIGN.md §12). The older `--fast-forward` and `--reuse-warmup`
+//! flags are deprecated spellings of `--plan detailed+ff` and
+//! `+reuse`.
 //!
 //! `--pmu` adds the per-cell CPI-stack section; `--trace <path>`
 //! additionally captures the priority-switch transient and writes it as
@@ -100,8 +100,14 @@ OPTIONS:
     --json-dir DIR          export JSON artifacts into DIR
     --jobs N                campaign worker threads (default: all cores);
                             artifacts are byte-identical for every N
-    --fast-forward          functional fast-forward warmup (DESIGN.md §11)
-    --reuse-warmup          share warm-state checkpoints (DESIGN.md §12)
+    --plan SPEC             execution plan (DESIGN.md §15):
+                              detailed              cycle-level (default)
+                              detailed+ff           functional warmup
+                              sampled[:INT,PER]     interval sampling with
+                                                    95% confidence intervals
+                            append +reuse to share warm-state checkpoints
+    --fast-forward          deprecated: same as --plan detailed+ff
+    --reuse-warmup          deprecated: adds +reuse to the plan
     --pmu                   add the per-cell CPI-stack section
     --trace PATH            write the priority-switch Chrome trace to PATH
     --journal DIR           journal finished cells to DIR/journal.jsonl
@@ -165,6 +171,28 @@ fn main() {
     let pmu_flag = args.iter().any(|a| a == "--pmu");
     let fast_forward = args.iter().any(|a| a == "--fast-forward");
     let reuse_warmup = args.iter().any(|a| a == "--reuse-warmup");
+    let mut plan = match args
+        .iter()
+        .position(|a| a == "--plan")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(spec) => match p5_core::ExecutionPlan::parse(spec) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("--plan: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => p5_core::ExecutionPlan::detailed(),
+    };
+    // Deprecated shims: spelled as plan edits so they compose with
+    // --plan (e.g. `--plan sampled --reuse-warmup` works as expected).
+    if fast_forward {
+        plan.warmup = p5_core::WarmupMode::Functional;
+    }
+    if reuse_warmup {
+        plan.warm_reuse = true;
+    }
     let jobs: usize = match args
         .iter()
         .position(|a| a == "--jobs")
@@ -211,17 +239,12 @@ fn main() {
     } else {
         Experiments::paper()
     }
-    .with_jobs(jobs);
-    if fast_forward {
-        // Two-speed engine: warm every cell on the functional
-        // fast-forward path. Measured phases stay on the detailed
-        // engine; results are statistically equivalent but not
-        // bit-identical to the default. See DESIGN.md §11.
-        ctx.core.warmup_mode = p5_core::WarmupMode::Functional;
-    }
-    // Warm-state checkpoint sharing: purely a wall-clock optimisation,
-    // artifacts stay byte-identical. See DESIGN.md §12.
-    ctx.reuse_warmup = reuse_warmup;
+    .with_jobs(jobs)
+    // Three-speed engine: the plan picks the warmup engine, the measure
+    // schedule (detailed vs. interval sampling) and warm-state
+    // checkpoint sharing. The default detailed plan keeps artifacts
+    // bit-identical with earlier revisions. See DESIGN.md §15.
+    .with_plan(plan);
     if let Some(dir) = &journal_dir {
         let journal = if resume {
             match p5_experiments::journal::ResultJournal::resume(dir) {
@@ -286,16 +309,11 @@ fn main() {
         ctx = ctx.with_chaos(plan);
     }
     println!(
-        "== POWER5 software-controlled priority reproduction ({} fidelity, {} job{}{}{}) ==\n",
+        "== POWER5 software-controlled priority reproduction ({} fidelity, {} job{}, plan {}) ==\n",
         if quick { "quick" } else { "paper" },
         ctx.jobs,
         if ctx.jobs == 1 { "" } else { "s" },
-        if fast_forward {
-            ", fast-forward warmup"
-        } else {
-            ""
-        },
-        if reuse_warmup { ", warm reuse" } else { "" }
+        plan
     );
 
     let t0 = Instant::now();

@@ -50,7 +50,7 @@
 //! # Example
 //!
 //! ```
-//! use p5_core::WarmupMode;
+//! use p5_core::ExecutionPlan;
 //! use p5_experiments::campaign::{Campaign, CampaignSpec, CellSpec};
 //! use p5_experiments::Experiments;
 //! use p5_isa::Priority;
@@ -67,8 +67,8 @@
 //!         (high, low),
 //!     )
 //!     // Opt this cell into functional fast-forward warmup; cells
-//!     // without an override inherit `ctx.core.warmup_mode`.
-//!     .with_warmup(WarmupMode::Functional),
+//!     // without an override inherit `ctx.core.plan`.
+//!     .with_plan(ExecutionPlan::parse("detailed+ff").unwrap()),
 //! ];
 //!
 //! let ctx = Experiments::quick().with_jobs(2);
@@ -82,7 +82,7 @@
 
 use crate::journal::{CellKey, StableHasher, JOURNAL_SCHEMA_VERSION};
 use crate::{CellCounts, CellStatus, Degradation, Experiments, Measured};
-use p5_core::{CancelToken, SimError, WarmState, WarmupMode};
+use p5_core::{CancelToken, ExecutionPlan, MeasureMode, SimError, WarmState, WarmupMode};
 use p5_fame::FameRunner;
 use p5_fault::{FaultKind, FaultPlan, HostFaultKind};
 use p5_isa::{BranchBehavior, Op, Priority, Program, ThreadId};
@@ -185,8 +185,15 @@ pub struct CellSpec {
     /// Per-cell warmup-mode override: `Some(mode)` forces this cell onto
     /// the given engine path for its warmup phase; `None` (the default)
     /// inherits the campaign context's
-    /// [`CoreConfig::warmup_mode`](p5_core::CoreConfig).
+    /// [`CoreConfig::plan`](p5_core::CoreConfig).
     pub warmup: Option<WarmupMode>,
+    /// Per-cell measure-mode override: `Some(mode)` forces this cell's
+    /// measured phase onto the given engine schedule; `None` (the
+    /// default) inherits the campaign context's
+    /// [`CoreConfig::plan`](p5_core::CoreConfig). Sampled cells journal
+    /// under their own content-addressed key (see [`cell_key`]), so the
+    /// cache never conflates fidelities.
+    pub measure: Option<MeasureMode>,
     /// Per-cell warm-reuse override: `Some(flag)` forces checkpoint
     /// sharing on or off for this cell; `None` (the default) inherits
     /// [`CampaignSpec::reuse_warmup`]. Faulted cells never share
@@ -205,6 +212,7 @@ impl CellSpec {
             priorities: (Priority::Medium, Priority::Medium),
             faults: None,
             warmup: None,
+            measure: None,
             warm_reuse: None,
         }
     }
@@ -224,6 +232,7 @@ impl CellSpec {
             priorities,
             faults: None,
             warmup: None,
+            measure: None,
             warm_reuse: None,
         }
     }
@@ -235,8 +244,23 @@ impl CellSpec {
         self
     }
 
+    /// Returns this cell pinned to the given execution plan — warmup
+    /// engine, measure schedule and warm-reuse policy in one override —
+    /// instead of inheriting the campaign context's
+    /// [`CoreConfig::plan`](p5_core::CoreConfig). This is the replacement
+    /// for the deprecated [`with_warmup`](CellSpec::with_warmup) /
+    /// [`with_warm_reuse`](CellSpec::with_warm_reuse) pair.
+    #[must_use]
+    pub fn with_plan(mut self, plan: ExecutionPlan) -> CellSpec {
+        self.warmup = Some(plan.warmup);
+        self.measure = Some(plan.measure);
+        self.warm_reuse = Some(plan.warm_reuse);
+        self
+    }
+
     /// Returns this cell pinned to the given warmup mode, overriding the
     /// campaign context's default.
+    #[deprecated(note = "use `with_plan(ExecutionPlan { warmup, .. })` instead")]
     #[must_use]
     pub fn with_warmup(mut self, mode: WarmupMode) -> CellSpec {
         self.warmup = Some(mode);
@@ -246,6 +270,7 @@ impl CellSpec {
     /// Returns this cell with warm-state checkpoint sharing forced on or
     /// off, overriding the campaign default
     /// ([`CampaignSpec::reuse_warmup`]).
+    #[deprecated(note = "use `with_plan(plan.with_warm_reuse(reuse))` instead")]
     #[must_use]
     pub fn with_warm_reuse(mut self, reuse: bool) -> CellSpec {
         self.warm_reuse = Some(reuse);
@@ -476,7 +501,7 @@ fn warmup_key(
     if !cell.warm_reuse.unwrap_or(spec.reuse_warmup) || cell.faults.is_some() {
         return None;
     }
-    let mode = cell.warmup.unwrap_or(ctx.core.warmup_mode);
+    let mode = cell.warmup.unwrap_or(ctx.core.plan.warmup);
     let rng_relevant =
         uses_rng(&cell.primary) || cell.secondary.as_ref().is_some_and(uses_rng);
     Some(WarmupKey {
@@ -507,8 +532,10 @@ fn warmup_key(
 ///   `u8::MAX` sentinel as the warm-reuse `WarmupKey` for
 ///   single-thread cells, whose
 ///   priorities are ignored);
-/// - the effective warmup engine and the fault schedule (or its
-///   absence);
+/// - the effective warmup engine, the effective measure mode (detailed
+///   vs. sampled with its interval/period — sampled results must never
+///   stand in for detailed ones or vice versa), and the fault schedule
+///   (or its absence);
 /// - the full core configuration with `rng_seed` zeroed plus the FAME
 ///   configuration (via their `Debug` renderings — verbose but
 ///   complete, so a config change can never replay a stale record);
@@ -529,16 +556,25 @@ pub fn cell_key(ctx: &Experiments, spec: &CampaignSpec, id: usize, cell: &CellSp
     } else {
         (u8::MAX, u8::MAX).hash(&mut h);
     }
-    match cell.warmup.unwrap_or(ctx.core.warmup_mode) {
+    match cell.warmup.unwrap_or(ctx.core.plan.warmup) {
         WarmupMode::Detailed => 0u8.hash(&mut h),
         WarmupMode::Functional => 1u8.hash(&mut h),
+    }
+    match cell.measure.unwrap_or(ctx.core.plan.measure) {
+        MeasureMode::Detailed => 0u8.hash(&mut h),
+        MeasureMode::Sampled(s) => (1u8, s.interval, s.period).hash(&mut h),
     }
     match cell.faults {
         Some(f) => (1u8, f.seed, f.count, f.horizon).hash(&mut h),
         None => 0u8.hash(&mut h),
     }
+    // Normalized out of the Debug rendering: `rng_seed` (hashed
+    // conditionally below) and the plan (the *effective* warmup/measure
+    // are hashed explicitly above, and `warm_reuse` must not split keys
+    // — it is documented not to change the measured bytes).
     let mut core = ctx.core.clone();
     core.rng_seed = 0;
+    core.plan = ExecutionPlan::detailed();
     format!("{core:?}").hash(&mut h);
     format!("{:?}", ctx.fame).hash(&mut h);
     let rng_relevant = uses_rng(&cell.primary) || cell.secondary.as_ref().is_some_and(uses_rng);
@@ -639,7 +675,7 @@ fn compute_checkpoint(
     let mut rep_ctx = ctx.clone();
     rep_ctx.core.rng_seed = derive_cell_seed(spec.seed, rep_id as u64);
     if let Some(mode) = cell.warmup {
-        rep_ctx.core.warmup_mode = mode;
+        rep_ctx.core.plan.warmup = mode;
     }
     let mut core = rep_ctx.try_new_core().ok()?;
     setup_cell(&mut core, cell);
@@ -841,7 +877,10 @@ fn run_cell(
     let mut cell_ctx = ctx.clone();
     cell_ctx.core.rng_seed = derive_cell_seed(spec.seed, id as u64);
     if let Some(mode) = cell.warmup {
-        cell_ctx.core.warmup_mode = mode;
+        cell_ctx.core.plan.warmup = mode;
+    }
+    if let Some(measure) = cell.measure {
+        cell_ctx.core.plan.measure = measure;
     }
     let plan = cell
         .faults
@@ -1319,6 +1358,7 @@ mod tests {
     /// when the campaign default is on; its key is `None`, so the other
     /// members of its would-be group still share among themselves.
     #[test]
+    #[allow(deprecated)]
     fn warmup_key_respects_cell_overrides_and_faults() {
         let ctx = tiny_ctx();
         let spec = CampaignSpec {
@@ -1349,5 +1389,155 @@ mod tests {
         let table = WarmCheckpoints::plan(&ctx, &spec);
         assert_eq!(table.groups.len(), 1, "one group of two members");
         assert_eq!(table.groups.values().next().unwrap().rep_id, 0);
+    }
+
+    /// The deprecated `with_warmup`/`with_warm_reuse` shims must be
+    /// byte-for-byte equivalent to the `with_plan` API they delegate to —
+    /// the api_redesign's compatibility contract.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_are_bit_identical_to_with_plan() {
+        let ctx = tiny_ctx();
+        let plan = ExecutionPlan::parse("detailed+ff+reuse").unwrap();
+        let build = |via_shims: bool| {
+            let cell = CellSpec::pair(
+                "cell",
+                load_program(60),
+                cpu_program(40),
+                crate::priority_pair(2),
+            );
+            if via_shims {
+                cell.with_warmup(WarmupMode::Functional).with_warm_reuse(true)
+            } else {
+                cell.with_plan(plan)
+            }
+        };
+        let run = |via_shims: bool| {
+            Campaign::run(
+                &ctx,
+                &CampaignSpec {
+                    cells: vec![build(via_shims), build(via_shims)],
+                    jobs: 1,
+                    seed: 77,
+                    reuse_warmup: false,
+                },
+            )
+        };
+        let shimmed = run(true);
+        let planned = run(false);
+        for (s, p) in shimmed.cells.iter().zip(&planned.cells) {
+            assert_eq!(s.measured.status, p.measured.status);
+            assert_eq!(
+                s.measured.total_ipc().map(f64::to_bits),
+                p.measured.total_ipc().map(f64::to_bits),
+                "shim and plan paths must be bit-identical"
+            );
+        }
+        // And the override fields land identically, so journal keys and
+        // warm-reuse groups agree too.
+        let spec = CampaignSpec {
+            cells: vec![build(true), build(false)],
+            jobs: 1,
+            seed: 77,
+            reuse_warmup: false,
+        };
+        assert_eq!(
+            cell_key(&ctx, &spec, 0, &spec.cells[0]),
+            cell_key(&ctx, &spec, 1, &spec.cells[1]),
+        );
+        assert_eq!(
+            warmup_key(&ctx, &spec, 0, &spec.cells[0]),
+            warmup_key(&ctx, &spec, 1, &spec.cells[1]),
+        );
+    }
+
+    /// Sampled and detailed measurements of the same cell must journal
+    /// under *disjoint* content-addressed keys — the cache never serves
+    /// a sampled estimate where an exhaustive measurement was asked for,
+    /// and different sampling schedules never conflate either.
+    #[test]
+    fn sampled_and_detailed_cells_hash_disjoint_keys() {
+        let ctx = tiny_ctx();
+        let spec = CampaignSpec {
+            cells: vec![
+                CellSpec::single("detailed", cpu_program(40)),
+                CellSpec::single("sampled", cpu_program(40))
+                    .with_plan(ExecutionPlan::parse("sampled:2048,8192").unwrap()),
+                CellSpec::single("sampled-other", cpu_program(40))
+                    .with_plan(ExecutionPlan::parse("sampled:4096,8192").unwrap()),
+            ],
+            jobs: 1,
+            seed: 5,
+            reuse_warmup: false,
+        };
+        let keys: Vec<CellKey> = spec
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(id, cell)| cell_key(&ctx, &spec, id, cell))
+            .collect();
+        assert_ne!(keys[0], keys[1], "measure mode is part of the key");
+        assert_ne!(keys[1], keys[2], "the sampling schedule is part of the key");
+
+        // A context-wide sampled plan hashes the same as the equivalent
+        // per-cell override, so serve requests and offline campaigns
+        // share cache entries.
+        let mut sampled_ctx = ctx.clone();
+        sampled_ctx.core.plan = ExecutionPlan::parse("sampled:2048,8192").unwrap();
+        assert_eq!(
+            cell_key(&sampled_ctx, &spec, 0, &spec.cells[0]),
+            keys[1],
+            "ctx-level plan and per-cell override produce one key"
+        );
+        // ...and `warm_reuse` never splits keys (documented wall-clock-only).
+        let mut reuse_ctx = ctx.clone();
+        reuse_ctx.core.plan = ctx.core.plan.with_warm_reuse(true);
+        assert_eq!(cell_key(&reuse_ctx, &spec, 0, &spec.cells[0]), keys[0]);
+    }
+
+    /// A campaign run under a sampled plan produces estimates with a
+    /// sample population, stays deterministic across jobs, and lands
+    /// within tolerance of the detailed run.
+    #[test]
+    fn sampled_campaign_is_deterministic_and_close_to_detailed() {
+        let ctx = tiny_ctx();
+        let cells = || {
+            vec![CellSpec::pair(
+                "pair",
+                load_program(60),
+                cpu_program(40),
+                crate::priority_pair(2),
+            )]
+        };
+        let run = |plan: &str, jobs: usize| {
+            let mut run_ctx = ctx.clone();
+            run_ctx.core.plan = ExecutionPlan::parse(plan).unwrap();
+            Campaign::run(
+                &run_ctx,
+                &CampaignSpec {
+                    cells: cells(),
+                    jobs,
+                    seed: 21,
+                    reuse_warmup: false,
+                },
+            )
+        };
+        let detailed = run("detailed", 1);
+        let sampled1 = run("sampled:4096,16384", 1);
+        let sampled2 = run("sampled:4096,16384", 2);
+        let (d, s) = (detailed.measured(0), sampled1.measured(0));
+        assert_eq!(
+            s.total_ipc().map(f64::to_bits),
+            sampled2.measured(0).total_ipc().map(f64::to_bits),
+            "sampled runs are jobs-independent"
+        );
+        let report = s.report.as_ref().expect("sampled cell measured");
+        let m = report.thread(ThreadId::T0).unwrap();
+        assert!(m.estimate.samples >= 3, "carries a sample population");
+        let (dv, sv) = (d.total_ipc().unwrap(), s.total_ipc().unwrap());
+        assert!(
+            ((sv - dv) / dv).abs() < 0.15,
+            "sampled total IPC {sv} strays from detailed {dv}"
+        );
     }
 }

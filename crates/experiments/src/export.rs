@@ -22,8 +22,11 @@ use std::fmt::Write as _;
 /// Version of the JSON artifact layout; bump on any breaking change to
 /// the exported object shapes. Stamped into every JSON artifact this
 /// workspace writes (experiment exports, PMU dumps, the CI perf
-/// snapshot).
-pub const SCHEMA_VERSION: u64 = 1;
+/// snapshot). History: 1 = original layout; 2 = Table 3 rows carry 95%
+/// confidence half-widths (`pt_ci95`/`total_ci95` — zero under the
+/// default detailed plan, the interval statistics under a sampled
+/// plan).
+pub const SCHEMA_VERSION: u64 = 2;
 
 fn bench_names() -> Vec<&'static str> {
     MicroBenchmark::PRESENTED.iter().map(|b| b.name()).collect()
@@ -37,15 +40,26 @@ fn artifact(name: &str) -> JsonObject {
         .field("artifact", name)
 }
 
-/// Table 3 as CSV: one row per (pthread, sthread) cell plus the ST rows.
+/// Table 3 as CSV: one row per (pthread, sthread) cell plus the ST
+/// rows. The `*_ci95` columns are the 95% confidence half-widths of the
+/// adjacent IPC column — exactly zero under the default detailed plan,
+/// the interval-sampling statistics under `--plan sampled`.
 #[must_use]
 pub fn table3_csv(r: &Table3Result) -> String {
     let names = bench_names();
-    let mut out = String::from("pthread,sthread,pt_ipc,total_ipc\n");
+    let mut out = String::from("pthread,sthread,pt_ipc,pt_ci95,total_ipc,total_ci95\n");
     for (i, a) in names.iter().enumerate() {
-        let _ = writeln!(out, "{a},ST,{:.6},{:.6}", r.st[i], r.st[i]);
+        let _ = writeln!(
+            out,
+            "{a},ST,{:.6},{:.6},{:.6},{:.6}",
+            r.st[i], r.st_ci95[i], r.st[i], r.st_ci95[i]
+        );
         for (j, b) in names.iter().enumerate() {
-            let _ = writeln!(out, "{a},{b},{:.6},{:.6}", r.pt[i][j], r.tt[i][j]);
+            let _ = writeln!(
+                out,
+                "{a},{b},{:.6},{:.6},{:.6},{:.6}",
+                r.pt[i][j], r.pt_ci95[i][j], r.tt[i][j], r.tt_ci95[i][j]
+            );
         }
     }
     out
@@ -168,7 +182,9 @@ pub fn table3_json(r: &Table3Result) -> String {
                 .field("pthread", *a)
                 .field("sthread", "ST")
                 .field("pt_ipc", r.st[i])
+                .field("pt_ci95", r.st_ci95[i])
                 .field("total_ipc", r.st[i])
+                .field("total_ci95", r.st_ci95[i])
                 .build(),
         );
         for (j, b) in names.iter().enumerate() {
@@ -177,7 +193,9 @@ pub fn table3_json(r: &Table3Result) -> String {
                     .field("pthread", *a)
                     .field("sthread", *b)
                     .field("pt_ipc", r.pt[i][j])
+                    .field("pt_ci95", r.pt_ci95[i][j])
                     .field("total_ipc", r.tt[i][j])
+                    .field("total_ci95", r.tt_ci95[i][j])
                     .build(),
             );
         }
@@ -323,14 +341,15 @@ mod tests {
             st: [1.0; 6],
             pt: [[0.5; 6]; 6],
             tt: [[1.0; 6]; 6],
-            degraded: Vec::new(),
-            counts: crate::CellCounts::default(),
+            ..Table3Result::default()
         };
         let csv = table3_csv(&r);
         // header + 6 ST rows + 36 cells
         assert_eq!(csv.lines().count(), 1 + 6 + 36);
-        assert!(csv.starts_with("pthread,sthread,"));
+        assert!(csv.starts_with("pthread,sthread,pt_ipc,pt_ci95,total_ipc,total_ci95"));
         assert!(csv.contains("ldint_l1,ST,"));
+        // Detailed results carry exact values: the CI columns are zero.
+        assert!(csv.contains(",0.500000,0.000000,1.000000,0.000000"));
     }
 
     #[test]
@@ -403,8 +422,10 @@ mod tests {
             st: [1.0; 6],
             pt: [[0.5; 6]; 6],
             tt: [[1.0; 6]; 6],
-            degraded: Vec::new(),
-            counts: crate::CellCounts::default(),
+            st_ci95: [0.01; 6],
+            pt_ci95: [[0.02; 6]; 6],
+            tt_ci95: [[0.03; 6]; 6],
+            ..Table3Result::default()
         };
         let f2 = Fig2Result {
             speedup: [[[1.0; 5]; 6]; 6],
@@ -423,11 +444,13 @@ mod tests {
         };
         for json in [table3_json(&t3), fig2_json(&f2), table4_json(&t4)] {
             assert!(
-                json.starts_with(r#"{"schema_version":1,"artifact":""#),
+                json.starts_with(r#"{"schema_version":2,"artifact":""#),
                 "{json}"
             );
         }
         assert!(table3_json(&t3).contains(r#""sthread":"ST""#));
+        assert!(table3_json(&t3).contains(r#""pt_ci95":"#));
+        assert!(table3_json(&t3).contains(r#""total_ci95":"#));
         assert!(fig2_json(&f2).contains(r#""diff":-2"#) || fig2_json(&f2).contains(r#""diff":1"#));
         assert!(table4_json(&t4).contains(r#""prio_fft":"ST""#));
     }

@@ -54,7 +54,10 @@ use std::sync::Mutex;
 
 /// Version stamped on every journal line; bump on any change to the key
 /// derivation or record layout. Mismatched lines are skipped on load.
-pub const JOURNAL_SCHEMA_VERSION: u32 = 1;
+/// History: 1 = original layout; 2 = thread records carry the sampling
+/// estimate (`est_bits`/`ci95_bits`/`samples`) and cell keys cover the
+/// measure mode.
+pub const JOURNAL_SCHEMA_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a as a [`std::hash::Hasher`], for fingerprints that must
 /// be stable across *runs* (unlike `DefaultHasher`, which is only
@@ -180,6 +183,9 @@ fn thread_json(m: &ThreadMeasurement) -> JsonValue {
         .field("repetitions", m.repetitions)
         .field("avg_bits", m.avg_repetition_cycles.to_bits())
         .field("ipc_bits", m.ipc.to_bits())
+        .field("est_bits", m.estimate.value.to_bits())
+        .field("ci95_bits", m.estimate.ci95.to_bits())
+        .field("samples", m.estimate.samples)
         .field("converged", m.converged)
         .build()
 }
@@ -292,6 +298,11 @@ fn parse_thread(v: &JsonValue) -> Option<Option<ThreadMeasurement>> {
         repetitions: usize::try_from(v.get("repetitions")?.as_u64()?).ok()?,
         avg_repetition_cycles: f64::from_bits(v.get("avg_bits")?.as_u64()?),
         ipc: f64::from_bits(v.get("ipc_bits")?.as_u64()?),
+        estimate: p5_fame::Estimate {
+            value: f64::from_bits(v.get("est_bits")?.as_u64()?),
+            ci95: f64::from_bits(v.get("ci95_bits")?.as_u64()?),
+            samples: u32::try_from(v.get("samples")?.as_u64()?).ok()?,
+        },
         converged: v.get("converged")?.as_bool()?,
     }))
 }
@@ -579,6 +590,11 @@ mod tests {
                         repetitions: 12,
                         avg_repetition_cycles: 123.456_789,
                         ipc: 1.234_567_890_123,
+                        estimate: p5_fame::Estimate {
+                            value: 1.234_567_890_123,
+                            ci95: 0.042_424_242,
+                            samples: 12,
+                        },
                         converged: true,
                     }),
                     None,
@@ -613,6 +629,12 @@ mod tests {
             b.threads[0].unwrap().ipc.to_bits(),
             "floats are bit-exact"
         );
+        assert_eq!(
+            a.threads[0].unwrap().estimate.ci95.to_bits(),
+            b.threads[0].unwrap().estimate.ci95.to_bits(),
+            "sampling estimates are bit-exact"
+        );
+        assert_eq!(a.threads[0].unwrap().estimate.samples, 12);
         assert_eq!(
             m.error.unwrap().to_string(),
             original.error.unwrap().to_string(),

@@ -261,6 +261,25 @@ impl Measured {
             .map(|m| m.ipc)
     }
 
+    /// Per-thread IPC estimate (mean plus 95% confidence interval), if
+    /// measured. Detailed measurements carry an exact single-sample
+    /// estimate (`ci95 == 0`); sampled measurements carry the interval
+    /// statistics.
+    #[must_use]
+    pub fn ipc_estimate(&self, thread: ThreadId) -> Option<p5_fame::Estimate> {
+        self.report
+            .as_ref()
+            .and_then(|r| r.thread(thread))
+            .map(|m| m.estimate)
+    }
+
+    /// 95% confidence half-width of the combined IPC, if measured
+    /// (zero for detailed measurements).
+    #[must_use]
+    pub fn total_ipc_ci95(&self) -> Option<f64> {
+        self.report.as_ref().map(FameReport::total_ipc_ci95)
+    }
+
     /// Average repetition time of one thread, if measured.
     #[must_use]
     pub fn avg_repetition_cycles(&self, thread: ThreadId) -> Option<f64> {
@@ -373,9 +392,11 @@ impl Experiments {
                 stable_window: 2,
                 min_repetitions: 3,
                 max_cycles: 30_000_000,
-                warmup_max_cycles: 10_000_000,
-                warmup_ring_passes: 1,
-                warmup_min_cycles: 20_000,
+                warmup: p5_fame::WarmupBudget {
+                    min_cycles: 20_000,
+                    max_cycles: 10_000_000,
+                    ring_passes: 1,
+                },
             },
         )
     }
@@ -387,11 +408,24 @@ impl Experiments {
         self
     }
 
+    /// Returns this context running under the given
+    /// [`ExecutionPlan`](p5_core::ExecutionPlan) (the `--plan` flag of
+    /// the binaries): the plan lands on the core configuration, and its
+    /// `warm_reuse` flag doubles as the campaign-level checkpoint-sharing
+    /// default.
+    #[must_use]
+    pub fn with_plan(mut self, plan: p5_core::ExecutionPlan) -> Experiments {
+        self.core.plan = plan;
+        self.reuse_warmup = plan.warm_reuse;
+        self
+    }
+
     /// Returns this context with warm-state checkpoint sharing switched
     /// on or off (the `--reuse-warmup` flag of the binaries).
     #[must_use]
     pub fn with_reuse_warmup(mut self, reuse: bool) -> Experiments {
         self.reuse_warmup = reuse;
+        self.core.plan.warm_reuse = reuse;
         self
     }
 
@@ -780,8 +814,7 @@ mod tests {
         let mut ctx = tiny_ctx();
         ctx.fame.min_repetitions = 40;
         ctx.fame.max_cycles = 8_000;
-        ctx.fame.warmup_min_cycles = 500;
-        ctx.fame.warmup_max_cycles = 500;
+        ctx.fame.warmup = p5_fame::WarmupBudget::fixed(500);
         let m = ctx.measure_single_resilient(cpu_program(50));
         assert_eq!(m.status, CellStatus::Recovered);
         assert!(m.report.expect("recovered report").converged());

@@ -125,7 +125,7 @@ fn measure(ctx: &Experiments, bench: MicroBenchmark, noisy: bool) -> Regime {
 
     // Warm, then measure for a fixed horizon (bounded by the FAME cycle
     // budget so smoke configurations stay cheap).
-    chip.run_cycles(ctx.fame.warmup_max_cycles.min(6_000_000));
+    chip.run_cycles(ctx.fame.warmup.max_cycles.min(6_000_000));
     chip.reset_stats();
     chip.run_cycles(ctx.fame.max_cycles.min(4_000_000));
 

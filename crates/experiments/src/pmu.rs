@@ -324,7 +324,7 @@ mod tests {
             cells: vec![measure_cell(&tiny_ctx(), MicroBenchmark::CpuInt, (6, 2))],
         };
         let json = pmu_json(&r);
-        assert!(json.starts_with(r#"{"schema_version":1,"artifact":"pmu""#));
+        assert!(json.starts_with(r#"{"schema_version":2,"artifact":"pmu""#));
         assert!(json.contains(r#""bench":"cpu_int""#));
         assert!(json.contains(r#""components":{"base":"#));
     }

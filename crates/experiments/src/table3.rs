@@ -97,6 +97,13 @@ pub struct Table3Result {
     pub pt: [[f64; 6]; 6],
     /// Combined IPC for each pairing under (4,4).
     pub tt: [[f64; 6]; 6],
+    /// 95% confidence half-width of each ST IPC (zero under the
+    /// detailed plan, where every value is exact).
+    pub st_ci95: [f64; 6],
+    /// 95% confidence half-width of each PThread IPC.
+    pub pt_ci95: [[f64; 6]; 6],
+    /// 95% confidence half-width of each combined IPC.
+    pub tt_ci95: [[f64; 6]; 6],
     /// Annotations for measurements that degraded (their cells are kept
     /// at the best unconverged value, or zero).
     pub degraded: Vec<Degradation>,
@@ -244,16 +251,21 @@ pub fn from_campaign(campaign: &CampaignResult) -> Result<Table3Result, crate::E
         ..Table3Result::default()
     };
     for i in 0..benches.len() {
-        result.st[i] = campaign
-            .measured(i)
-            .ipc(p5_isa::ThreadId::T0)
-            .unwrap_or(0.0);
+        let m = campaign.measured(i);
+        result.st[i] = m.ipc(p5_isa::ThreadId::T0).unwrap_or(0.0);
+        result.st_ci95[i] = m
+            .ipc_estimate(p5_isa::ThreadId::T0)
+            .map_or(0.0, |e| e.ci95);
     }
     for i in 0..benches.len() {
         for j in 0..benches.len() {
             let m = campaign.measured(benches.len() + i * benches.len() + j);
             result.pt[i][j] = m.ipc(p5_isa::ThreadId::T0).unwrap_or(0.0);
             result.tt[i][j] = m.total_ipc().unwrap_or(0.0);
+            result.pt_ci95[i][j] = m
+                .ipc_estimate(p5_isa::ThreadId::T0)
+                .map_or(0.0, |e| e.ci95);
+            result.tt_ci95[i][j] = m.total_ipc_ci95().unwrap_or(0.0);
         }
     }
     Ok(result)
@@ -282,7 +294,7 @@ mod tests {
             pt: [[0.5; 6]; 6],
             tt: [[1.0; 6]; 6],
             degraded: vec![Degradation::new("(cpu_int,cpu_int)", "budget")],
-            counts: CellCounts::default(),
+            ..Table3Result::default()
         };
         let s = r.render();
         assert!(s.contains("ldint_l1"));
@@ -307,8 +319,7 @@ mod tests {
             st,
             pt,
             tt,
-            degraded: Vec::new(),
-            counts: CellCounts::default(),
+            ..Table3Result::default()
         };
         assert!(r.shape_holds());
     }

@@ -31,6 +31,42 @@ fn help_exits_zero_and_documents_the_exit_codes() {
 }
 
 #[test]
+fn help_documents_the_plan_flag_and_its_deprecated_shims() {
+    let out = repro().arg("--help").output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).expect("help is UTF-8");
+    assert!(text.contains("--plan SPEC"), "help documents --plan");
+    for line in [
+        "deprecated: same as --plan detailed+ff",
+        "deprecated: adds +reuse to the plan",
+    ] {
+        assert!(text.contains(line), "help is missing {line:?}");
+    }
+}
+
+#[test]
+fn invalid_plan_spec_is_a_usage_error() {
+    let out = repro()
+        .args(["--plan", "warp-speed"])
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(1), "bad plan spec exits 1");
+    let err = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert!(err.contains("--plan"), "error names the flag: {err}");
+}
+
+#[test]
+fn invalid_sampling_parameters_are_a_usage_error() {
+    // A zero interval would divide by zero in the estimator; the plan
+    // grammar rejects it at the flag boundary.
+    let out = repro()
+        .args(["--plan", "sampled:0,4096"])
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(1), "zero interval exits 1");
+}
+
+#[test]
 fn resume_without_journal_is_a_usage_error() {
     let out = repro().arg("--resume").output().expect("repro runs");
     assert_eq!(out.status.code(), Some(1));

@@ -50,11 +50,23 @@ fn random_measured(rng: &mut Rng) -> Measured {
     let error = rng.chance(2).then(|| SimError::Replayed {
         cause: format!("synthetic cause {}", rng.below(1_000)),
     });
-    let thread = |rng: &mut Rng| ThreadMeasurement {
-        repetitions: usize::try_from(rng.below(500)).unwrap(),
-        avg_repetition_cycles: rng.below(1_000_000) as f64 / 7.0,
-        ipc: rng.below(4_000) as f64 / 1_729.0,
-        converged: rng.chance(2),
+    let thread = |rng: &mut Rng| {
+        let ipc = rng.below(4_000) as f64 / 1_729.0;
+        ThreadMeasurement {
+            repetitions: usize::try_from(rng.below(500)).unwrap(),
+            avg_repetition_cycles: rng.below(1_000_000) as f64 / 7.0,
+            ipc,
+            estimate: if rng.chance(2) {
+                p5_fame::Estimate::exact(ipc)
+            } else {
+                p5_fame::Estimate {
+                    value: ipc,
+                    ci95: rng.below(1_000) as f64 / 31_337.0,
+                    samples: u32::try_from(rng.below(64) + 1).unwrap(),
+                }
+            },
+            converged: rng.chance(2),
+        }
     };
     let report = (!rng.chance(4)).then(|| {
         let t0 = thread(rng);
@@ -101,6 +113,20 @@ fn assert_replays_exactly(expected: &Measured, got: &Measured, what: &str) {
                             et.ipc.to_bits(),
                             gt.ipc.to_bits(),
                             "{what}: t{i} ipc bits"
+                        );
+                        assert_eq!(
+                            et.estimate.value.to_bits(),
+                            gt.estimate.value.to_bits(),
+                            "{what}: t{i} estimate value bits"
+                        );
+                        assert_eq!(
+                            et.estimate.ci95.to_bits(),
+                            gt.estimate.ci95.to_bits(),
+                            "{what}: t{i} estimate ci95 bits"
+                        );
+                        assert_eq!(
+                            et.estimate.samples, gt.estimate.samples,
+                            "{what}: t{i} estimate samples"
                         );
                         assert_eq!(et.converged, gt.converged, "{what}: t{i} converged");
                     }

@@ -40,8 +40,78 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use p5_core::{CancelToken, SimError, SmtCore, WarmupMode};
+use p5_core::{CancelToken, MeasureMode, SamplingConfig, SimError, SmtCore, WarmupMode};
 use p5_isa::{AccessPattern, ThreadId};
+
+/// The warm-up cycle budget, folded into one validated struct (it used
+/// to be three loose `warmup_*` fields on [`FameConfig`]).
+///
+/// The effective budget for a given workload is
+/// `clamp(ring_passes × ring_lines × cold_access, min_cycles, max_cycles)`
+/// — see [`FameRunner::warm_only`] for the exact derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmupBudget {
+    /// Minimum warm-up cycles even for cache-light programs (fills the
+    /// pipeline, trains the predictor).
+    pub min_cycles: u64,
+    /// Hard cap on the warm-up phase.
+    pub max_cycles: u64,
+    /// Ring passes each pointer-chase stream should complete during
+    /// warm-up (subject to `max_cycles`).
+    pub ring_passes: u64,
+}
+
+impl WarmupBudget {
+    /// The single validated constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `min_cycles > max_cycles`
+    /// (the clamp would be empty) or `max_cycles` is zero.
+    pub fn new(min_cycles: u64, max_cycles: u64, ring_passes: u64) -> Result<WarmupBudget, SimError> {
+        if max_cycles == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "warmup.max_cycles",
+                message: "warm-up cap must be nonzero".into(),
+            });
+        }
+        if min_cycles > max_cycles {
+            return Err(SimError::InvalidConfig {
+                field: "warmup.min_cycles",
+                message: format!(
+                    "warm-up floor {min_cycles} exceeds the cap {max_cycles}"
+                ),
+            });
+        }
+        Ok(WarmupBudget {
+            min_cycles,
+            max_cycles,
+            ring_passes,
+        })
+    }
+
+    /// A budget pinned to exactly `cycles` regardless of workload
+    /// footprint — what perf benches use to compare engines on equal
+    /// terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    #[must_use]
+    pub fn fixed(cycles: u64) -> WarmupBudget {
+        WarmupBudget::new(cycles, cycles, 0).expect("nonzero fixed budget")
+    }
+
+    /// A copy with both cycle bounds multiplied by `factor` (saturating).
+    #[must_use]
+    pub fn escalated(&self, factor: u64) -> WarmupBudget {
+        WarmupBudget {
+            min_cycles: self.min_cycles.saturating_mul(factor),
+            max_cycles: self.max_cycles.saturating_mul(factor),
+            ring_passes: self.ring_passes,
+        }
+    }
+}
 
 /// Parameters of a FAME measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,23 +119,20 @@ pub struct FameConfig {
     /// Maximum Allowable IPC Variation: the measurement of a thread is
     /// converged once its running average IPC changes by less than this
     /// relative fraction over `stable_window` consecutive repetitions.
+    /// Under a sampled plan the same threshold bounds the relative
+    /// half-width of the 95 % confidence interval instead.
     pub maiv: f64,
     /// Repetitions over which the MAIV criterion must hold.
     pub stable_window: usize,
     /// Minimum repetitions per thread regardless of MAIV (the paper's
-    /// setup needs at least 10 for MAIV = 1%).
+    /// setup needs at least 10 for MAIV = 1%). Under a sampled plan this
+    /// is the minimum number of interval samples instead.
     pub min_repetitions: usize,
     /// Hard cycle budget for the measurement phase; if exhausted the
     /// report is marked unconverged.
     pub max_cycles: u64,
-    /// Hard cycle budget for the warm-up phase.
-    pub warmup_max_cycles: u64,
-    /// Ring passes each pointer-chase stream should complete during
-    /// warm-up (subject to `warmup_max_cycles`).
-    pub warmup_ring_passes: u64,
-    /// Minimum warm-up cycles even for cache-light programs (fills the
-    /// pipeline, trains the predictor).
-    pub warmup_min_cycles: u64,
+    /// Warm-up phase budget.
+    pub warmup: WarmupBudget,
 }
 
 impl FameConfig {
@@ -77,9 +144,11 @@ impl FameConfig {
             stable_window: 3,
             min_repetitions: 10,
             max_cycles: 200_000_000,
-            warmup_max_cycles: 60_000_000,
-            warmup_ring_passes: 2,
-            warmup_min_cycles: 100_000,
+            warmup: WarmupBudget {
+                min_cycles: 100_000,
+                max_cycles: 60_000_000,
+                ring_passes: 2,
+            },
         }
     }
 
@@ -91,9 +160,11 @@ impl FameConfig {
             stable_window: 2,
             min_repetitions: 3,
             max_cycles: 5_000_000,
-            warmup_max_cycles: 500_000,
-            warmup_ring_passes: 1,
-            warmup_min_cycles: 5_000,
+            warmup: WarmupBudget {
+                min_cycles: 5_000,
+                max_cycles: 500_000,
+                ring_passes: 1,
+            },
         }
     }
 
@@ -101,8 +172,9 @@ impl FameConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InvalidConfig`] if `maiv` is not in `(0, 1)`
-    /// or any count is zero.
+    /// Returns [`SimError::InvalidConfig`] if `maiv` is not in `(0, 1)`,
+    /// any count is zero, or the warm-up budget is degenerate (see
+    /// [`WarmupBudget::new`]).
     pub fn try_validate(&self) -> Result<(), SimError> {
         if !(self.maiv > 0.0 && self.maiv < 1.0) {
             return Err(SimError::InvalidConfig {
@@ -122,6 +194,8 @@ impl FameConfig {
                 });
             }
         }
+        let w = self.warmup;
+        WarmupBudget::new(w.min_cycles, w.max_cycles, w.ring_passes)?;
         Ok(())
     }
 
@@ -144,7 +218,7 @@ impl FameConfig {
     pub fn escalated(&self, factor: u64) -> FameConfig {
         FameConfig {
             max_cycles: self.max_cycles.saturating_mul(factor),
-            warmup_max_cycles: self.warmup_max_cycles.saturating_mul(factor),
+            warmup: self.warmup.escalated(factor),
             ..*self
         }
     }
@@ -156,17 +230,120 @@ impl Default for FameConfig {
     }
 }
 
+/// Two-sided 95 % critical values of Student's t for 1..=30 degrees of
+/// freedom; beyond 30 the normal approximation (1.96) is used.
+const T_TABLE_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// A statistical estimate of a measured quantity: point value, 95 %
+/// confidence-interval half-width, and the number of samples behind it.
+///
+/// Detailed (exhaustive) measurements carry the degenerate
+/// [`Estimate::exact`] form — `ci95 == 0.0`, one "sample" — so every
+/// artifact number has a uniform `value ± ci95 (n)` annotation
+/// regardless of the plan that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Point estimate (the sample mean).
+    pub value: f64,
+    /// Half-width of the 95 % confidence interval around `value`,
+    /// computed with Student's t on `samples - 1` degrees of freedom.
+    /// Zero for exact values, single samples, and zero-variance
+    /// populations.
+    pub ci95: f64,
+    /// Number of samples the estimate aggregates.
+    pub samples: u32,
+}
+
+impl Estimate {
+    /// An exhaustively measured (non-sampled) value: no interval.
+    #[must_use]
+    pub fn exact(value: f64) -> Estimate {
+        Estimate {
+            value,
+            ci95: 0.0,
+            samples: 1,
+        }
+    }
+
+    /// Mean and 95 % confidence interval of a sample population.
+    ///
+    /// Degenerate inputs are well-defined: an empty slice yields
+    /// `{0.0, 0.0, 0}`, a single sample yields `{x, 0.0, 1}` (no
+    /// variance estimate exists), and a zero-variance population yields
+    /// `ci95 == 0.0`.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Estimate {
+        let n = samples.len();
+        if n == 0 {
+            return Estimate {
+                value: 0.0,
+                ci95: 0.0,
+                samples: 0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Estimate {
+                value: mean,
+                ci95: 0.0,
+                samples: 1,
+            };
+        }
+        // Sample variance (n - 1 denominator), clamped at zero against
+        // catastrophic cancellation on constant populations.
+        let var = samples
+            .iter()
+            .map(|x| {
+                let d = x - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / (n - 1) as f64;
+        let se = (var.max(0.0) / n as f64).sqrt();
+        let df = n - 1;
+        let t = if df <= T_TABLE_95.len() {
+            T_TABLE_95[df - 1]
+        } else {
+            1.96
+        };
+        Estimate {
+            value: mean,
+            ci95: t * se,
+            samples: u32::try_from(n).unwrap_or(u32::MAX),
+        }
+    }
+
+    /// Whether `x` lies within the 95 % confidence interval.
+    #[must_use]
+    pub fn covers(&self, x: f64) -> bool {
+        (x - self.value).abs() <= self.ci95
+    }
+}
+
 /// Measurement of one thread under FAME.
+///
+/// Under a sampled plan, `repetitions` counts interval *samples* rather
+/// than program repetitions, `avg_repetition_cycles` is the detailed
+/// interval length, and `ipc` equals `estimate.value`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThreadMeasurement {
-    /// Complete repetitions observed during the measurement phase.
+    /// Complete repetitions observed during the measurement phase
+    /// (interval samples under a sampled plan).
     pub repetitions: usize,
     /// Average cycles per complete repetition (incomplete tail discarded).
     pub avg_repetition_cycles: f64,
-    /// Average accumulated IPC at the last complete repetition boundary.
+    /// Average accumulated IPC at the last complete repetition boundary
+    /// (the sample mean under a sampled plan).
     pub ipc: f64,
     /// Whether the MAIV criterion was met within the cycle budget.
     pub converged: bool,
+    /// The IPC estimate with its confidence interval. For detailed
+    /// measurements this is `Estimate::exact(ipc)`.
+    pub estimate: Estimate,
 }
 
 /// Result of one FAME measurement of a core (one or two active threads).
@@ -195,6 +372,22 @@ impl FameReport {
             .flatten()
             .map(|m| m.ipc)
             .sum()
+    }
+
+    /// 95 % confidence-interval half-width of [`total_ipc`]
+    /// (quadrature sum of the per-thread half-widths, treating the two
+    /// threads' sampling noise as independent). Zero for detailed
+    /// measurements.
+    ///
+    /// [`total_ipc`]: FameReport::total_ipc
+    #[must_use]
+    pub fn total_ipc_ci95(&self) -> f64 {
+        self.threads
+            .iter()
+            .flatten()
+            .map(|m| m.estimate.ci95 * m.estimate.ci95)
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Whether every active thread converged.
@@ -265,7 +458,7 @@ impl FameRunner {
         // Rings that exceed the L3 never warm — their steady state is
         // permanently cold, so warming them would only waste budget.
         let l3_lines = mem.l3.size_bytes / line;
-        let mut budget = self.config.warmup_min_cycles;
+        let mut budget = self.config.warmup.min_cycles;
         for t in ThreadId::ALL {
             if let Some(program) = core.program(t) {
                 for spec in program.streams() {
@@ -273,13 +466,13 @@ impl FameRunner {
                         let lines = (spec.footprint_bytes / line).max(1);
                         if lines <= l3_lines {
                             budget = budget
-                                .max(self.config.warmup_ring_passes * lines * cold_access);
+                                .max(self.config.warmup.ring_passes * lines * cold_access);
                         }
                     }
                 }
             }
         }
-        budget.min(self.config.warmup_max_cycles)
+        budget.min(self.config.warmup.max_cycles)
     }
 
     /// Runs the warm-up and measurement phases and reports per-thread
@@ -350,7 +543,7 @@ impl FameRunner {
         // budget. Either way the measurement always runs on the
         // detailed engine.
         let warmup = self.warmup_budget(core);
-        match core.config().warmup_mode {
+        match core.config().plan.warmup {
             WarmupMode::Functional => core.functional_warmup(warmup),
             WarmupMode::Detailed => {
                 let stall_check = Self::stall_check(core);
@@ -409,8 +602,90 @@ impl FameRunner {
     /// The measurement phase: assumes the core sits at the
     /// warmup→measurement boundary (statistics already reset), which is
     /// equally true right after [`warm_only`](FameRunner::warm_only) and
-    /// right after restoring a checkpoint taken there.
+    /// right after restoring a checkpoint taken there. Dispatches on the
+    /// core's [`ExecutionPlan`](p5_core::ExecutionPlan): the default
+    /// detailed measure runs the FAME repetition loop; a sampled measure
+    /// runs the interval-sampling estimator.
     fn measure_phase(&self, core: &mut SmtCore, warmup: u64) -> Result<FameReport, SimError> {
+        match core.config().plan.measure {
+            MeasureMode::Detailed => self.measure_phase_detailed(core, warmup),
+            MeasureMode::Sampled(sampling) => self.measure_phase_sampled(core, warmup, sampling),
+        }
+    }
+
+    /// Interval sampling (SMARTS / Pac-Sim): alternate `interval`
+    /// detailed cycles with `period` functionally fast-forwarded cycles.
+    /// Each detailed interval contributes one IPC sample per thread
+    /// (committed-instruction delta over the interval — the functional
+    /// engine never touches commit counts, so deltas are unpolluted). A
+    /// thread is converged once it has `min_repetitions` samples and the
+    /// CI95 half-width is within `maiv` of the mean; the whole phase is
+    /// bounded by `max_cycles` of *virtual* time (detailed plus
+    /// fast-forwarded).
+    fn measure_phase_sampled(
+        &self,
+        core: &mut SmtCore,
+        warmup: u64,
+        sampling: SamplingConfig,
+    ) -> Result<FameReport, SimError> {
+        let stall_check = Self::stall_check(core);
+        let active = [core.is_active(ThreadId::T0), core.is_active(ThreadId::T1)];
+        let mut samples: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+        let mut done = [!active[0], !active[1]];
+        let deadline = self.config.max_cycles;
+        while !(done[0] && done[1]) && core.stats().cycles < deadline {
+            let before = [
+                core.stats().thread(ThreadId::T0).committed,
+                core.stats().thread(ThreadId::T1).committed,
+            ];
+            core.run_cycles(sampling.interval);
+            stall_check(core)?;
+            self.deadline_check("measure")?;
+            for t in ThreadId::ALL {
+                let i = t.index();
+                if !active[i] {
+                    continue;
+                }
+                let delta = core.stats().thread(t).committed - before[i];
+                samples[i].push(delta as f64 / sampling.interval as f64);
+                if done[i] || samples[i].len() < self.config.min_repetitions {
+                    continue;
+                }
+                let est = Estimate::from_samples(&samples[i]);
+                if est.ci95 <= self.config.maiv * est.value {
+                    done[i] = true;
+                }
+            }
+            if !(done[0] && done[1]) && core.stats().cycles < deadline {
+                core.functional_warmup(sampling.period);
+            }
+        }
+
+        let measured_cycles = core.stats().cycles;
+        let mut threads: [Option<ThreadMeasurement>; 2] = [None, None];
+        for t in ThreadId::ALL {
+            let i = t.index();
+            if !active[i] {
+                continue;
+            }
+            let est = Estimate::from_samples(&samples[i]);
+            threads[i] = Some(ThreadMeasurement {
+                repetitions: samples[i].len(),
+                avg_repetition_cycles: sampling.interval as f64,
+                ipc: est.value,
+                converged: done[i],
+                estimate: est,
+            });
+        }
+        Ok(FameReport {
+            threads,
+            measured_cycles,
+            warmup_cycles: warmup,
+        })
+    }
+
+    /// The classic exhaustive FAME repetition loop.
+    fn measure_phase_detailed(&self, core: &mut SmtCore, warmup: u64) -> Result<FameReport, SimError> {
         let stall_check = Self::stall_check(core);
         // Measurement: run until every active thread satisfies MAIV and
         // the minimum repetition count.
@@ -480,26 +755,32 @@ impl FameRunner {
                 let span_cycles = (last.end_cycle - first.end_cycle).max(1) as f64;
                 let span_insts = (last.committed_at_end - first.committed_at_end) as f64;
                 let complete = (reps.len() - 1) as f64;
+                let ipc = span_insts / span_cycles;
                 ThreadMeasurement {
                     repetitions: reps.len(),
                     avg_repetition_cycles: span_cycles / complete,
-                    ipc: span_insts / span_cycles,
+                    ipc,
                     converged: done[i],
+                    estimate: Estimate::exact(ipc),
                 }
             } else if let Some(last) = reps.last() {
+                let ipc = last.committed_at_end as f64 / last.end_cycle.max(1) as f64;
                 ThreadMeasurement {
                     repetitions: reps.len(),
                     avg_repetition_cycles: last.end_cycle as f64,
-                    ipc: last.committed_at_end as f64 / last.end_cycle.max(1) as f64,
+                    ipc,
                     converged: done[i],
+                    estimate: Estimate::exact(ipc),
                 }
             } else {
                 // Not even one complete repetition: fall back to raw IPC.
+                let ipc = core.stats().ipc(t);
                 ThreadMeasurement {
                     repetitions: 0,
                     avg_repetition_cycles: measured_cycles as f64,
-                    ipc: core.stats().ipc(t),
+                    ipc,
                     converged: false,
+                    estimate: Estimate::exact(ipc),
                 }
             };
             threads[i] = Some(measurement);
@@ -606,13 +887,13 @@ mod tests {
         large.load_program(ThreadId::T0, chase_program(32 * 1024, 100));
         assert!(runner.warmup_budget(&large) > runner.warmup_budget(&small));
         // And is capped.
-        assert!(runner.warmup_budget(&large) <= FameConfig::quick().warmup_max_cycles);
+        assert!(runner.warmup_budget(&large) <= FameConfig::quick().warmup.max_cycles);
         // A ring that cannot fit the L3 never warms: no budget is spent.
         let mut huge = SmtCore::new(CoreConfig::tiny_for_tests());
         huge.load_program(ThreadId::T0, chase_program(512 * 1024, 100));
         assert_eq!(
             runner.warmup_budget(&huge),
-            FameConfig::quick().warmup_min_cycles
+            FameConfig::quick().warmup.min_cycles
         );
     }
 
@@ -637,8 +918,7 @@ mod tests {
         // A program whose single repetition never completes in budget.
         let cfg = FameConfig {
             max_cycles: 5_000,
-            warmup_min_cycles: 100,
-            warmup_max_cycles: 100,
+            warmup: WarmupBudget::fixed(100),
             ..FameConfig::quick()
         };
         let mut core = SmtCore::new(CoreConfig::tiny_for_tests());
@@ -690,7 +970,9 @@ mod tests {
         let base = FameConfig::quick();
         let up = base.escalated(4);
         assert_eq!(up.max_cycles, base.max_cycles * 4);
-        assert_eq!(up.warmup_max_cycles, base.warmup_max_cycles * 4);
+        assert_eq!(up.warmup.max_cycles, base.warmup.max_cycles * 4);
+        assert_eq!(up.warmup.min_cycles, base.warmup.min_cycles * 4);
+        assert_eq!(up.warmup.ring_passes, base.warmup.ring_passes);
         assert_eq!(up.maiv, base.maiv);
         assert_eq!(up.min_repetitions, base.min_repetitions);
         // Saturates instead of overflowing.
@@ -698,10 +980,161 @@ mod tests {
     }
 
     #[test]
+    fn warmup_budget_constructor_validates() {
+        assert!(WarmupBudget::new(100, 1_000, 2).is_ok());
+        // Floor above cap: the clamp would be empty.
+        let err = WarmupBudget::new(2_000, 1_000, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidConfig {
+                field: "warmup.min_cycles",
+                ..
+            }
+        ));
+        // Zero cap can never warm anything.
+        let err = WarmupBudget::new(0, 0, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidConfig {
+                field: "warmup.max_cycles",
+                ..
+            }
+        ));
+        // FameConfig validation covers the nested budget.
+        let bad = FameConfig {
+            warmup: WarmupBudget {
+                min_cycles: 10,
+                max_cycles: 5,
+                ring_passes: 1,
+            },
+            ..FameConfig::quick()
+        };
+        assert!(bad.try_validate().is_err());
+        let fixed = WarmupBudget::fixed(4_096);
+        assert_eq!((fixed.min_cycles, fixed.max_cycles), (4_096, 4_096));
+    }
+
+    #[test]
+    fn estimate_from_known_population() {
+        // Hand-checked population: mean 2.0, sample std 1.0, n = 4,
+        // t(3) = 3.182 → ci95 = 3.182 * 1.0 / sqrt(4) = 1.591.
+        let est = Estimate::from_samples(&[1.0, 1.0, 3.0, 3.0]);
+        assert!((est.value - 2.0).abs() < 1e-12);
+        assert_eq!(est.samples, 4);
+        let expected = 3.182 * (4.0f64 / 3.0).sqrt() / 2.0;
+        assert!(
+            (est.ci95 - expected).abs() < 1e-9,
+            "ci95 {} != {expected}",
+            est.ci95
+        );
+        assert!(est.covers(2.5));
+        assert!(!est.covers(4.0));
+    }
+
+    #[test]
+    fn estimate_degenerate_cases() {
+        // Empty population.
+        let empty = Estimate::from_samples(&[]);
+        assert_eq!((empty.value, empty.ci95, empty.samples), (0.0, 0.0, 0));
+        // Single sample: no variance estimate exists, interval is zero.
+        let one = Estimate::from_samples(&[1.5]);
+        assert_eq!((one.value, one.ci95, one.samples), (1.5, 0.0, 1));
+        // Zero variance: exact value with a collapsed interval.
+        let flat = Estimate::from_samples(&[0.75; 12]);
+        assert!((flat.value - 0.75).abs() < 1e-12);
+        assert_eq!(flat.ci95, 0.0);
+        assert_eq!(flat.samples, 12);
+        // Exact wrapper.
+        let exact = Estimate::exact(0.33);
+        assert_eq!((exact.value, exact.ci95, exact.samples), (0.33, 0.0, 1));
+        assert!(exact.covers(0.33) && !exact.covers(0.3300001));
+    }
+
+    #[test]
+    fn estimate_large_population_uses_normal_tail() {
+        // A deterministic seeded population (xorshift-ish) with n > 31 so
+        // the 1.96 normal tail applies, cross-checked against a direct
+        // computation.
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        let mut pop = Vec::new();
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            pop.push((x % 1000) as f64 / 1000.0);
+        }
+        let est = Estimate::from_samples(&pop);
+        let mean = pop.iter().sum::<f64>() / 64.0;
+        let var = pop.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 63.0;
+        let expected = 1.96 * (var / 64.0).sqrt();
+        assert!((est.value - mean).abs() < 1e-12);
+        assert!((est.ci95 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_measurement_converges_with_interval() {
+        let plan = p5_core::ExecutionPlan::sampled(SamplingConfig {
+            interval: 2_048,
+            period: 8_192,
+        });
+        let mut cfg = CoreConfig::tiny_for_tests();
+        cfg.plan = plan;
+        let mut core = SmtCore::new(cfg);
+        core.load_program(ThreadId::T0, cpu_program(50));
+        let report = FameRunner::new(FameConfig::quick()).measure(&mut core);
+        let m = report.thread(ThreadId::T0).unwrap();
+        assert!(m.converged, "steady program must converge: {m:?}");
+        assert!(m.repetitions >= 3, "at least min_repetitions samples");
+        assert_eq!(m.estimate.samples as usize, m.repetitions);
+        assert_eq!(m.ipc, m.estimate.value);
+        assert!(m.estimate.ci95 >= 0.0);
+        assert!(m.ipc > 0.5);
+    }
+
+    #[test]
+    fn sampled_estimate_brackets_detailed_ipc() {
+        let run = |plan: p5_core::ExecutionPlan| {
+            let mut cfg = CoreConfig::tiny_for_tests();
+            cfg.plan = plan;
+            let mut core = SmtCore::new(cfg);
+            core.load_program(ThreadId::T0, chase_program(8 * 1024, 500));
+            FameRunner::new(FameConfig::quick()).measure(&mut core)
+        };
+        let detailed = run(p5_core::ExecutionPlan::detailed());
+        let sampled = run(p5_core::ExecutionPlan::sampled(SamplingConfig {
+            interval: 4_096,
+            period: 16_384,
+        }));
+        let d = detailed.thread(ThreadId::T0).unwrap();
+        let s = sampled.thread(ThreadId::T0).unwrap();
+        assert_eq!(d.estimate.ci95, 0.0, "detailed carries an exact estimate");
+        let rel = ((s.ipc - d.ipc) / d.ipc).abs();
+        assert!(
+            rel < 0.10,
+            "sampled IPC {} strays {rel:.3} from detailed {}",
+            s.ipc,
+            d.ipc
+        );
+    }
+
+    #[test]
+    fn sampled_measurement_is_deterministic() {
+        let run = || {
+            let mut cfg = CoreConfig::tiny_for_tests();
+            cfg.plan = p5_core::ExecutionPlan::sampled(SamplingConfig::default());
+            let mut core = SmtCore::new(cfg);
+            core.load_program(ThreadId::T0, chase_program(8 * 1024, 500));
+            core.load_program(ThreadId::T1, cpu_program(200));
+            FameRunner::new(FameConfig::quick()).measure(&mut core)
+        };
+        assert_eq!(run(), run(), "same seed, same schedule, same bits");
+    }
+
+    #[test]
     fn restored_measurement_is_bit_identical_to_in_place() {
         for mode in [WarmupMode::Detailed, WarmupMode::Functional] {
             let mut cfg = CoreConfig::tiny_for_tests();
-            cfg.warmup_mode = mode;
+            cfg.plan.warmup = mode;
             let runner = FameRunner::new(FameConfig::quick());
 
             // Reference: warm and measure in place.

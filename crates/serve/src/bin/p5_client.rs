@@ -27,6 +27,10 @@ OPTIONS:
     --fidelity NAME     paper | quick | tiny (default: quick)
     --seed N            campaign seed (default: the fidelity's seed,
                         matching offline repro)
+    --plan SPEC         execution plan, same grammar as repro --plan:
+                        detailed (default), detailed+ff, or
+                        sampled[:INTERVAL,PERIOD]; sampled and detailed
+                        results occupy disjoint cache entries
     --no-cache          force every cell to simulate server-side
     --csv-dir DIR       with --grid table3: write table3.csv into DIR
     --json-dir DIR      with --grid table3: write table3.json into DIR
@@ -177,11 +181,22 @@ fn main() {
             std::process::exit(1);
         }
     });
+    let plan = match value_of(&args, "--plan") {
+        Some(spec) => match p5_core::ExecutionPlan::parse(&spec) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("--plan: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => p5_core::ExecutionPlan::detailed(),
+    };
     let request = CampaignRequest {
         fidelity,
         grid: grid.clone(),
         cells,
         seed,
+        plan,
         cache: !args.iter().any(|a| a == "--no-cache"),
     };
 

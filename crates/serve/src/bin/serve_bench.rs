@@ -72,6 +72,7 @@ fn request(cells: Vec<CellRequest>) -> CampaignRequest {
         grid: None,
         cells,
         seed: None,
+        plan: p5_core::ExecutionPlan::detailed(),
         cache: true,
     }
 }

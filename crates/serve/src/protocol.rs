@@ -14,6 +14,7 @@
 //! the cells an offline run would) or as an explicit list of
 //! [`CellRequest`]s referencing paper microbenchmarks by name.
 
+use p5_core::ExecutionPlan;
 use p5_experiments::campaign::CellSpec;
 use p5_experiments::journal::{measured_from_json, measured_to_json};
 use p5_experiments::{table3, Experiments, Measured};
@@ -169,6 +170,11 @@ pub struct CampaignRequest {
     /// core RNG seed — the same default an offline
     /// [`p5_experiments::campaign::CampaignSpec::for_ctx`] applies.
     pub seed: Option<u64>,
+    /// Execution plan the cells run under (warmup engine + measure
+    /// schedule), in the same grammar as `repro --plan`. Sampled and
+    /// detailed results hash to disjoint cache keys, so mixing plans
+    /// against one daemon is safe. Defaults to the fully detailed plan.
+    pub plan: ExecutionPlan,
     /// Whether the server may serve (and record) this campaign's cells
     /// from its result cache. Off forces every cell to simulate.
     pub cache: bool,
@@ -183,6 +189,7 @@ impl CampaignRequest {
             grid: Some("table3".to_string()),
             cells: Vec::new(),
             seed: None,
+            plan: ExecutionPlan::detailed(),
             cache: true,
         }
     }
@@ -240,6 +247,9 @@ impl Request {
                 if let Some(seed) = c.seed {
                     obj = obj.field("seed", seed);
                 }
+                if c.plan != ExecutionPlan::detailed() {
+                    obj = obj.field("plan", c.plan.to_string().as_str());
+                }
                 obj.field("cache", c.cache).build()
             }
             Request::Stats => JsonObject::new().field("kind", "stats").build(),
@@ -275,6 +285,11 @@ impl Request {
                         .collect::<Result<Vec<_>, _>>()?,
                     None => Vec::new(),
                 };
+                let plan = match v.get("plan").and_then(JsonValue::as_str) {
+                    Some(spec) => ExecutionPlan::parse(spec)
+                        .map_err(|e| format!("invalid plan: {e}"))?,
+                    None => ExecutionPlan::detailed(),
+                };
                 Ok(Request::Campaign(CampaignRequest {
                     fidelity,
                     grid: v
@@ -283,6 +298,7 @@ impl Request {
                         .map(ToString::to_string),
                     cells,
                     seed: v.get("seed").and_then(JsonValue::as_u64),
+                    plan,
                     cache: v.get("cache").and_then(JsonValue::as_bool).unwrap_or(true),
                 }))
             }
@@ -461,7 +477,12 @@ mod tests {
                     },
                 ],
                 seed: Some(0x5EED),
+                plan: ExecutionPlan::detailed(),
                 cache: false,
+            }),
+            Request::Campaign(CampaignRequest {
+                plan: ExecutionPlan::parse("sampled:2048,8192").unwrap(),
+                ..CampaignRequest::table3(Fidelity::Tiny)
             }),
             Request::Stats,
             Request::Shutdown,

@@ -420,7 +420,15 @@ fn build_campaign(
     cancel: &CancelToken,
     shared: &Shared,
 ) -> (Arc<Experiments>, Arc<CampaignSpec>) {
-    let mut ctx = request.fidelity.context().with_cancel(cancel.clone());
+    // The plan lands on the context exactly as `repro --plan` applies
+    // it offline; cell keys cover the effective warmup and measure
+    // modes, so sampled and detailed requests populate disjoint cache
+    // entries.
+    let mut ctx = request
+        .fidelity
+        .context()
+        .with_plan(request.plan)
+        .with_cancel(cancel.clone());
     if request.cache {
         ctx = ctx.with_journal(shared.cache.journal());
     }

@@ -45,6 +45,7 @@ fn request(cache: bool) -> CampaignRequest {
         grid: None,
         cells: cells(),
         seed: None,
+        plan: p5_core::ExecutionPlan::detailed(),
         cache,
     }
 }
@@ -232,6 +233,7 @@ fn bad_requests_get_protocol_errors() {
             priorities: (4, 4),
         }],
         seed: None,
+        plan: p5_core::ExecutionPlan::detailed(),
         cache: true,
     };
     match client::run_campaign(&endpoint, &unknown_bench) {
@@ -240,6 +242,43 @@ fn bad_requests_get_protocol_errors() {
         }
         other => panic!("expected a server error, got {other:?}"),
     }
+
+    shutdown_and_join(&endpoint, handle);
+}
+
+#[test]
+fn sampled_and_detailed_plans_use_disjoint_cache_entries() {
+    let (endpoint, handle) = start_server(2, ResultCache::in_memory());
+    let detailed = client::run_campaign(&endpoint, &request(true)).expect("detailed");
+    assert_eq!(detailed.cached, 0);
+
+    // Same cells under a sampled plan: the effective measure mode is
+    // part of the cell key, so nothing the detailed run paid for may
+    // be served back.
+    let sampled_request = CampaignRequest {
+        plan: p5_core::ExecutionPlan::parse("sampled:2048,8192").unwrap(),
+        ..request(true)
+    };
+    let sampled = client::run_campaign(&endpoint, &sampled_request).expect("sampled cold");
+    assert_eq!(sampled.cached, 0, "sampled must not hit detailed entries");
+    let resampled = client::run_campaign(&endpoint, &sampled_request).expect("sampled warm");
+    assert_eq!(
+        resampled.cached,
+        cells().len(),
+        "identical sampled resubmission is fully cached"
+    );
+    for (a, b) in sampled.result.cells.iter().zip(&resampled.result.cells) {
+        assert_eq!(
+            a.measured.total_ipc().map(f64::to_bits),
+            b.measured.total_ipc().map(f64::to_bits),
+            "sampled replay is bit-identical"
+        );
+    }
+
+    // The detailed entries are still there: a detailed resubmission
+    // stays fully warm.
+    let rewarm = client::run_campaign(&endpoint, &request(true)).expect("detailed warm");
+    assert_eq!(rewarm.cached, cells().len(), "detailed entries survived");
 
     shutdown_and_join(&endpoint, handle);
 }

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI gate: sampled-plan Table 3 must agree with the detailed reference.
+
+Usage: check_sampled_tolerance.py DETAILED_JSON SAMPLED_JSON
+
+Compares every row of the two `table3.json` artifacts. A sampled value
+passes when it sits within max(4 x its own ci95 half-width, 5% of the
+detailed value, 0.02 IPC absolute) of the detailed answer. Both runs
+are seeded and deterministic, so this gate cannot flake: a failure
+means the sampling estimator drifted, not that the host was noisy.
+
+Exits 0 when every cell is within tolerance, 1 otherwise (printing
+each offending cell).
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        detailed = json.load(f)
+    with open(sys.argv[2], encoding="utf-8") as f:
+        sampled = json.load(f)
+    if detailed["schema_version"] != sampled["schema_version"]:
+        print(
+            f"schema mismatch: detailed v{detailed['schema_version']} "
+            f"vs sampled v{sampled['schema_version']}"
+        )
+        return 1
+    drows, srows = detailed["rows"], sampled["rows"]
+    if len(drows) != len(srows):
+        print(f"row count mismatch: {len(drows)} vs {len(srows)}")
+        return 1
+
+    failures = 0
+    worst = 0.0
+    for d, s in zip(drows, srows):
+        cell = (d["pthread"], d["sthread"])
+        if cell != (s["pthread"], s["sthread"]):
+            print(f"row order mismatch: {cell} vs {(s['pthread'], s['sthread'])}")
+            return 1
+        for value_key, ci_key in (("pt_ipc", "pt_ci95"), ("total_ipc", "total_ci95")):
+            dv, sv = d[value_key], s[value_key]
+            err = abs(sv - dv)
+            tol = max(4.0 * s[ci_key], 0.05 * abs(dv), 0.02)
+            worst = max(worst, err / tol)
+            if err > tol:
+                print(
+                    f"OUT OF TOLERANCE: {cell[0]}/{cell[1]} {value_key}: "
+                    f"detailed {dv:.4f}, sampled {sv:.4f} "
+                    f"(err {err:.4f} > tol {tol:.4f}, ci95 {s[ci_key]:.4f})"
+                )
+                failures += 1
+    n = 2 * len(drows)
+    if failures:
+        print(f"sampled tolerance: {failures}/{n} values out of tolerance")
+        return 1
+    print(f"sampled tolerance: {n} values within tolerance (worst at {worst:.0%} of budget)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

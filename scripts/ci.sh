@@ -52,6 +52,21 @@ if ! diff -r artifacts/jobs1 artifacts/reuse_on > artifacts/warm_reuse.diff; the
 fi
 rm artifacts/warm_reuse.diff
 
+# Sampled-plan tolerance: the three-speed `sampled` measure must land
+# within confidence-interval distance of the detailed quick Table 3
+# (DESIGN.md §15). Both runs are seeded and deterministic, so the gate
+# cannot flake — a failure means the estimator drifted.
+echo "== sampled-plan tolerance: --plan sampled table3 vs detailed =="
+mkdir -p artifacts/sampled
+cargo run --release --offline -p p5-experiments --bin repro -- \
+  --quick --only table3 --jobs 2 --plan sampled \
+  --csv-dir artifacts/sampled --json-dir artifacts/sampled > /dev/null
+if ! python3 scripts/check_sampled_tolerance.py \
+  artifacts/jobs1/table3.json artifacts/sampled/table3.json; then
+  echo "SAMPLED GATE FAILED: --plan sampled table3 out of tolerance vs detailed"
+  exit 1
+fi
+
 # Kill-and-resume determinism: abort the journaled table3 campaign at
 # cell 21 of 42 (exit 3 by the repro exit-code contract), then resume
 # from the journal — the resumed artifacts must be byte-identical to the
@@ -100,6 +115,15 @@ cargo run --release --offline -p p5-serve --bin p5_client -- \
   --unix artifacts/serve.sock \
   --grid table3 --fidelity quick \
   --csv-dir artifacts/serve2 --json-dir artifacts/serve2 > artifacts/serve2.out
+# A sampled-plan fetch of the same grid against the warm cache: its
+# cells hash under their own keys, so the detailed entries must NOT
+# serve it (DESIGN.md §15) — and a repeat must then hit its own entries.
+cargo run --release --offline -p p5-serve --bin p5_client -- \
+  --unix artifacts/serve.sock \
+  --grid table3 --fidelity quick --plan sampled > artifacts/serve3.out
+cargo run --release --offline -p p5-serve --bin p5_client -- \
+  --unix artifacts/serve.sock \
+  --grid table3 --fidelity quick --plan sampled > artifacts/serve4.out
 cargo run --release --offline -p p5-serve --bin p5_client -- \
   --unix artifacts/serve.sock --shutdown > /dev/null
 wait "$serve_pid"
@@ -122,7 +146,18 @@ if ! grep -q "(42 from server cache)" artifacts/serve2.out; then
   cat artifacts/serve2.out
   exit 1
 fi
-rm -f artifacts/serve1.out artifacts/serve2.out artifacts/serve.log
+if ! grep -q "(0 from server cache)" artifacts/serve3.out; then
+  echo "SERVE GATE FAILED: sampled-plan fetch must not hit detailed cache entries"
+  cat artifacts/serve3.out
+  exit 1
+fi
+if ! grep -q "(42 from server cache)" artifacts/serve4.out; then
+  echo "SERVE GATE FAILED: repeated sampled-plan fetch should be fully cached"
+  cat artifacts/serve4.out
+  exit 1
+fi
+rm -f artifacts/serve1.out artifacts/serve2.out artifacts/serve3.out \
+  artifacts/serve4.out artifacts/serve.log
 
 echo "== serve_bench: multi-client load + hit-rate/bit-identity check =="
 cargo run --release --offline -p p5-serve --bin serve_bench -- \
@@ -137,12 +172,13 @@ test -s artifacts/priority_switch_trace.json
 test -s artifacts/pmu.json
 
 # Smoke-sized run (--quick): gates PMU overhead, the two-speed warmup
-# speedup, the warm-reuse speedup/bit-identity, and the result-journal
-# write overhead without the full snapshot's cost. The committed
+# speedup, the warm-reuse speedup/bit-identity, the result-journal
+# write overhead, and the sampled-plan speedup without the full
+# snapshot's cost. The committed
 # BENCH_repro.json is the full-methodology snapshot, refreshed manually
 # on perf-relevant changes (see PERF.md), so the quick artifact stays in
 # artifacts/ and does not overwrite it.
-echo "== perf smoke: PMU overhead + two-speed warmup + warm-reuse + journal gates =="
+echo "== perf smoke: PMU overhead + two-speed warmup + warm-reuse + journal + sampled gates =="
 cargo run --release --offline -p p5-experiments --bin perf_snapshot -- \
   --out artifacts/BENCH_quick.json --check --quick
 

@@ -86,7 +86,7 @@ fn noise_experiment_shows_isolation_effect() {
 
     let mut ctx = Experiments::quick();
     // Warm enough for the 7k-line L2 ring; measure a short window.
-    ctx.fame.warmup_max_cycles = 2_500_000;
+    ctx.fame.warmup.max_cycles = 2_500_000;
     ctx.fame.max_cycles = 600_000;
     let result = noise::run_with(&ctx, MicroBenchmark::LdintL2);
     assert!(

@@ -22,9 +22,11 @@ fn ctx(jobs: usize) -> Experiments {
             stable_window: 2,
             min_repetitions: 3,
             max_cycles: 3_000_000,
-            warmup_max_cycles: 300_000,
-            warmup_ring_passes: 1,
-            warmup_min_cycles: 5_000,
+            warmup: p5repro::fame::WarmupBudget {
+                min_cycles: 5_000,
+                max_cycles: 300_000,
+                ring_passes: 1,
+            },
         },
     )
     .with_jobs(jobs)

@@ -13,9 +13,11 @@ fn quick_fame() -> FameRunner {
         stable_window: 2,
         min_repetitions: 3,
         max_cycles: 3_000_000,
-        warmup_max_cycles: 400_000,
-        warmup_ring_passes: 1,
-        warmup_min_cycles: 10_000,
+        warmup: p5repro::fame::WarmupBudget {
+            min_cycles: 10_000,
+            max_cycles: 400_000,
+            ring_passes: 1,
+        },
     })
 }
 

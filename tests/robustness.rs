@@ -171,8 +171,7 @@ fn escalated_retry_recovers_a_tight_budget() {
         FameConfig {
             min_repetitions: 40,
             max_cycles: 8_000,
-            warmup_max_cycles: 500,
-            warmup_min_cycles: 500,
+            warmup: p5repro::fame::WarmupBudget::fixed(500),
             ..FameConfig::quick()
         },
     );

@@ -72,7 +72,7 @@ fn functional_warmup_hands_over_equivalent_warm_state() {
 /// A fast FAME policy on the tiny core (mirrors `tests/determinism.rs`).
 fn ctx(jobs: usize, warmup: WarmupMode) -> Experiments {
     let mut core = CoreConfig::tiny_for_tests();
-    core.warmup_mode = warmup;
+    core.plan.warmup = warmup;
     Experiments::with_configs(
         core,
         FameConfig {
@@ -80,9 +80,11 @@ fn ctx(jobs: usize, warmup: WarmupMode) -> Experiments {
             stable_window: 2,
             min_repetitions: 3,
             max_cycles: 3_000_000,
-            warmup_max_cycles: 300_000,
-            warmup_ring_passes: 1,
-            warmup_min_cycles: 5_000,
+            warmup: p5repro::fame::WarmupBudget {
+                min_cycles: 5_000,
+                max_cycles: 300_000,
+                ring_passes: 1,
+            },
         },
     )
     .with_jobs(jobs)
@@ -143,7 +145,7 @@ fn cell_warmup_override_beats_context_default() {
             Priority::from_level(4).unwrap(),
         ),
     )
-    .with_warmup(WarmupMode::Functional);
+    .with_plan(p5repro::core::ExecutionPlan::parse("detailed+ff").expect("valid plan"));
     let inherited = CellSpec::pair(
         "inherited detailed",
         MicroBenchmark::CpuInt.program(),
@@ -184,7 +186,7 @@ fn cell_warmup_override_beats_context_default() {
 #[ignore = "full claims sweep; run in release"]
 fn claims_pass_with_fast_forward_enabled() {
     let mut c = Experiments::quick();
-    c.core.warmup_mode = WarmupMode::Functional;
+    c.core.plan.warmup = WarmupMode::Functional;
     let claims = p5repro::experiments::claims::run(&c).expect("claims campaign");
     assert!(claims.all_pass(), "{}", claims.render());
 }

@@ -21,9 +21,11 @@ fn ctx(jobs: usize, reuse: bool) -> Experiments {
             stable_window: 2,
             min_repetitions: 3,
             max_cycles: 3_000_000,
-            warmup_max_cycles: 300_000,
-            warmup_ring_passes: 1,
-            warmup_min_cycles: 5_000,
+            warmup: p5repro::fame::WarmupBudget {
+                min_cycles: 5_000,
+                max_cycles: 300_000,
+                ring_passes: 1,
+            },
         },
     )
     .with_jobs(jobs)
@@ -40,7 +42,7 @@ fn restored_measurement_matches_in_place_for_presented_workloads() {
     for mode in [WarmupMode::Detailed, WarmupMode::Functional] {
         for bench in MicroBenchmark::PRESENTED {
             let mut cfg = CoreConfig::tiny_for_tests();
-            cfg.warmup_mode = mode;
+            cfg.plan.warmup = mode;
             let load = |core: &mut SmtCore| {
                 core.load_program(ThreadId::T0, bench.program_with_iterations(300));
                 core.load_program(ThreadId::T1, MicroBenchmark::CpuInt.program_with_iterations(300));
