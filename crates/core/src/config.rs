@@ -210,17 +210,59 @@ pub enum MeasureMode {
     Sampled(SamplingConfig),
 }
 
+/// How the two cores of a [`Chip`](crate::Chip) are scheduled relative
+/// to each other.
+///
+/// The chip's shared levels (L2, L3, the shared memory counters) are
+/// behind poison-recovering locks either way; this knob only decides
+/// *when* the two cores' cycle loops run:
+///
+/// - [`Serial`](ChipParallelism::Serial): one thread ticks core 0 then
+///   core 1 every cycle — the engine's historical behaviour and the
+///   reference ordering for all presented artifacts.
+/// - [`Threaded`](ChipParallelism::Threaded) with `quantum == 1`:
+///   **deterministic mode**. Each core runs on its own OS thread, but a
+///   turnstile hands the shared-boundary cycle from core 0 to core 1 in
+///   strict alternation, so every shared-lock acquisition happens in
+///   the serial order and results stay *bit-identical* to `Serial`
+///   (DESIGN.md §16).
+/// - `Threaded` with `quantum > 1`: **relaxed mode**, the
+///   parti-gem5 idiom. Both cores free-run concurrently for `quantum`
+///   cycles between barriers at the shared L2/L3 boundary. Within a
+///   quantum the cores' shared-cache accesses interleave
+///   scheduling-dependently, so results are statistically equivalent
+///   but not bit-identical; campaign results under a relaxed quantum
+///   journal under their own content-addressed keys and are gated by a
+///   CI tolerance check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChipParallelism {
+    /// Tick both cores from one thread, core 0 first (the default).
+    #[default]
+    Serial,
+    /// Run each core on its own OS thread, synchronizing every
+    /// `quantum` cycles at the shared-cache boundary. `quantum == 1`
+    /// is the deterministic turnstile; larger quanta relax the
+    /// interleaving for speed.
+    Threaded {
+        /// Cycles each core runs between synchronization points. Must
+        /// be nonzero ([`CoreConfig::try_validate`] rejects zero).
+        quantum: u64,
+    },
+}
+
 /// The unified three-speed execution plan: how a core is warmed, how the
-/// measured phase runs, and whether campaigns may share warm-state
-/// checkpoints between cells. Replaces the former loose trio of
-/// `warmup_mode` / `--fast-forward` / `--reuse-warmup` knobs.
+/// measured phase runs, whether campaigns may share warm-state
+/// checkpoints between cells, and how a two-core chip is scheduled.
+/// Replaces the former loose trio of `warmup_mode` / `--fast-forward` /
+/// `--reuse-warmup` knobs.
 ///
 /// The canonical text form (accepted by [`ExecutionPlan::parse`] and
 /// produced by `Display`) is
 /// `detailed | sampled[:interval,period]` with optional `+ff`
 /// (functional warmup under a detailed measure), `+dw` (detailed warmup
-/// under a sampled measure) and `+reuse` (warm-checkpoint sharing)
-/// suffixes, e.g. `sampled:10000,40000+reuse`.
+/// under a sampled measure), `+reuse` (warm-checkpoint sharing) and
+/// `+mt[:quantum]` (threaded chip) suffixes, e.g.
+/// `sampled:10000,40000+reuse` or `detailed+mt:4096`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecutionPlan {
     /// How the warmup phase preceding measurement is executed.
@@ -230,6 +272,10 @@ pub struct ExecutionPlan {
     /// Whether campaign cells sharing a warmup signature may reuse one
     /// warm-state checkpoint (wall-clock only; bit-identical results).
     pub warm_reuse: bool,
+    /// How a [`Chip`](crate::Chip)'s two cores are scheduled (serial,
+    /// deterministic turnstile, or relaxed-quantum threads). Single-core
+    /// paths ignore it.
+    pub chip: ChipParallelism,
 }
 
 impl ExecutionPlan {
@@ -249,6 +295,7 @@ impl ExecutionPlan {
             warmup: WarmupMode::Functional,
             measure: MeasureMode::Sampled(sampling),
             warm_reuse: false,
+            chip: ChipParallelism::Serial,
         }
     }
 
@@ -259,14 +306,62 @@ impl ExecutionPlan {
         self
     }
 
-    /// Parses the canonical text form (see the type docs):
-    /// `detailed`, `sampled`, `sampled:interval,period`, each optionally
-    /// followed by `+ff` / `+dw` / `+reuse` flags.
+    /// Returns a copy with the chip-parallelism mode set.
+    #[must_use]
+    pub fn with_chip(mut self, chip: ChipParallelism) -> ExecutionPlan {
+        self.chip = chip;
+        self
+    }
+
+    /// Parses the canonical plan grammar. The full shape is
+    ///
+    /// ```text
+    /// plan    := speed flag*
+    /// speed   := "detailed"
+    ///          | "sampled"                     (default 10000,40000 schedule)
+    ///          | "sampled:" interval "," period
+    /// flag    := "+ff"                         (functional warmup)
+    ///          | "+dw"                         (detailed warmup)
+    ///          | "+reuse"                      (share warm checkpoints)
+    ///          | "+mt"                         (threaded chip, quantum 1:
+    ///                                           deterministic turnstile)
+    ///          | "+mt:" quantum                (threaded chip, relaxed
+    ///                                           quantum > 1)
+    /// ```
+    ///
+    /// Flags may appear in any order; later flags win on conflict
+    /// (`+ff+dw` ends detailed). `Display` emits the canonical form —
+    /// speed, then `+ff`/`+dw` if the warmup differs from the speed's
+    /// default, then `+reuse`, then `+mt`/`+mt:quantum` — so
+    /// parse/display round-trips.
+    ///
+    /// ```
+    /// use p5_core::{ChipParallelism, ExecutionPlan, MeasureMode, WarmupMode};
+    ///
+    /// // The default plan: detailed warmup, detailed measure, serial chip.
+    /// let plan = ExecutionPlan::parse("detailed").unwrap();
+    /// assert_eq!(plan, ExecutionPlan::detailed());
+    ///
+    /// // Sampled measure with an explicit schedule and detailed warmup.
+    /// let plan = ExecutionPlan::parse("sampled:512,2048+dw").unwrap();
+    /// assert_eq!(plan.warmup, WarmupMode::Detailed);
+    /// assert!(matches!(plan.measure, MeasureMode::Sampled(s)
+    ///     if s.interval == 512 && s.period == 2048));
+    ///
+    /// // `+mt` alone is the deterministic threaded chip (quantum 1) —
+    /// // bit-identical to serial; `+mt:N` relaxes the sync quantum.
+    /// let det = ExecutionPlan::parse("detailed+mt").unwrap();
+    /// assert_eq!(det.chip, ChipParallelism::Threaded { quantum: 1 });
+    /// let relaxed = ExecutionPlan::parse("detailed+ff+mt:4096").unwrap();
+    /// assert_eq!(relaxed.chip, ChipParallelism::Threaded { quantum: 4096 });
+    /// assert_eq!(relaxed.to_string(), "detailed+ff+mt:4096");
+    /// ```
     ///
     /// # Errors
     ///
     /// Returns a human-readable message naming the offending token for
-    /// unknown speeds, flags, or malformed/zero sampling parameters.
+    /// unknown speeds, flags, or malformed/zero sampling or quantum
+    /// parameters.
     pub fn parse(text: &str) -> Result<ExecutionPlan, String> {
         let mut parts = text.split('+');
         let speed = parts.next().unwrap_or_default();
@@ -305,7 +400,21 @@ impl ExecutionPlan {
                 "ff" => plan.warmup = WarmupMode::Functional,
                 "dw" => plan.warmup = WarmupMode::Detailed,
                 "reuse" => plan.warm_reuse = true,
-                other => return Err(format!("unknown plan flag `+{other}`")),
+                "mt" => plan.chip = ChipParallelism::Threaded { quantum: 1 },
+                other => {
+                    if let Some(q) = other.strip_prefix("mt:") {
+                        let quantum: u64 = q
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad chip quantum `{q}`"))?;
+                        if quantum == 0 {
+                            return Err("chip quantum must be nonzero".into());
+                        }
+                        plan.chip = ChipParallelism::Threaded { quantum };
+                    } else {
+                        return Err(format!("unknown plan flag `+{other}`"));
+                    }
+                }
             }
         }
         Ok(plan)
@@ -330,6 +439,11 @@ impl fmt::Display for ExecutionPlan {
         }
         if self.warm_reuse {
             f.write_str("+reuse")?;
+        }
+        match self.chip {
+            ChipParallelism::Serial => {}
+            ChipParallelism::Threaded { quantum: 1 } => f.write_str("+mt")?,
+            ChipParallelism::Threaded { quantum } => write!(f, "+mt:{quantum}")?,
         }
         Ok(())
     }
@@ -510,6 +624,12 @@ impl CoreConfig {
                     ),
                 });
             }
+        }
+        if self.plan.chip == (ChipParallelism::Threaded { quantum: 0 }) {
+            return Err(SimError::InvalidConfig {
+                field: "plan.chip",
+                message: "threaded chip needs a nonzero sync quantum".into(),
+            });
         }
         self.mem.validate();
         Ok(())
@@ -893,6 +1013,10 @@ mod tests {
             "sampled:10000,40000",
             "sampled:512,2048+dw",
             "sampled:512,2048+reuse",
+            "detailed+mt",
+            "detailed+ff+mt:64",
+            "detailed+reuse+mt:4096",
+            "sampled:10000,40000+mt:4096",
         ] {
             let plan = ExecutionPlan::parse(text).expect(text);
             assert_eq!(plan.to_string(), text, "round-trip of `{text}`");
@@ -912,6 +1036,47 @@ mod tests {
         assert!(ExecutionPlan::parse("sampled:10,0").is_err());
         assert!(ExecutionPlan::parse("sampled:a,b").is_err());
         assert!(ExecutionPlan::parse("detailed+warp").is_err());
+        assert!(ExecutionPlan::parse("detailed+mt:0").is_err());
+        assert!(ExecutionPlan::parse("detailed+mt:many").is_err());
+        assert!(ExecutionPlan::parse("detailed+mt:").is_err());
+    }
+
+    #[test]
+    fn plan_parse_chip_modes() {
+        assert_eq!(
+            ExecutionPlan::parse("detailed").unwrap().chip,
+            ChipParallelism::Serial
+        );
+        assert_eq!(
+            ExecutionPlan::parse("detailed+mt").unwrap().chip,
+            ChipParallelism::Threaded { quantum: 1 }
+        );
+        assert_eq!(
+            ExecutionPlan::parse("detailed+mt:1").unwrap().chip,
+            ChipParallelism::Threaded { quantum: 1 }
+        );
+        // `+mt:1` canonicalizes to the short deterministic form.
+        assert_eq!(
+            ExecutionPlan::parse("detailed+mt:1").unwrap().to_string(),
+            "detailed+mt"
+        );
+        assert_eq!(
+            ExecutionPlan::parse("sampled+mt:8192").unwrap().chip,
+            ChipParallelism::Threaded { quantum: 8192 }
+        );
+    }
+
+    #[test]
+    fn zero_chip_quantum_rejected_by_validate() {
+        let cfg = CoreConfig {
+            plan: ExecutionPlan::detailed()
+                .with_chip(ChipParallelism::Threaded { quantum: 0 }),
+            ..CoreConfig::power5_like()
+        };
+        assert!(matches!(
+            cfg.try_validate(),
+            Err(SimError::InvalidConfig { field: "plan.chip", .. })
+        ));
     }
 
     #[test]
@@ -924,6 +1089,7 @@ mod tests {
                     period: 100,
                 }),
                 warm_reuse: false,
+                chip: ChipParallelism::Serial,
             },
             ..CoreConfig::power5_like()
         };

@@ -106,8 +106,8 @@ mod trace;
 pub use cancel::CancelToken;
 pub use chip::{Chip, CoreId};
 pub use config::{
-    BalancerConfig, ConfigError, CoreConfig, CoreConfigBuilder, ExecutionPlan, MeasureMode,
-    OpLatencies, SamplingConfig, WarmupMode,
+    BalancerConfig, ChipParallelism, ConfigError, CoreConfig, CoreConfigBuilder, ExecutionPlan,
+    MeasureMode, OpLatencies, SamplingConfig, WarmupMode,
 };
 pub use engine::{RunOutcome, SmtCore, WarmState};
 pub use error::{DiagnosticSnapshot, SimError, StuckResource, ThreadDiag};

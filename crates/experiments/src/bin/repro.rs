@@ -26,9 +26,13 @@
 //! functional fast-forward, every IPC reported as a mean with a 95%
 //! confidence interval). Suffix `+reuse` shares warm-state checkpoints
 //! across identical warm phases (bit-identical, wall-clock only —
-//! DESIGN.md §12). The older `--fast-forward` and `--reuse-warmup`
-//! flags are deprecated spellings of `--plan detailed+ff` and
-//! `+reuse`.
+//! DESIGN.md §12). Suffix `+mt` runs the two cores of every simulated
+//! chip on separate OS threads in determinism mode (bit-identical to
+//! serial); `+mt:Q` relaxes the synchronization to a Q-cycle quantum
+//! (DESIGN.md §16 — results carry a bounded interleaving error and get
+//! their own cache keys). `--chip-threads 2` is shorthand for `+mt`.
+//! The older `--fast-forward` and `--reuse-warmup` flags are
+//! deprecated spellings of `--plan detailed+ff` and `+reuse`.
 //!
 //! `--pmu` adds the per-cell CPI-stack section; `--trace <path>`
 //! additionally captures the priority-switch transient and writes it as
@@ -105,7 +109,12 @@ OPTIONS:
                               detailed+ff           functional warmup
                               sampled[:INT,PER]     interval sampling with
                                                     95% confidence intervals
-                            append +reuse to share warm-state checkpoints
+                            append +reuse to share warm-state checkpoints;
+                            append +mt (deterministic, bit-identical) or
+                            +mt:Q (relaxed Q-cycle quantum, DESIGN.md §16)
+                            to run chip simulations on two threads
+    --chip-threads N        1 = serial chip (default), 2 = deterministic
+                            threaded chip (same as appending +mt to --plan)
     --fast-forward          deprecated: same as --plan detailed+ff
     --reuse-warmup          deprecated: adds +reuse to the plan
     --pmu                   add the per-cell CPI-stack section
@@ -192,6 +201,22 @@ fn main() {
     }
     if reuse_warmup {
         plan.warm_reuse = true;
+    }
+    // Like the deprecated shims, a post-parse plan edit, so it composes
+    // with --plan. Relaxed quanta are deliberately not reachable from
+    // this flag — they change results and must be spelled out as
+    // `--plan ...+mt:Q`.
+    match parsed_flag(&args, "--chip-threads") {
+        None => {}
+        Some(1) => plan.chip = p5_core::ChipParallelism::Serial,
+        Some(2) => plan.chip = p5_core::ChipParallelism::Threaded { quantum: 1 },
+        Some(n) => {
+            eprintln!(
+                "--chip-threads expects 1 (serial) or 2 (deterministic threaded), got {n}; \
+                 for a relaxed quantum use --plan ...+mt:Q"
+            );
+            std::process::exit(1);
+        }
     }
     let jobs: usize = match args
         .iter()

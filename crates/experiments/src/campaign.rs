@@ -541,7 +541,10 @@ fn warmup_key(
 ///   complete, so a config change can never replay a stale record);
 /// - the derived per-cell seed, but *only* when a program actually
 ///   consumes the seeded RNG — so identical RNG-free cells at
-///   different indices (or in different artifacts) share one record.
+///   different indices (or in different artifacts) share one record;
+/// - the chip quantum, but *only* for relaxed (`quantum > 1`) threaded
+///   plans — serial and threaded-deterministic runs are bit-identical
+///   and share one key.
 ///
 /// Deliberately excluded: `jobs`, warm-reuse, deadlines, chaos — every
 /// knob that is documented not to change the measured bytes.
@@ -567,6 +570,16 @@ pub fn cell_key(ctx: &Experiments, spec: &CampaignSpec, id: usize, cell: &CellSp
     match cell.faults {
         Some(f) => (1u8, f.seed, f.count, f.horizon).hash(&mut h),
         None => 0u8.hash(&mut h),
+    }
+    // Chip scheduling: serial and threaded-deterministic (quantum 1)
+    // are bit-identical by construction, so they *share* the serial
+    // key (nothing hashed — pre-existing journals stay valid); a
+    // relaxed quantum changes the shared-cache interleaving and gets
+    // its own content-addressed key per quantum.
+    if let p5_core::ChipParallelism::Threaded { quantum } = ctx.core.plan.chip {
+        if quantum > 1 {
+            (0xC5u8, quantum).hash(&mut h);
+        }
     }
     // Normalized out of the Debug rendering: `rng_seed` (hashed
     // conditionally below) and the plan (the *effective* warmup/measure
@@ -1299,6 +1312,35 @@ mod tests {
             cell_key(&reseeded, &spec, 0, &spec.cells[0]),
             keys[0],
             "the seed is excluded for RNG-free programs"
+        );
+    }
+
+    #[test]
+    fn chip_mode_splits_keys_only_for_relaxed_quanta() {
+        use p5_core::ChipParallelism;
+        let spec = CampaignSpec {
+            cells: vec![CellSpec::single("a", cpu_program(40))],
+            jobs: 1,
+            seed: 5,
+            reuse_warmup: false,
+        };
+        let key_for = |chip: ChipParallelism| {
+            let mut ctx = tiny_ctx();
+            ctx.core.plan.chip = chip;
+            cell_key(&ctx, &spec, 0, &spec.cells[0])
+        };
+        let serial = key_for(ChipParallelism::Serial);
+        assert_eq!(
+            serial,
+            key_for(ChipParallelism::Threaded { quantum: 1 }),
+            "determinism mode normalizes to the serial key"
+        );
+        let relaxed = key_for(ChipParallelism::Threaded { quantum: 1024 });
+        assert_ne!(serial, relaxed, "relaxed results get their own keys");
+        assert_ne!(
+            relaxed,
+            key_for(ChipParallelism::Threaded { quantum: 4096 }),
+            "each quantum is its own key"
         );
     }
 

@@ -402,11 +402,15 @@ mod tests {
         let r = Table4Result {
             fft_st_cycles: 100.0,
             lu_st_cycles: 10.0,
+            fft_st_ci95: 0.0,
+            lu_st_ci95: 0.0,
             rows: vec![Table4Row {
                 prio_fft: 4,
                 prio_lu: 4,
                 fft_cycles: 110.0,
                 lu_cycles: 20.0,
+                fft_ci95: 0.0,
+                lu_ci95: 0.0,
             }],
             degraded: Vec::new(),
             counts: crate::CellCounts::default(),
@@ -433,11 +437,15 @@ mod tests {
         let t4 = Table4Result {
             fft_st_cycles: 100.0,
             lu_st_cycles: 10.0,
+            fft_st_ci95: 0.0,
+            lu_st_ci95: 0.0,
             rows: vec![Table4Row {
                 prio_fft: 4,
                 prio_lu: 4,
                 fft_cycles: 110.0,
                 lu_cycles: 20.0,
+                fft_ci95: 0.0,
+                lu_ci95: 0.0,
             }],
             degraded: Vec::new(),
             counts: crate::CellCounts::default(),

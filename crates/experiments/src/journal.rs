@@ -56,8 +56,10 @@ use std::sync::Mutex;
 /// derivation or record layout. Mismatched lines are skipped on load.
 /// History: 1 = original layout; 2 = thread records carry the sampling
 /// estimate (`est_bits`/`ci95_bits`/`samples`) and cell keys cover the
-/// measure mode.
-pub const JOURNAL_SCHEMA_VERSION: u32 = 2;
+/// measure mode; 3 = `ExecutionPlan` grew the chip-parallelism field
+/// (its `Debug` rendering feeds the key hash) and relaxed-quantum chip
+/// plans hash their quantum into the key.
+pub const JOURNAL_SCHEMA_VERSION: u32 = 3;
 
 /// 64-bit FNV-1a as a [`std::hash::Hasher`], for fingerprints that must
 /// be stable across *runs* (unlike `DefaultHasher`, which is only

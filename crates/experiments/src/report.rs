@@ -99,6 +99,29 @@ pub fn f2(x: f64) -> String {
     format!("{x:.2}")
 }
 
+/// Formats a value with its 95% confidence half-width as `value ±ci95`
+/// when the half-width is nonzero (sampled plans), or as the plain
+/// value when it is zero — detailed plans are exact and their rendering
+/// must stay byte-identical to what it was before intervals existed.
+#[must_use]
+pub fn f3_ci(x: f64, ci95: f64) -> String {
+    if ci95 > 0.0 {
+        format!("{} ±{}", f3(x), f3(ci95))
+    } else {
+        f3(x)
+    }
+}
+
+/// Two-decimal variant of [`f3_ci`], for cycle-count tables.
+#[must_use]
+pub fn f2_ci(x: f64, ci95: f64) -> String {
+    if ci95 > 0.0 {
+        format!("{} ±{}", f2(x), f2(ci95))
+    } else {
+        f2(x)
+    }
+}
+
 /// Formats a ratio as `1.23x`.
 #[must_use]
 pub fn ratio(x: f64) -> String {
@@ -153,5 +176,13 @@ mod tests {
         assert_eq!(ratio(2.5), "2.50x");
         assert_eq!(pct(0.237), "+23.7%");
         assert_eq!(pct(-0.132), "-13.2%");
+    }
+
+    #[test]
+    fn ci_formatters_collapse_to_exact_on_zero_halfwidth() {
+        assert_eq!(f3_ci(1.23456, 0.0), "1.235");
+        assert_eq!(f3_ci(1.23456, 0.0123), "1.235 ±0.012");
+        assert_eq!(f2_ci(1860.0, 0.0), "1860.00");
+        assert_eq!(f2_ci(1860.0, 12.345), "1860.00 ±12.35");
     }
 }

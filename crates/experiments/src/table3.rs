@@ -6,7 +6,7 @@
 //! (`tt`) under the default (4,4) priorities.
 
 use crate::campaign::{Campaign, CampaignResult, CampaignSpec, CellSpec};
-use crate::report::{f3, TextTable};
+use crate::report::{f3_ci, TextTable};
 use crate::{CellCounts, Degradation, Experiments};
 use p5_microbench::MicroBenchmark;
 
@@ -112,7 +112,10 @@ pub struct Table3Result {
 }
 
 impl Table3Result {
-    /// Renders measured values with the paper's next to them.
+    /// Renders measured values with the paper's next to them. Sampled
+    /// measurements carry a nonzero 95% confidence half-width and render
+    /// as `value ±ci95`; detailed measurements are exact and render as
+    /// the bare value, byte-identical to the pre-interval output.
     #[must_use]
     pub fn render(&self) -> String {
         let benches = MicroBenchmark::PRESENTED;
@@ -124,14 +127,18 @@ impl Table3Result {
         for (i, b) in benches.iter().enumerate() {
             let mut row = vec![
                 b.name().to_string(),
-                format!("{} ({})", f3(self.st[i]), PAPER_TABLE3[i].0),
+                format!(
+                    "{} ({})",
+                    f3_ci(self.st[i], self.st_ci95[i]),
+                    PAPER_TABLE3[i].0
+                ),
             ];
             for j in 0..6 {
                 let (ppt, ptt) = PAPER_TABLE3[i].1[j];
                 row.push(format!(
                     "{}/{} ({ppt}/{ptt})",
-                    f3(self.pt[i][j]),
-                    f3(self.tt[i][j])
+                    f3_ci(self.pt[i][j], self.pt_ci95[i][j]),
+                    f3_ci(self.tt[i][j], self.tt_ci95[i][j])
                 ));
             }
             t.row(row);
@@ -300,6 +307,27 @@ mod tests {
         assert!(s.contains("ldint_l1"));
         assert!(s.contains("(2.29)"));
         assert!(s.contains("DEGRADED (cpu_int,cpu_int)"));
+        // Detailed results carry zero half-widths and must render without
+        // intervals — the exactness contract of the detailed plan.
+        assert!(!s.contains('±'));
+    }
+
+    #[test]
+    fn render_shows_confidence_intervals_when_sampled() {
+        let mut r = Table3Result {
+            st: [2.3, 0.3, 0.02, 1.2, 0.4, 0.45],
+            pt: [[0.5; 6]; 6],
+            tt: [[1.0; 6]; 6],
+            ..Table3Result::default()
+        };
+        r.st_ci95[0] = 0.0123;
+        r.pt_ci95[1][2] = 0.004;
+        r.tt_ci95[1][2] = 0.0151;
+        let s = r.render();
+        assert!(s.contains("2.300 ±0.012"));
+        assert!(s.contains("0.500 ±0.004/1.000 ±0.015"));
+        // Cells without a half-width stay exact.
+        assert!(s.contains("0.500/1.000"));
     }
 
     #[test]

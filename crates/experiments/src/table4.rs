@@ -7,7 +7,7 @@
 //! is (6,4); (6,3) over-rotates, inverting the imbalance.
 
 use crate::campaign::{Campaign, CampaignSpec, CellSpec};
-use crate::report::{f2, pct, TextTable};
+use crate::report::{f2, f2_ci, pct, TextTable};
 use crate::{CellCounts, Degradation, Experiments};
 use p5_isa::{Priority, ThreadId};
 use p5_workloads::fftlu;
@@ -23,6 +23,12 @@ pub struct Table4Row {
     pub fft_cycles: f64,
     /// Average LU repetition time in cycles.
     pub lu_cycles: f64,
+    /// 95% confidence half-width of the FFT repetition time, in cycles,
+    /// propagated from the sampled IPC estimate by the delta method
+    /// (zero under the detailed plan, where the value is exact).
+    pub fft_ci95: f64,
+    /// 95% confidence half-width of the LU repetition time, in cycles.
+    pub lu_ci95: f64,
 }
 
 impl Table4Row {
@@ -40,6 +46,12 @@ pub struct Table4Result {
     pub fft_st_cycles: f64,
     /// LU single-thread repetition time.
     pub lu_st_cycles: f64,
+    /// 95% confidence half-width of the FFT single-thread repetition
+    /// time, in cycles (zero under the detailed plan).
+    pub fft_st_ci95: f64,
+    /// 95% confidence half-width of the LU single-thread repetition
+    /// time, in cycles.
+    pub lu_st_ci95: f64,
     /// SMT rows in the paper's order: (4,4), (5,4), (6,4), (6,3).
     /// Rows whose measurement degraded beyond recovery are omitted.
     pub rows: Vec<Table4Row>,
@@ -93,7 +105,9 @@ impl Table4Result {
         1.0 - self.best().iteration_cycles() / self.st_iteration_cycles()
     }
 
-    /// Renders measured cycles next to the paper's seconds.
+    /// Renders measured cycles next to the paper's seconds. Sampled
+    /// measurements render as `value ±ci95`; detailed ones as the bare
+    /// (exact) value, byte-identical to the pre-interval output.
     #[must_use]
     pub fn render(&self) -> String {
         let mut t = TextTable::new(vec![
@@ -105,8 +119,8 @@ impl Table4Result {
         ]);
         t.row(vec![
             "single-thread".into(),
-            f2(self.fft_st_cycles),
-            f2(self.lu_st_cycles),
+            f2_ci(self.fft_st_cycles, self.fft_st_ci95),
+            f2_ci(self.lu_st_cycles, self.lu_st_ci95),
             f2(self.st_iteration_cycles()),
             format!(
                 "({}, {}, {})",
@@ -119,8 +133,8 @@ impl Table4Result {
             let (pp, pl, pf, plu, pit) = *paper;
             t.row(vec![
                 format!("({},{})", row.prio_fft, row.prio_lu),
-                f2(row.fft_cycles),
-                f2(row.lu_cycles),
+                f2_ci(row.fft_cycles, row.fft_ci95),
+                f2_ci(row.lu_cycles, row.lu_ci95),
                 f2(row.iteration_cycles()),
                 format!("({pp},{pl}): ({pf}, {plu}, {pit})"),
             ]);
@@ -180,9 +194,10 @@ pub fn run(ctx: &Experiments) -> Result<Table4Result, crate::ExpError> {
     let mut degraded = campaign.degraded.clone();
     degraded.extend(invalid);
 
-    let st_cycles = |id: usize, label: &str| -> Result<f64, crate::ExpError> {
+    let st_cycles = |id: usize, label: &str| -> Result<(f64, f64), crate::ExpError> {
         let m = campaign.measured(id);
-        m.avg_repetition_cycles(ThreadId::T0)
+        let cycles = m
+            .avg_repetition_cycles(ThreadId::T0)
             .ok_or_else(|| crate::ExpError {
                 artifact: "table4",
                 message: format!(
@@ -191,10 +206,11 @@ pub fn run(ctx: &Experiments) -> Result<Table4Result, crate::ExpError> {
                         .as_ref()
                         .map_or_else(|| "no data".to_string(), |e| e.to_string())
                 ),
-            })
+            })?;
+        Ok((cycles, delta_ci95(m, ThreadId::T0, cycles)))
     };
-    let fft_st = st_cycles(0, "FFT ST")?;
-    let lu_st = st_cycles(1, "LU ST")?;
+    let (fft_st, fft_st_ci) = st_cycles(0, "FFT ST")?;
+    let (lu_st, lu_st_ci) = st_cycles(1, "LU ST")?;
 
     let mut rows = Vec::new();
     for (id, pf, pl) in pair_ids {
@@ -208,6 +224,8 @@ pub fn run(ctx: &Experiments) -> Result<Table4Result, crate::ExpError> {
                 prio_lu: pl,
                 fft_cycles,
                 lu_cycles,
+                fft_ci95: delta_ci95(m, ThreadId::T0, fft_cycles),
+                lu_ci95: delta_ci95(m, ThreadId::T1, lu_cycles),
             }),
             None => degraded.push(Degradation::new(
                 format!("({pf},{pl})"),
@@ -231,10 +249,23 @@ pub fn run(ctx: &Experiments) -> Result<Table4Result, crate::ExpError> {
     Ok(Table4Result {
         fft_st_cycles: fft_st,
         lu_st_cycles: lu_st,
+        fft_st_ci95: fft_st_ci,
+        lu_st_ci95: lu_st_ci,
         rows,
         degraded,
         counts: campaign.counts(),
     })
+}
+
+/// Propagates a sampled IPC interval onto a repetition-time value by the
+/// delta method: instructions per repetition are fixed by the program,
+/// so the relative half-width of the IPC estimate *is* the relative
+/// half-width of the cycles-per-repetition it implies. Detailed
+/// estimates carry `ci95 == 0` and propagate to exactly zero.
+fn delta_ci95(m: &crate::Measured, thread: ThreadId, cycles: f64) -> f64 {
+    m.ipc_estimate(thread)
+        .filter(|e| e.value > 0.0)
+        .map_or(0.0, |e| cycles * e.ci95 / e.value)
 }
 
 #[cfg(test)]
@@ -242,34 +273,24 @@ mod tests {
     use super::*;
 
     fn synthetic() -> Table4Result {
+        let row = |prio_fft, prio_lu, fft_cycles, lu_cycles| Table4Row {
+            prio_fft,
+            prio_lu,
+            fft_cycles,
+            lu_cycles,
+            fft_ci95: 0.0,
+            lu_ci95: 0.0,
+        };
         Table4Result {
             fft_st_cycles: 1860.0,
             lu_st_cycles: 260.0,
+            fft_st_ci95: 0.0,
+            lu_st_ci95: 0.0,
             rows: vec![
-                Table4Row {
-                    prio_fft: 4,
-                    prio_lu: 4,
-                    fft_cycles: 2050.0,
-                    lu_cycles: 420.0,
-                },
-                Table4Row {
-                    prio_fft: 5,
-                    prio_lu: 4,
-                    fft_cycles: 2020.0,
-                    lu_cycles: 480.0,
-                },
-                Table4Row {
-                    prio_fft: 6,
-                    prio_lu: 4,
-                    fft_cycles: 1910.0,
-                    lu_cycles: 640.0,
-                },
-                Table4Row {
-                    prio_fft: 6,
-                    prio_lu: 3,
-                    fft_cycles: 1870.0,
-                    lu_cycles: 2330.0,
-                },
+                row(4, 4, 2050.0, 420.0),
+                row(5, 4, 2020.0, 480.0),
+                row(6, 4, 1910.0, 640.0),
+                row(6, 3, 1870.0, 2330.0),
             ],
             degraded: Vec::new(),
             counts: CellCounts::default(),
@@ -302,5 +323,22 @@ mod tests {
         assert!(s.contains("(6,4)"));
         assert!(s.contains("single-thread"));
         assert!(s.contains("paper"));
+        // Detailed results carry zero half-widths and must render
+        // without intervals — the exactness contract of the detailed
+        // plan.
+        assert!(!s.contains('±'));
+    }
+
+    #[test]
+    fn render_shows_confidence_intervals_when_sampled() {
+        let mut r = synthetic();
+        r.fft_st_ci95 = 12.5;
+        r.rows[0].lu_ci95 = 3.25;
+        let s = r.render();
+        assert!(s.contains("1860.00 ±12.50"));
+        assert!(s.contains("420.00 ±3.25"));
+        // Cells without a half-width stay exact.
+        assert!(s.contains("260.00"));
+        assert!(!s.contains("260.00 ±"));
     }
 }
