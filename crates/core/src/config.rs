@@ -260,10 +260,11 @@ pub enum ChipParallelism {
 /// produced by `Display`) is
 /// `detailed | sampled[:interval,period]` with optional `+ff`
 /// (functional warmup under a detailed measure), `+dw` (detailed warmup
-/// under a sampled measure), `+reuse` (warm-checkpoint sharing) and
-/// `+mt[:quantum]` (threaded chip) suffixes, e.g.
-/// `sampled:10000,40000+reuse` or `detailed+mt:4096`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// under a sampled measure), `+noskip` (disable the event-horizon idle
+/// skip), `+reuse` (warm-checkpoint sharing) and `+mt[:quantum]`
+/// (threaded chip) suffixes, e.g. `sampled:10000,40000+reuse` or
+/// `detailed+noskip+mt:4096`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecutionPlan {
     /// How the warmup phase preceding measurement is executed.
     pub warmup: WarmupMode,
@@ -272,10 +273,29 @@ pub struct ExecutionPlan {
     /// Whether campaign cells sharing a warmup signature may reuse one
     /// warm-state checkpoint (wall-clock only; bit-identical results).
     pub warm_reuse: bool,
+    /// Whether the detailed engine may batch-advance over spans of
+    /// provably idle cycles to the next event horizon (wall-clock only;
+    /// bit-identical by construction — same stats, same PMU totals, same
+    /// RNG draw count; see DESIGN.md §17). Defaults on; `+noskip` (or
+    /// the `P5_IDLE_SKIP=0` environment knob) turns it off for A/B
+    /// measurement.
+    pub idle_skip: bool,
     /// How a [`Chip`](crate::Chip)'s two cores are scheduled (serial,
     /// deterministic turnstile, or relaxed-quantum threads). Single-core
     /// paths ignore it.
     pub chip: ChipParallelism,
+}
+
+impl Default for ExecutionPlan {
+    fn default() -> ExecutionPlan {
+        ExecutionPlan {
+            warmup: WarmupMode::default(),
+            measure: MeasureMode::default(),
+            warm_reuse: false,
+            idle_skip: true,
+            chip: ChipParallelism::default(),
+        }
+    }
 }
 
 impl ExecutionPlan {
@@ -295,6 +315,7 @@ impl ExecutionPlan {
             warmup: WarmupMode::Functional,
             measure: MeasureMode::Sampled(sampling),
             warm_reuse: false,
+            idle_skip: true,
             chip: ChipParallelism::Serial,
         }
     }
@@ -313,6 +334,13 @@ impl ExecutionPlan {
         self
     }
 
+    /// Returns a copy with the event-horizon idle skip set.
+    #[must_use]
+    pub fn with_idle_skip(mut self, skip: bool) -> ExecutionPlan {
+        self.idle_skip = skip;
+        self
+    }
+
     /// Parses the canonical plan grammar. The full shape is
     ///
     /// ```text
@@ -322,6 +350,10 @@ impl ExecutionPlan {
     ///          | "sampled:" interval "," period
     /// flag    := "+ff"                         (functional warmup)
     ///          | "+dw"                         (detailed warmup)
+    ///          | "+noskip"                     (disable the event-horizon
+    ///                                           idle skip)
+    ///          | "+skip"                       (re-enable the idle skip;
+    ///                                           the default)
     ///          | "+reuse"                      (share warm checkpoints)
     ///          | "+mt"                         (threaded chip, quantum 1:
     ///                                           deterministic turnstile)
@@ -330,9 +362,10 @@ impl ExecutionPlan {
     /// ```
     ///
     /// Flags may appear in any order; later flags win on conflict
-    /// (`+ff+dw` ends detailed). `Display` emits the canonical form —
-    /// speed, then `+ff`/`+dw` if the warmup differs from the speed's
-    /// default, then `+reuse`, then `+mt`/`+mt:quantum` — so
+    /// (`+ff+dw` ends detailed, `+noskip+skip` ends skipping). `Display`
+    /// emits the canonical form — speed, then `+ff`/`+dw` if the warmup
+    /// differs from the speed's default, then `+noskip` if the idle skip
+    /// is off, then `+reuse`, then `+mt`/`+mt:quantum` — so
     /// parse/display round-trips.
     ///
     /// ```
@@ -399,6 +432,8 @@ impl ExecutionPlan {
             match flag {
                 "ff" => plan.warmup = WarmupMode::Functional,
                 "dw" => plan.warmup = WarmupMode::Detailed,
+                "noskip" => plan.idle_skip = false,
+                "skip" => plan.idle_skip = true,
                 "reuse" => plan.warm_reuse = true,
                 "mt" => plan.chip = ChipParallelism::Threaded { quantum: 1 },
                 other => {
@@ -436,6 +471,9 @@ impl fmt::Display for ExecutionPlan {
                     f.write_str("+dw")?;
                 }
             }
+        }
+        if !self.idle_skip {
+            f.write_str("+noskip")?;
         }
         if self.warm_reuse {
             f.write_str("+reuse")?;
@@ -1010,9 +1048,12 @@ mod tests {
             "detailed+ff",
             "detailed+reuse",
             "detailed+ff+reuse",
+            "detailed+noskip",
+            "detailed+ff+noskip+reuse",
             "sampled:10000,40000",
             "sampled:512,2048+dw",
             "sampled:512,2048+reuse",
+            "sampled:512,2048+noskip+mt:64",
             "detailed+mt",
             "detailed+ff+mt:64",
             "detailed+reuse+mt:4096",
@@ -1067,6 +1108,20 @@ mod tests {
     }
 
     #[test]
+    fn plan_idle_skip_flag_parses_and_later_flag_wins() {
+        assert!(ExecutionPlan::parse("detailed").unwrap().idle_skip);
+        assert!(!ExecutionPlan::parse("detailed+noskip").unwrap().idle_skip);
+        assert!(!ExecutionPlan::parse("sampled+noskip").unwrap().idle_skip);
+        let plan = ExecutionPlan::parse("detailed+noskip+skip").unwrap();
+        assert!(plan.idle_skip, "later flag wins");
+        assert_eq!(plan.to_string(), "detailed", "+skip is the default, not emitted");
+        assert_eq!(
+            ExecutionPlan::detailed().with_idle_skip(false),
+            ExecutionPlan::parse("detailed+noskip").unwrap()
+        );
+    }
+
+    #[test]
     fn zero_chip_quantum_rejected_by_validate() {
         let cfg = CoreConfig {
             plan: ExecutionPlan::detailed()
@@ -1088,8 +1143,7 @@ mod tests {
                     interval: 0,
                     period: 100,
                 }),
-                warm_reuse: false,
-                chip: ChipParallelism::Serial,
+                ..ExecutionPlan::detailed()
             },
             ..CoreConfig::power5_like()
         };

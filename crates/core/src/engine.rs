@@ -12,9 +12,27 @@ use p5_isa::{
     Program, ThreadId,
 };
 use p5_mem::{HitLevel, MemoryHierarchy};
-use p5_pmu::{CpiComponent, CycleRecord, Pmu, PmuConfig, PmuEventKind};
+use p5_pmu::{CpiComponent, CycleRecord, IdleSpanRecord, Pmu, PmuConfig, PmuEventKind};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
+
+/// Process-wide `P5_IDLE_SKIP` override for the event-horizon idle
+/// skip: `1`/`on`/`true`/`yes` forces it on, `0`/`off`/`false`/`no`
+/// forces it off, unset (or anything else) defers to the plan's
+/// [`idle_skip`](crate::ExecutionPlan::idle_skip) flag. Read once per
+/// process and cached — an A/B harness sets it before building cores.
+fn idle_skip_env_override() -> Option<bool> {
+    static OVERRIDE: OnceLock<Option<bool>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        let v = std::env::var("P5_IDLE_SKIP").ok()?;
+        match v.trim().to_ascii_lowercase().as_str() {
+            "0" | "off" | "false" | "no" => Some(false),
+            "1" | "on" | "true" | "yes" => Some(true),
+            _ => None,
+        }
+    })
+}
 
 /// What one thread's decode slot did in one cycle (PMU attribution
 /// input; one value per context per cycle).
@@ -94,6 +112,12 @@ pub struct SmtCore {
     /// Fault injection: until this cycle, the LMQ reports no free entry
     /// (models MSHR saturation by an external agent).
     lmq_blocked_until: u64,
+    /// Whether the event-horizon idle skip is enabled — resolved at
+    /// construction from the plan's
+    /// [`idle_skip`](crate::ExecutionPlan::idle_skip) flag and the
+    /// `P5_IDLE_SKIP` environment override. Wall-clock only: results
+    /// are bit-identical either way (DESIGN.md §17).
+    idle_skip: bool,
 }
 
 /// Checkpoint of everything a warm phase produces, captured by
@@ -221,6 +245,7 @@ impl SmtCore {
             last_commit_cycle: 0,
             cache_port_blocked_until: 0,
             lmq_blocked_until: 0,
+            idle_skip: idle_skip_env_override().unwrap_or(config.plan.idle_skip),
             config,
         }
     }
@@ -525,9 +550,17 @@ impl SmtCore {
     }
 
     /// Advances the simulation by `n` cycles.
+    ///
+    /// When the plan's event-horizon idle skip is enabled (the default),
+    /// spans of provably idle cycles inside the budget are batch-advanced
+    /// instead of stepped one by one — with bit-identical results; see
+    /// `skip_idle_span` and DESIGN.md §17.
     pub fn run_cycles(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step();
+        let end = self.cycle.saturating_add(n);
+        while self.cycle < end {
+            if !self.step_internal() && self.idle_skip {
+                self.skip_idle_span(end);
+            }
         }
     }
 
@@ -728,7 +761,18 @@ impl SmtCore {
                     snapshot: Box::new(self.diagnostic_snapshot()),
                 });
             }
-            self.step();
+            if !self.step_internal() && self.idle_skip {
+                // Clamp the jump to the cycle at which the watchdog
+                // would trip: `last_commit_cycle` is frozen over an idle
+                // span, so the loop-head check above fires at exactly
+                // the cycle (and with exactly the state) the per-cycle
+                // path would have reported.
+                let mut limit = end;
+                if watchdog != 0 && ThreadId::ALL.iter().any(|&t| self.is_active(t)) {
+                    limit = limit.min(self.last_commit_cycle + watchdog);
+                }
+                self.skip_idle_span(limit);
+            }
         }
         Ok(())
     }
@@ -790,7 +834,17 @@ impl SmtCore {
                     snapshot: Box::new(self.diagnostic_snapshot()),
                 });
             }
-            self.step();
+            if !self.step_internal() && self.idle_skip {
+                // As in `try_run_cycles`: land exactly on the watchdog
+                // trip cycle, never beyond it. The done-check outcome is
+                // frozen over an idle span (nothing retires in it), so
+                // re-evaluating it only at the jump target is identical.
+                let mut limit = deadline;
+                if watchdog != 0 {
+                    limit = limit.min(self.last_commit_cycle + watchdog);
+                }
+                self.skip_idle_span(limit);
+            }
         }
         Ok(RunOutcome::MaxCycles)
     }
@@ -920,18 +974,31 @@ impl SmtCore {
 
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
+        self.step_internal();
+    }
+
+    /// One cycle of the detailed pipeline. Returns whether anything
+    /// moved: a completion drained, an instruction issued, a decode slot
+    /// was used (or stolen), or a group retired. `false` means the cycle
+    /// was provably idle — from the resulting state,
+    /// [`skip_idle_span`](SmtCore::skip_idle_span) may batch-advance to
+    /// the next event horizon with bit-identical results. (An LMQ expiry
+    /// is not movement: the post-expiry state is what the idle probe
+    /// sees, and future expiries are horizon sources.)
+    fn step_internal(&mut self) -> bool {
         self.cycle += 1;
         self.stats.cycles += 1;
         let now = self.cycle;
 
         self.lmq.expire(now);
-        self.drain_completions(now);
-        self.issue(now);
+        let drained = self.drain_completions(now);
+        let issued = self.issue(now);
         let dc = self.decode(now);
-        self.retire();
+        let retired = self.retire();
         if self.pmu.is_some() {
             self.pmu_account(now, dc);
         }
+        drained || issued || dc.used || dc.stolen || retired
     }
 
     /// Feeds one cycle's worth of observations to the enabled PMU:
@@ -1001,21 +1068,29 @@ impl SmtCore {
         }
     }
 
-    fn drain_completions(&mut self, now: u64) {
+    /// Pops every completion due at or before `now`; returns whether any
+    /// was popped (movement, for the idle-skip probe).
+    fn drain_completions(&mut self, now: u64) -> bool {
+        let mut drained = false;
         while let Some(&Reverse((finish, tidx, gid))) = self.completions.peek() {
             if finish > now {
                 break;
             }
             self.completions.pop();
+            drained = true;
             if let Some(thread) = self.threads[tidx as usize].as_mut() {
                 thread.group_mut(gid).completed += 1;
             }
         }
+        drained
     }
 
     // ----------------------------------------------------------------- issue
 
-    fn issue(&mut self, now: u64) {
+    /// Issues ready instructions to free units; returns whether anything
+    /// issued (movement, for the idle-skip probe).
+    fn issue(&mut self, now: u64) -> bool {
+        let mut issued_any = false;
         for (class_idx, class) in FuClass::ALL.into_iter().enumerate() {
             let mut free_units: usize = self.fu_busy[class_idx]
                 .iter()
@@ -1041,6 +1116,7 @@ impl SmtCore {
                     Some(occupancy) => {
                         queue.remove(i);
                         free_units -= 1;
+                        issued_any = true;
                         // Claim a free unit for `occupancy` cycles.
                         let unit = self.fu_busy[class_idx]
                             .iter_mut()
@@ -1053,6 +1129,7 @@ impl SmtCore {
             }
             *self.queues.queue(class) = queue;
         }
+        issued_any
     }
 
     /// Attempts to issue one entry; on success returns the number of
@@ -1417,7 +1494,10 @@ impl SmtCore {
 
     // ---------------------------------------------------------------- retire
 
-    fn retire(&mut self) {
+    /// Retires at most one complete group per thread; returns whether
+    /// any retired (movement, for the idle-skip probe).
+    fn retire(&mut self) -> bool {
+        let mut retired_any = false;
         // Repetition boundaries are stamped with the since-reset cycle so
         // FAME measurements exclude warm-up time.
         let stat_cycle = self.stats.cycles;
@@ -1433,6 +1513,7 @@ impl SmtCore {
             if head.completed == head.total {
                 let head = thread.groups.pop_front().expect("front checked");
                 self.last_commit_cycle = self.cycle;
+                retired_any = true;
                 if let Some(t) = &mut self.tracer {
                     t.push(TraceEvent {
                         cycle: self.cycle,
@@ -1453,6 +1534,300 @@ impl SmtCore {
                         committed_at_end: committed,
                     });
                 }
+            }
+        }
+        retired_any
+    }
+
+    // ----------------------------------------- event-horizon idle skipping
+
+    /// Mirror of [`try_decode`](SmtCore::try_decode)'s gate cascade on
+    /// the *current* (frozen) state: the single cause that would block
+    /// `tid`'s decode on any designated cycle of an idle span, or `None`
+    /// if it could decode when next designated.
+    ///
+    /// Every gate reads state that cannot change across an idle span
+    /// whose end is clamped below the event horizon: `redirect_pending`
+    /// clears only when the branch issues; a `fetch_stall_until` in the
+    /// future bounds the horizon itself (so the stall covers the whole
+    /// span); balancer caps read GCT/LMQ occupancies frozen by
+    /// no-decode/no-expiry; and the first undecoded instruction (which
+    /// decides `QueueFull`) does not advance.
+    fn probe_decode_block(&self, tid: ThreadId) -> Option<DecodeBlock> {
+        let now = self.cycle;
+        let Some(thread) = self.threads[tid.index()].as_ref() else {
+            return Some(DecodeBlock::Inactive);
+        };
+        // `try_decode` at cycle c blocks while `fetch_stall_until >= c`;
+        // the span only covers c > now, so a stall at or before `now`
+        // no longer gates it.
+        if thread.redirect_pending.is_some() || thread.fetch_stall_until > now {
+            return Some(DecodeBlock::BranchStall);
+        }
+        if self.config.balancer.enabled && self.both_active() {
+            let cap = if self.lmq.outstanding_deep(tid) > 0 {
+                self.config.balancer.gct_cap_deep_miss
+            } else {
+                self.config.balancer.gct_cap_per_thread
+            };
+            if thread.groups.len() >= cap {
+                return Some(DecodeBlock::Balancer);
+            }
+        }
+        if self.gct_occupancy() >= self.config.gct_entries {
+            return Some(DecodeBlock::GctFull);
+        }
+        let inst = thread.program.body()[thread.pc];
+        if !self.queues.has_room(inst.op.fu_class()) {
+            return Some(DecodeBlock::QueueFull);
+        }
+        None
+    }
+
+    /// First cycle after `now` on which `policy` designates `tid` for
+    /// decode, or `None` if it never does.
+    fn next_designated_cycle(&self, policy: DecodePolicy, tid: ThreadId, now: u64) -> Option<u64> {
+        match policy {
+            DecodePolicy::BothOff => None,
+            DecodePolicy::SingleThread { runner } => (runner == tid).then_some(now + 1),
+            DecodePolicy::LowPower => {
+                // Designated cycles are c = k * period with
+                // (k % 2) == tid.index() (see `designated`).
+                let p = self.config.low_power_decode_period;
+                let mut k = now / p + 1;
+                if k % 2 != tid.index() as u64 {
+                    k += 1;
+                }
+                Some(k * p)
+            }
+            DecodePolicy::Ratio {
+                favoured,
+                favoured_slots,
+                period,
+            } => {
+                let period = u64::from(period);
+                let fav = u64::from(favoured_slots);
+                // `tid` owns slots [lo, hi) of each period.
+                let (lo, hi) = if tid == favoured { (0, fav) } else { (fav, period) };
+                if lo >= hi {
+                    return None;
+                }
+                let c = now + 1;
+                let slot = c % period;
+                Some(if slot < lo {
+                    c + (lo - slot)
+                } else if slot < hi {
+                    c
+                } else {
+                    c + (period - slot) + lo
+                })
+            }
+        }
+    }
+
+    /// First cycle after `now` on which `policy` designates *anybody*
+    /// (the earliest cycle a stealable slot exists), or `None` if decode
+    /// is switched off.
+    fn next_any_designated_cycle(&self, policy: DecodePolicy, now: u64) -> Option<u64> {
+        match policy {
+            DecodePolicy::BothOff => None,
+            DecodePolicy::SingleThread { .. } | DecodePolicy::Ratio { .. } => Some(now + 1),
+            DecodePolicy::LowPower => {
+                let p = self.config.low_power_decode_period;
+                Some((now / p + 1) * p)
+            }
+        }
+    }
+
+    /// Designated decode cycles granted to `tid` in the span
+    /// `(now, end]` under `policy`, in closed form — exactly the count
+    /// per-cycle stepping would accumulate via `designated`.
+    fn granted_in_span(&self, policy: DecodePolicy, tid: ThreadId, now: u64, end: u64) -> u64 {
+        match policy {
+            DecodePolicy::BothOff => 0,
+            DecodePolicy::SingleThread { runner } => {
+                if runner == tid {
+                    end - now
+                } else {
+                    0
+                }
+            }
+            DecodePolicy::LowPower => {
+                // Count k in [now/p + 1, end/p] with k % 2 == tid.index().
+                let p = self.config.low_power_decode_period;
+                let (k_lo, k_hi) = (now / p + 1, end / p);
+                if k_hi < k_lo {
+                    return 0;
+                }
+                let total = k_hi - k_lo + 1;
+                if k_lo % 2 == tid.index() as u64 {
+                    total.div_ceil(2)
+                } else {
+                    total / 2
+                }
+            }
+            DecodePolicy::Ratio {
+                favoured,
+                favoured_slots,
+                period,
+            } => {
+                let period = u64::from(period);
+                let fav = u64::from(favoured_slots);
+                // F(x) = favoured cycles in [0, x]; the favoured slots of
+                // each period are the first `fav`.
+                let f = |x: u64| (x / period) * fav + (x % period + 1).min(fav);
+                let fav_in_span = f(end) - f(now);
+                if tid == favoured {
+                    fav_in_span
+                } else {
+                    (end - now) - fav_in_span
+                }
+            }
+        }
+    }
+
+    /// The event-horizon fast path. Called right after a cycle in which
+    /// nothing moved; batch-advances `cycle`/`stats.cycles` across the
+    /// span of provably idle cycles `(now, end]` in one jump, where
+    /// `end` is the minimum of `limit` (the caller's budget / watchdog
+    /// ceiling), the next PMU sampling-interval edge, and one cycle
+    /// before the **next-event horizon** — the earliest future cycle at
+    /// which any pipeline state can change:
+    ///
+    /// - the `completions` heap head (first drain, and the bound on when
+    ///   any stuck issue dependency can become ready),
+    /// - the earliest LMQ expiry (frees capacity, changes balancer and
+    ///   miss-classification signals),
+    /// - each busy functional unit's release cycle,
+    /// - the fault windows `cache_port_blocked_until` /
+    ///   `lmq_blocked_until`,
+    /// - each active thread's `fetch_stall_until + 1` (first decodable
+    ///   cycle after a front-end stall),
+    /// - for each thread whose decode would *not* be blocked, its next
+    ///   designated cycle (it would decode there — movement), and, with
+    ///   slot stealing on, the next cycle anybody is designated.
+    ///
+    /// Within the span every stage provably no-ops or fails identically
+    /// to per-cycle stepping, so only accounting advances: granted
+    /// decode cycles and their (uniform) block causes are charged to the
+    /// per-thread ledgers in closed form, and an attached PMU absorbs
+    /// the span via [`Pmu::on_idle_span`]. The RNG is untouched (idle
+    /// cycles draw nothing). Results are bit-identical by construction;
+    /// only wall-clock changes.
+    fn skip_idle_span(&mut self, limit: u64) {
+        let now = self.cycle;
+        let mut limit = limit;
+        if let Some(p) = &self.pmu {
+            if let Some(edge) = p.cycles_until_sample_edge() {
+                limit = limit.min(now + edge);
+            }
+        }
+        if limit <= now {
+            return;
+        }
+
+        let policy = self.effective_policy();
+        let mut horizon = u64::MAX;
+        if let Some(&Reverse((finish, _, _))) = self.completions.peek() {
+            horizon = horizon.min(finish);
+        }
+        if let Some(release) = self.lmq.next_release() {
+            // `expire(now)` kept only entries with release > now, so
+            // this is always in the future.
+            horizon = horizon.min(release);
+        }
+        for class in &self.fu_busy {
+            for &busy_until in class {
+                if busy_until > now {
+                    horizon = horizon.min(busy_until);
+                }
+            }
+        }
+        if self.cache_port_blocked_until > now {
+            horizon = horizon.min(self.cache_port_blocked_until);
+        }
+        if self.lmq_blocked_until > now {
+            horizon = horizon.min(self.lmq_blocked_until);
+        }
+        let mut causes: [Option<DecodeBlock>; 2] = [None, None];
+        let mut any_can_decode = false;
+        for tid in ThreadId::ALL {
+            let i = tid.index();
+            if let Some(t) = self.threads[i].as_ref() {
+                if t.fetch_stall_until > now {
+                    horizon = horizon.min(t.fetch_stall_until + 1);
+                }
+            }
+            match self.probe_decode_block(tid) {
+                Some(block) => causes[i] = Some(block),
+                None => {
+                    any_can_decode = true;
+                    if let Some(c) = self.next_designated_cycle(policy, tid, now) {
+                        horizon = horizon.min(c);
+                    }
+                }
+            }
+        }
+        if any_can_decode && self.config.steal_idle_decode_slots {
+            if let Some(c) = self.next_any_designated_cycle(policy, now) {
+                horizon = horizon.min(c);
+            }
+        }
+
+        let end = limit.min(horizon.saturating_sub(1));
+        if end <= now {
+            return;
+        }
+        let n = end - now;
+
+        let mut granted = [0u64; 2];
+        for tid in ThreadId::ALL {
+            let i = tid.index();
+            let g = self.granted_in_span(policy, tid, now, end);
+            if g > 0 {
+                // A thread designated within the span is necessarily
+                // blocked (an unblocked thread's next designated cycle
+                // bounded the horizon), and a policy only designates
+                // active threads, so the cause is a real block — the
+                // `used + blocked == granted` partition is preserved.
+                let cause = causes[i].expect("designated thread in an idle span must be blocked");
+                debug_assert!(cause != DecodeBlock::Inactive);
+                let st = &mut self.stats.threads[i];
+                st.decode_cycles_granted += g;
+                st.note_block_n(cause, g);
+            }
+            granted[i] = g;
+        }
+        self.cycle = end;
+        self.stats.cycles += n;
+
+        if self.pmu.is_some() {
+            let mut blocked_attr = [CpiComponent::Idle; 2];
+            let mut idle_attr = [CpiComponent::Idle; 2];
+            for tid in ThreadId::ALL {
+                let i = tid.index();
+                if let Some(cause) = causes[i] {
+                    blocked_attr[i] = self.classify_block(tid, cause);
+                }
+                if self.is_active(tid) {
+                    idle_attr[i] = CpiComponent::DecodeStarved;
+                }
+            }
+            let span = IdleSpanRecord {
+                cycles: n,
+                granted,
+                blocked_attr,
+                idle_attr,
+                gct_occupancy: self.gct_occupancy() as u32,
+                lmq_occupancy: self.lmq.occupancy() as u32,
+                committed: [
+                    self.stats.threads[0].committed,
+                    self.stats.threads[1].committed,
+                ],
+                priorities: [self.priorities[0].level(), self.priorities[1].level()],
+            };
+            if let Some(p) = &mut self.pmu {
+                p.on_idle_span(&span);
             }
         }
     }
@@ -2218,5 +2593,149 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// Everything observable about a finished run, rendered to one
+    /// string so a mismatch points at the exact diverging field: full
+    /// per-thread stats (granted/used/blocked ledgers, repetitions),
+    /// memory and branch counters, and — when a PMU was attached — its
+    /// CPI stacks, hardware counters, and every emitted sample.
+    fn full_observable(c: &mut SmtCore) -> String {
+        let pmu = match c.take_pmu() {
+            Some(p) => format!(
+                "stacks={:?} counters={:?} samples={:?} dropped={} mem={:?}",
+                [p.stack(ThreadId::T0), p.stack(ThreadId::T1)],
+                p.counters(),
+                p.samples(),
+                p.samples_dropped(),
+                p.mem_snapshot(),
+            ),
+            None => "none".to_owned(),
+        };
+        format!(
+            "cycle={} stats={:?} mem={:?} branch={:?} pmu={pmu}",
+            c.cycle(),
+            c.stats(),
+            c.mem().stats(),
+            c.branch_stats(),
+        )
+    }
+
+    /// Runs one scenario twice — idle skip on and off — and demands
+    /// bit-identical observables. The scenario battery covers every
+    /// horizon source: priority-ratio starvation, low-power mode,
+    /// single-thread stalls, fault windows (decode stall, cache-port
+    /// block, LMQ saturation), an empty core, and a sampling PMU whose
+    /// interval edges the skip must land on exactly.
+    fn assert_skip_identical(label: &str, scenario: impl Fn(&mut SmtCore)) {
+        let run = |skip: bool| {
+            let mut cfg = CoreConfig::tiny_for_tests();
+            cfg.plan.idle_skip = skip;
+            let mut c = SmtCore::new(cfg);
+            scenario(&mut c);
+            full_observable(&mut c)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on, off, "idle skip diverged in scenario {label}");
+    }
+
+    #[test]
+    fn idle_skip_is_bit_identical_across_scenarios() {
+        assert_skip_identical("empty core with sampling pmu", |c| {
+            c.enable_pmu(p5_pmu::PmuConfig::sampling(64));
+            c.run_cycles(1_000);
+        });
+        assert_skip_identical("starved low-priority corner", |c| {
+            c.load_program(ThreadId::T0, chase_program(256 * 1024, 10_000));
+            c.load_program(ThreadId::T1, chase_program(256 * 1024, 10_000));
+            c.set_priority(ThreadId::T0, Priority::High); // 6 vs 1 -> R=64
+            c.set_priority(ThreadId::T1, Priority::VeryLow);
+            c.enable_pmu(p5_pmu::PmuConfig::sampling(256));
+            c.run_cycles(30_000);
+        });
+        assert_skip_identical("low-power mode", |c| {
+            c.load_program(ThreadId::T0, cpu_program(9, 1_000));
+            c.load_program(ThreadId::T1, chase_program(64 * 1024, 1_000));
+            c.set_priority(ThreadId::T0, Priority::VeryLow);
+            c.set_priority(ThreadId::T1, Priority::VeryLow);
+            c.enable_pmu(p5_pmu::PmuConfig::sampling(128));
+            c.run_cycles(20_000);
+        });
+        assert_skip_identical("single thread memory bound", |c| {
+            c.load_program(ThreadId::T0, chase_program(512 * 1024, 2_000));
+            c.enable_pmu(p5_pmu::PmuConfig::counters_only());
+            c.run_cycles(25_000);
+        });
+        assert_skip_identical("fault windows", |c| {
+            c.load_program(ThreadId::T0, chase_program(64 * 1024, 2_000));
+            c.load_program(ThreadId::T1, cpu_program(9, 2_000));
+            c.enable_pmu(p5_pmu::PmuConfig::sampling(100));
+            c.run_cycles(500);
+            c.inject_decode_stall(ThreadId::T1, 3_000);
+            c.inject_cache_port_block(2_000);
+            c.run_cycles(1_500);
+            c.inject_lmq_block(4_000);
+            c.run_cycles(8_000);
+        });
+        assert_skip_identical("dependency chain with random branches", |c| {
+            c.load_program(ThreadId::T0, chain_program(6, 2_000));
+            c.load_program(ThreadId::T1, {
+                let mut b = Program::builder("rand-br");
+                b.push(StaticInst::new(Op::Branch(BranchBehavior::Random {
+                    taken_permille: 300,
+                })));
+                b.push(StaticInst::new(Op::IntAlu).dst(Reg::new(40)));
+                b.push(StaticInst::new(Op::Branch(BranchBehavior::LoopBack)));
+                b.iterations(2_000);
+                b.build().unwrap()
+            });
+            c.set_priority(ThreadId::T0, Priority::Low);
+            c.run_cycles(15_000);
+        });
+    }
+
+    #[test]
+    fn idle_skip_watchdog_trips_on_identical_cycle() {
+        // The watchdog ceiling clamps every jump, so a wedge must trip
+        // at the same cycle with the same diagnostic either way.
+        let run = |skip: bool| {
+            let mut cfg = CoreConfig::tiny_for_tests();
+            cfg.lmq_entries = 0;
+            cfg.watchdog_stall_cycles = 10_000;
+            cfg.plan.idle_skip = skip;
+            let mut c = SmtCore::new(cfg);
+            c.load_program(ThreadId::T0, chase_program(256 * 1024, 1_000));
+            let err = c
+                .try_run_until_repetitions([1, 0], 10_000_000)
+                .expect_err("zero-LMQ wedge");
+            (c.cycle(), format!("{err:?}"))
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn idle_skip_actually_engages() {
+        // Guard against the fast path silently never firing: a wedged
+        // zero-LMQ core must reach the watchdog in far fewer step calls
+        // than cycles. Observable proxy: the run above finishes — here
+        // we check the plan flag plumbing instead, both directions.
+        let mut cfg = CoreConfig::tiny_for_tests();
+        cfg.plan.idle_skip = false;
+        let c = SmtCore::new(cfg);
+        assert!(!c.idle_skip, "+noskip plan must disable the fast path");
+        let c = SmtCore::new(CoreConfig::tiny_for_tests());
+        assert!(c.idle_skip, "default plan must enable the fast path");
+    }
+
+    #[test]
+    fn idle_skip_jumps_an_empty_core_in_one_call() {
+        // An empty core has no horizon sources at all: one skip call
+        // must land exactly on the budget end, and the cycle ledger
+        // must match.
+        let mut c = core();
+        c.run_cycles(1_000_000);
+        assert_eq!(c.cycle(), 1_000_000);
+        assert_eq!(c.stats().cycles, 1_000_000);
     }
 }

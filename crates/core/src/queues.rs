@@ -172,6 +172,14 @@ impl LoadMissQueue {
         self.entries.push((release, thread, deep));
     }
 
+    /// Earliest release cycle among the outstanding entries, if any —
+    /// the first cycle at which [`expire`](LoadMissQueue::expire) can
+    /// change the queue's state (an event-horizon source for the idle
+    /// skip).
+    pub(crate) fn next_release(&self) -> Option<u64> {
+        self.entries.iter().map(|&(release, _, _)| release).min()
+    }
+
     pub(crate) fn occupancy(&self) -> usize {
         self.entries.len()
     }

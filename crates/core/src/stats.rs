@@ -81,11 +81,19 @@ pub struct ThreadStats {
 impl ThreadStats {
     /// Records a lost decode cycle.
     pub(crate) fn note_block(&mut self, why: DecodeBlock) {
+        self.note_block_n(why, 1);
+    }
+
+    /// Records `n` lost decode cycles with the same cause in one update
+    /// — the batch-accounting path of the event-horizon idle skip, which
+    /// must charge a skipped span exactly as `n` per-cycle
+    /// [`note_block`](ThreadStats::note_block) calls would.
+    pub(crate) fn note_block_n(&mut self, why: DecodeBlock, n: u64) {
         match why {
-            DecodeBlock::BranchStall => self.blocked_branch += 1,
-            DecodeBlock::GctFull => self.blocked_gct += 1,
-            DecodeBlock::QueueFull => self.blocked_queue += 1,
-            DecodeBlock::Balancer => self.blocked_balancer += 1,
+            DecodeBlock::BranchStall => self.blocked_branch += n,
+            DecodeBlock::GctFull => self.blocked_gct += n,
+            DecodeBlock::QueueFull => self.blocked_queue += n,
+            DecodeBlock::Balancer => self.blocked_balancer += n,
             DecodeBlock::Inactive => {}
         }
     }

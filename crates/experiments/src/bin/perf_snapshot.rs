@@ -28,11 +28,14 @@
 //! result journaling costs more than [`MAX_JOURNAL_OVERHEAD_PCT`] over
 //! the identical un-journaled leg, the three-speed `sampled` plan is
 //! less than [`MIN_SAMPLED_SPEEDUP`]× faster than fully detailed on the
-//! long-repetition cell, or (on hosts with ≥2 CPUs) the threaded chip at
+//! long-repetition cell, (on hosts with ≥2 CPUs) the threaded chip at
 //! a relaxed quantum is less than [`MIN_CHIP_SPEEDUP`]× faster than the
-//! serial chip on the big-cell workload — how CI keeps the
+//! serial chip on the big-cell workload, or the event-horizon idle skip
+//! is less than [`MIN_IDLE_SKIP_SPEEDUP`]× faster (or not bit-identical)
+//! on the stall-heavy starved cell — how CI keeps the
 //! instrumentation, the two-speed engine, the checkpoint layer, the
-//! durability layer, the sampling engine, and the parallel chip honest. `--quick` shrinks the cycle budgets and cell counts for a CI
+//! durability layer, the sampling engine, the parallel chip, and the
+//! idle-skip fast path honest. `--quick` shrinks the cycle budgets and cell counts for a CI
 //! smoke run. The `off` mode *is*
 //! the disabled-PMU state — its hot-path cost is one never-taken branch
 //! per cycle, so the disabled overhead is bounded by run-to-run noise
@@ -80,6 +83,11 @@ const MIN_CHIP_SPEEDUP: f64 = 1.5;
 /// Sync quantum of the threaded leg: large enough that barrier crossings
 /// are amortized over thousands of simulated cycles.
 const CHIP_QUANTUM: u64 = 4_096;
+/// Gate: the event-horizon idle skip must cut the wall-clock of the
+/// stall-heavy starved cell by at least this factor — and the skipped
+/// run must stay bit-identical to the per-cycle run, which is the fast
+/// path's whole contract.
+const MIN_IDLE_SKIP_SPEEDUP: f64 = 1.5;
 
 /// Worker count for the parallel leg of the campaign-scaling benchmark.
 const CAMPAIGN_JOBS: usize = 4;
@@ -94,6 +102,12 @@ struct Params {
     /// Cells in the campaign-scaling leg (quick runs a subset of the
     /// presented benchmarks so the smoke gate stays cheap).
     campaign_cells: usize,
+    /// Cells in the journal-overhead leg. Kept at the full presented
+    /// list even under `--quick`: the leg gates a fixed per-cell fsync
+    /// cost as a *percentage* of simulate time, and the idle-skip fast
+    /// path shrank quick simulate time enough that a 3-cell leg
+    /// measures the host's fsync latency, not the journal design.
+    journal_cells: usize,
     /// Duplicate cells in the warm-reuse leg.
     reuse_cells: usize,
     /// Fixed warm-phase length of the warm-reuse leg: pinned via the
@@ -111,6 +125,10 @@ struct Params {
     chip_cycles: u64,
     /// Interleaved serial/threaded rounds in the parallel-chip leg.
     chip_rounds: usize,
+    /// Cycles of the idle-skip leg's stall-heavy starved cell.
+    idle_skip_cycles: u64,
+    /// Interleaved skip-off/skip-on rounds in the idle-skip leg.
+    idle_skip_rounds: usize,
 }
 
 impl Params {
@@ -121,12 +139,15 @@ impl Params {
             rounds: 5,
             campaign_rounds: 2,
             campaign_cells: MicroBenchmark::PRESENTED.len(),
+            journal_cells: MicroBenchmark::PRESENTED.len(),
             reuse_cells: 8,
             reuse_warm_cycles: 1_500_000,
             sampled_iterations: 60_000,
             sampled_rounds: 3,
             chip_cycles: 2_000_000,
             chip_rounds: 3,
+            idle_skip_cycles: 2_000_000,
+            idle_skip_rounds: 3,
         }
     }
 
@@ -137,12 +158,15 @@ impl Params {
             rounds: 3,
             campaign_rounds: 1,
             campaign_cells: 3,
+            journal_cells: MicroBenchmark::PRESENTED.len(),
             reuse_cells: 6,
             reuse_warm_cycles: 600_000,
             sampled_iterations: 20_000,
             sampled_rounds: 2,
             chip_cycles: 400_000,
             chip_rounds: 2,
+            idle_skip_cycles: 500_000,
+            idle_skip_rounds: 2,
         }
     }
 }
@@ -385,6 +409,38 @@ fn timed_chip(cycles: u64, parallelism: p5_core::ChipParallelism) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
+/// Runs the stall-heavy starved cell — the `ldint_mem` pointer chase
+/// favoured at priority 6 over `ldint_l2` starved at priority 1, so the
+/// favoured thread spends most cycles waiting out memory misses while
+/// the starved one rarely holds a decode slot — with the event-horizon
+/// idle skip off or on, PMU sampling attached (the skip must batch the
+/// accounting, not bypass it). Returns the wall time and a digest of
+/// every observable (stats ledgers, CPI stacks, hardware counters,
+/// samples) so the two runs can be checked for bit-identity.
+fn timed_idle_skip(cycles: u64, skip: bool) -> (f64, String) {
+    let mut cfg = CoreConfig::power5_like();
+    cfg.plan.idle_skip = skip;
+    let mut core = SmtCore::new(cfg);
+    core.load_program(ThreadId::T0, MicroBenchmark::LdintMem.program());
+    core.load_program(ThreadId::T1, MicroBenchmark::LdintL2.program());
+    core.set_priority(ThreadId::T0, Priority::from_level(6).expect("valid"));
+    core.set_priority(ThreadId::T1, Priority::from_level(1).expect("valid"));
+    core.enable_pmu(PmuConfig::sampling(SAMPLE_INTERVAL));
+    let t = Instant::now();
+    core.run_cycles(cycles);
+    let wall = t.elapsed().as_secs_f64();
+    let pmu = core.take_pmu().expect("enabled above");
+    let digest = format!(
+        "cycle={} stats={:?} stacks={:?} counters={:?} samples={:?}",
+        core.cycle(),
+        core.stats(),
+        [pmu.stack(ThreadId::T0), pmu.stack(ThreadId::T1)],
+        pmu.counters(),
+        pmu.samples(),
+    );
+    (wall, digest)
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -503,16 +559,20 @@ fn main() {
     // Journal overhead: the identical serial campaign leg with the
     // write-ahead journal off vs on, interleaved and medianed. Gated:
     // durability must stay in the noise.
-    let journal_rounds = p.campaign_rounds.max(3);
+    // Five interleaved rounds minimum: the journaled delta per round is
+    // a handful of buffered writes (the batch fsync lands on drop,
+    // outside the timer), so the signal is small and the median needs
+    // enough rounds to shed this container's scheduling transients.
+    let journal_rounds = p.campaign_rounds.max(5);
     println!(
         "== journal overhead: {} quick cells at 1 job, journal off vs on ({journal_rounds} rounds) ==",
-        p.campaign_cells
+        p.journal_cells
     );
     let mut journal_off_samples = Vec::new();
     let mut journal_on_samples = Vec::new();
     for round in 0..journal_rounds {
-        journal_off_samples.push(timed_campaign_journaled(p.campaign_cells, round, false));
-        journal_on_samples.push(timed_campaign_journaled(p.campaign_cells, round, true));
+        journal_off_samples.push(timed_campaign_journaled(p.journal_cells, round, false));
+        journal_on_samples.push(timed_campaign_journaled(p.journal_cells, round, true));
     }
     let journal_off = median(&journal_off_samples);
     let journal_on = median(&journal_on_samples);
@@ -637,6 +697,38 @@ fn main() {
         }
     );
 
+    // Event-horizon idle skip: the stall-heavy starved cell with the
+    // skip off vs on, interleaved and medianed. Gated on both axes: the
+    // fast path must actually be fast on its target regime AND produce
+    // byte-for-byte the same observables — speed with a changed answer
+    // is a correctness bug, not an optimisation.
+    println!(
+        "== idle skip: ldint_mem/ldint_l2 (6,1), {} cycles, skip off vs on ({} rounds) ==",
+        p.idle_skip_cycles, p.idle_skip_rounds
+    );
+    let mut skip_off_samples = Vec::new();
+    let mut skip_on_samples = Vec::new();
+    let mut skip_identical = true;
+    for _ in 0..p.idle_skip_rounds {
+        let (off_wall, off_digest) = timed_idle_skip(p.idle_skip_cycles, false);
+        let (on_wall, on_digest) = timed_idle_skip(p.idle_skip_cycles, true);
+        skip_off_samples.push(off_wall);
+        skip_on_samples.push(on_wall);
+        skip_identical &= off_digest == on_digest;
+    }
+    let skip_off_wall = median(&skip_off_samples);
+    let skip_on_wall = median(&skip_on_samples);
+    let idle_skip_speedup = skip_off_wall / skip_on_wall;
+    let idle_skip_ok = idle_skip_speedup >= MIN_IDLE_SKIP_SPEEDUP && skip_identical;
+    println!(
+        "off {:>8.1} ms (spread {:>4.1}%)   on {:>8.1} ms (spread {:>4.1}%)   speedup {idle_skip_speedup:.2}x   bit-identical: {}",
+        skip_off_wall * 1e3,
+        spread_pct(&skip_off_samples),
+        skip_on_wall * 1e3,
+        spread_pct(&skip_on_samples),
+        if skip_identical { "yes" } else { "NO" }
+    );
+
     let doc = JsonObject::new()
         .field("schema_version", p5_experiments::export::SCHEMA_VERSION)
         .field("artifact", "bench_repro")
@@ -687,6 +779,7 @@ fn main() {
                 .field("max_journal_overhead_pct", MAX_JOURNAL_OVERHEAD_PCT)
                 .field("min_sampled_speedup", MIN_SAMPLED_SPEEDUP)
                 .field("min_chip_speedup", MIN_CHIP_SPEEDUP)
+                .field("min_idle_skip_speedup", MIN_IDLE_SKIP_SPEEDUP)
                 .field("counters_ok", counters_ok)
                 .field("sampling_ok", sampling_ok)
                 .field("warmup_ok", warmup_ok)
@@ -694,6 +787,7 @@ fn main() {
                 .field("journal_ok", journal_ok)
                 .field("sampled_ok", sampled_ok)
                 .field("chip_ok", chip_ok)
+                .field("idle_skip_ok", idle_skip_ok)
                 .build(),
         )
         .field(
@@ -710,7 +804,7 @@ fn main() {
         .field(
             "journal",
             JsonObject::new()
-                .field("cells", p.campaign_cells as u64)
+                .field("cells", p.journal_cells as u64)
                 .field("rounds", journal_rounds as u64)
                 .field("off_wall_ms", journal_off * 1e3)
                 .field("on_wall_ms", journal_on * 1e3)
@@ -752,6 +846,18 @@ fn main() {
                 .field("serial_wall_ms", chip_serial_wall * 1e3)
                 .field("threaded_wall_ms", chip_threaded_wall * 1e3)
                 .field("speedup", chip_speedup)
+                .build(),
+        )
+        .field(
+            "idle_skip",
+            JsonObject::new()
+                .field("workload", "ldint_mem/ldint_l2 (6,1)")
+                .field("cycles", p.idle_skip_cycles)
+                .field("rounds", p.idle_skip_rounds as u64)
+                .field("off_wall_ms", skip_off_wall * 1e3)
+                .field("on_wall_ms", skip_on_wall * 1e3)
+                .field("speedup", idle_skip_speedup)
+                .field("bit_identical", skip_identical)
                 .build(),
         )
         .build();
@@ -803,6 +909,13 @@ fn main() {
                 "PARALLEL-CHIP GATE FAILED: the threaded chip is only {chip_speedup:.2}x faster \
                  than serial on the big-cell workload (minimum {MIN_CHIP_SPEEDUP}x on a \
                  {host_cpus}-CPU host)"
+            );
+            failed = true;
+        }
+        if !idle_skip_ok {
+            eprintln!(
+                "IDLE-SKIP GATE FAILED: speedup {idle_skip_speedup:.2}x (minimum \
+                 {MIN_IDLE_SKIP_SPEEDUP}x), bit-identical: {skip_identical}"
             );
             failed = true;
         }

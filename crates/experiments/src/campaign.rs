@@ -546,8 +546,10 @@ fn warmup_key(
 ///   plans — serial and threaded-deterministic runs are bit-identical
 ///   and share one key.
 ///
-/// Deliberately excluded: `jobs`, warm-reuse, deadlines, chaos — every
-/// knob that is documented not to change the measured bytes.
+/// Deliberately excluded: `jobs`, warm-reuse, idle-skip, deadlines,
+/// chaos — every knob that is documented not to change the measured
+/// bytes (the event-horizon idle skip is bit-identical by
+/// construction, so a record computed either way is the same record).
 #[must_use]
 pub fn cell_key(ctx: &Experiments, spec: &CampaignSpec, id: usize, cell: &CellSpec) -> CellKey {
     let mut h = StableHasher::new();

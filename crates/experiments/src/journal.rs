@@ -44,7 +44,7 @@ use crate::{CellStatus, Measured};
 use p5_core::SimError;
 use p5_fame::{FameReport, ThreadMeasurement};
 use p5_pmu::json::{JsonObject, JsonValue};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::hash::Hasher;
@@ -58,8 +58,10 @@ use std::sync::Mutex;
 /// estimate (`est_bits`/`ci95_bits`/`samples`) and cell keys cover the
 /// measure mode; 3 = `ExecutionPlan` grew the chip-parallelism field
 /// (its `Debug` rendering feeds the key hash) and relaxed-quantum chip
-/// plans hash their quantum into the key.
-pub const JOURNAL_SCHEMA_VERSION: u32 = 3;
+/// plans hash their quantum into the key; 4 = `ExecutionPlan` grew the
+/// `idle_skip` flag (same `Debug`-rendering reason — the flag itself is
+/// normalized out of the key, because skip on/off is bit-identical).
+pub const JOURNAL_SCHEMA_VERSION: u32 = 4;
 
 /// 64-bit FNV-1a as a [`std::hash::Hasher`], for fingerprints that must
 /// be stable across *runs* (unlike `DefaultHasher`, which is only
@@ -369,9 +371,33 @@ struct JournalState {
     cells: HashMap<CellKey, CellRecord>,
     scalars: HashMap<CellKey, (u64, bool)>,
     unsynced: usize,
+    /// Cell keys in first-insertion order — the FIFO eviction queue.
+    /// Invariant: exactly the keys of `cells`, each once (re-recording
+    /// an indexed key does not re-queue it).
+    order: VecDeque<CellKey>,
+    /// In-memory index bound ([`ResultJournal::set_max_cells`]); `None`
+    /// means unbounded.
+    max_cells: Option<usize>,
+    /// Cell records evicted from the index so far.
+    evicted: u64,
 }
 
 impl JournalState {
+    /// Drops oldest-first cell records until the index fits the bound.
+    /// Only the in-memory index shrinks — the backing file is
+    /// append-only, so a crash still replays every record it held (the
+    /// bound is re-applied after the resume load).
+    fn evict_to_bound(&mut self) {
+        let Some(max) = self.max_cells else { return };
+        while self.cells.len() > max {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.cells.remove(&oldest);
+            self.evicted += 1;
+        }
+    }
+
     fn append(&mut self, line: &str) {
         // Journal I/O is best-effort by design: a full disk degrades
         // resumability, never the campaign itself.
@@ -428,6 +454,9 @@ impl ResultJournal {
                 cells: HashMap::new(),
                 scalars: HashMap::new(),
                 unsynced: 0,
+                order: VecDeque::new(),
+                max_cells: None,
+                evicted: 0,
             }),
         })
     }
@@ -446,6 +475,9 @@ impl ResultJournal {
                 cells: HashMap::new(),
                 scalars: HashMap::new(),
                 unsynced: 0,
+                order: VecDeque::new(),
+                max_cells: None,
+                evicted: 0,
             }),
         }
     }
@@ -464,6 +496,7 @@ impl ResultJournal {
         let path = dir.join(Self::FILE_NAME);
         let mut cells = HashMap::new();
         let mut scalars = HashMap::new();
+        let mut order = VecDeque::new();
         let mut stats = LoadStats::default();
         if let Ok(existing) = File::open(&path) {
             for line in BufReader::new(existing).split(b'\n') {
@@ -475,7 +508,9 @@ impl ResultJournal {
                 match parse_line(text.trim()) {
                     Some(Line::Cell(key, rec)) => {
                         stats.entries += 1;
-                        cells.insert(key, rec);
+                        if cells.insert(key, rec).is_none() {
+                            order.push_back(key);
+                        }
                     }
                     Some(Line::Scalar(key, bits, converged)) => {
                         stats.entries += 1;
@@ -495,6 +530,9 @@ impl ResultJournal {
                     cells,
                     scalars,
                     unsynced: 0,
+                    order,
+                    max_cells: None,
+                    evicted: 0,
                 }),
             },
             stats,
@@ -531,7 +569,10 @@ impl ResultJournal {
         };
         let line = cell_line(key, &rec);
         let mut state = self.state();
-        state.cells.insert(key, rec);
+        if state.cells.insert(key, rec).is_none() {
+            state.order.push_back(key);
+        }
+        state.evict_to_bound();
         state.append(&line);
     }
 
@@ -557,6 +598,25 @@ impl ResultJournal {
     #[must_use]
     pub fn cell_count(&self) -> usize {
         self.state().cells.len()
+    }
+
+    /// Bounds the in-memory cell index to at most `max` records,
+    /// evicting oldest-first (by first insertion) immediately and on
+    /// every future [`record_cell`](ResultJournal::record_cell). `None`
+    /// removes the bound. The backing file is untouched — it stays
+    /// append-only, so crash-resume durability is unaffected; an
+    /// evicted key simply re-simulates (a correct, merely slower,
+    /// cache miss — never a wrong or torn result).
+    pub fn set_max_cells(&self, max: Option<usize>) {
+        let mut state = self.state();
+        state.max_cells = max;
+        state.evict_to_bound();
+    }
+
+    /// Cell records evicted by the index bound so far.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.state().evicted
     }
 
     /// Forces any unsynced records to disk.
@@ -764,6 +824,56 @@ mod tests {
         assert!(j.lookup_cell(key).is_some());
         j.flush();
         assert_eq!(j.path(), Path::new(""), "no backing file");
+    }
+
+    #[test]
+    fn bounded_index_evicts_oldest_first() {
+        let j = ResultJournal::in_memory();
+        j.set_max_cells(Some(2));
+        j.record_cell(CellKey(1), &sample_measured(CellStatus::Ok));
+        j.record_cell(CellKey(2), &sample_measured(CellStatus::Ok));
+        assert_eq!(j.evicted(), 0);
+        // Re-recording an indexed key must not age it out of order or
+        // grow the queue.
+        j.record_cell(CellKey(1), &sample_measured(CellStatus::Ok));
+        assert_eq!(j.cell_count(), 2);
+        assert_eq!(j.evicted(), 0);
+        j.record_cell(CellKey(3), &sample_measured(CellStatus::Ok));
+        assert_eq!(j.cell_count(), 2);
+        assert_eq!(j.evicted(), 1);
+        assert!(j.lookup_cell(CellKey(1)).is_none(), "oldest went first");
+        assert!(j.lookup_cell(CellKey(2)).is_some());
+        assert!(j.lookup_cell(CellKey(3)).is_some());
+        // Tightening the bound evicts immediately; lifting it stops
+        // eviction without resurrecting anything.
+        j.set_max_cells(Some(1));
+        assert_eq!(j.cell_count(), 1);
+        assert_eq!(j.evicted(), 2);
+        assert!(j.lookup_cell(CellKey(3)).is_some());
+        j.set_max_cells(None);
+        j.record_cell(CellKey(4), &sample_measured(CellStatus::Ok));
+        j.record_cell(CellKey(5), &sample_measured(CellStatus::Ok));
+        assert_eq!(j.cell_count(), 3);
+        assert_eq!(j.evicted(), 2);
+    }
+
+    #[test]
+    fn bound_shrinks_only_the_index_not_the_file() {
+        let dir = tmp_dir("bound");
+        let j = ResultJournal::create(&dir).unwrap();
+        j.set_max_cells(Some(1));
+        j.record_cell(CellKey(1), &sample_measured(CellStatus::Ok));
+        j.record_cell(CellKey(2), &sample_measured(CellStatus::Ok));
+        assert_eq!(j.cell_count(), 1);
+        assert_eq!(j.evicted(), 1);
+        drop(j);
+        // Every record survives on disk; the bound is an index policy,
+        // not a durability policy.
+        let (j, stats) = ResultJournal::resume(&dir).unwrap();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(j.cell_count(), 2);
+        assert!(j.lookup_cell(CellKey(1)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -139,6 +139,14 @@ impl CpiStack {
         self.counts[component.index()] += 1;
     }
 
+    /// Charges `n` cycles to `component` in one update (the idle-skip
+    /// batch-accounting path; equivalent to `n` [`add`](CpiStack::add)
+    /// calls).
+    #[inline]
+    pub fn add_n(&mut self, component: CpiComponent, n: u64) {
+        self.counts[component.index()] += n;
+    }
+
     /// Cycles charged to `component`.
     #[must_use]
     pub fn get(&self, component: CpiComponent) -> u64 {

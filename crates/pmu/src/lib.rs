@@ -138,6 +138,43 @@ pub struct CycleRecord {
     pub priorities: [u8; 2],
 }
 
+/// Everything the core tells the PMU about a batch-skipped span of
+/// provably idle cycles (the event-horizon fast path).
+///
+/// During such a span no instruction decodes, issues, completes or
+/// retires, so per-cycle state is frozen: each thread's attribution is
+/// uniform (its block cause on its `granted` designated cycles, its
+/// starved/idle component on the rest), occupancies are constant, and
+/// committed counts and priorities do not move. [`Pmu::on_idle_span`]
+/// folds the whole span in as if [`Pmu::on_cycle`] had been called once
+/// per cycle with the equivalent [`CycleRecord`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct IdleSpanRecord {
+    /// Number of cycles the span covers (≥ 1).
+    pub cycles: u64,
+    /// Designated decode cycles granted to each thread within the span
+    /// (`granted[0] + granted[1] <= cycles`; low-power off-cycles are
+    /// granted to nobody).
+    pub granted: [u64; 2],
+    /// The component charged on each thread's granted cycles (its
+    /// uniform decode-block cause as classified by the core). Ignored
+    /// for a thread with zero granted cycles.
+    pub blocked_attr: [CpiComponent; 2],
+    /// The component charged on each thread's non-granted cycles
+    /// ([`CpiComponent::DecodeStarved`] for an active thread,
+    /// [`CpiComponent::Idle`] otherwise).
+    pub idle_attr: [CpiComponent; 2],
+    /// GCT occupancy (constant over the span).
+    pub gct_occupancy: u32,
+    /// Load-miss-queue occupancy (constant over the span).
+    pub lmq_occupancy: u32,
+    /// Cumulative committed instructions per thread (constant over the
+    /// span — nothing retires in it).
+    pub committed: [u64; 2],
+    /// Priority levels per thread (constant over the span).
+    pub priorities: [u8; 2],
+}
+
 /// One interval sample: deltas over the interval plus instantaneous
 /// state at its end.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -389,6 +426,69 @@ impl Pmu {
         }
     }
 
+    /// Cycles until the current sampling interval ends, or `None` when
+    /// interval sampling is off. Between [`Pmu::on_cycle`] /
+    /// [`Pmu::on_idle_span`] calls the value is always ≥ 1 (a completed
+    /// interval flushes immediately). The core clamps idle-span jumps to
+    /// this edge so a span never crosses a sample boundary.
+    #[must_use]
+    pub fn cycles_until_sample_edge(&self) -> Option<u64> {
+        (self.config.sample_interval != 0)
+            .then(|| self.config.sample_interval - self.cycles_in_interval)
+    }
+
+    /// Records a batch-skipped span of idle cycles in one update —
+    /// exactly equivalent to `span.cycles` successive [`Pmu::on_cycle`]
+    /// calls with the per-cycle records the span summarizes, provided
+    /// the span does not cross a sampling-interval edge (the core clamps
+    /// jumps with [`Pmu::cycles_until_sample_edge`]).
+    pub fn on_idle_span(&mut self, span: &IdleSpanRecord) {
+        let n = span.cycles;
+        debug_assert!(n >= 1);
+        debug_assert!(span.granted[0] + span.granted[1] <= n);
+        self.cycles += n;
+        for i in 0..2 {
+            let g = span.granted[i];
+            self.stacks[i].add_n(span.blocked_attr[i], g);
+            self.stacks[i].add_n(span.idle_attr[i], n - g);
+            if span.blocked_attr[i] == CpiComponent::Balancer {
+                self.counters.balancer_gates[i] += g;
+            }
+            self.counters.decode_granted[i] += g;
+        }
+        self.counters.gct_high_water = self.counters.gct_high_water.max(span.gct_occupancy);
+        self.counters.lmq_high_water = self.counters.lmq_high_water.max(span.lmq_occupancy);
+        self.counters.gct_occupancy_sum += n * u64::from(span.gct_occupancy);
+        self.counters.lmq_occupancy_sum += n * u64::from(span.lmq_occupancy);
+
+        if self.config.sample_interval != 0 {
+            self.cycles_in_interval += n;
+            debug_assert!(
+                self.cycles_in_interval <= self.config.sample_interval,
+                "idle span crossed a sample edge; clamp with cycles_until_sample_edge"
+            );
+            self.interval_gct_sum += n * u64::from(span.gct_occupancy);
+            self.interval_lmq_sum += n * u64::from(span.lmq_occupancy);
+            if self.cycles_in_interval >= self.config.sample_interval {
+                // The flush only reads the fields that are frozen over
+                // the span (committed, priorities) plus the accumulated
+                // interval state, so this record reproduces what the
+                // last per-cycle record of the span would have said.
+                let rec = CycleRecord {
+                    attr: span.idle_attr,
+                    granted: None,
+                    used: false,
+                    stolen: false,
+                    gct_occupancy: span.gct_occupancy,
+                    lmq_occupancy: span.lmq_occupancy,
+                    committed: span.committed,
+                    priorities: span.priorities,
+                };
+                self.flush_sample(&rec);
+            }
+        }
+    }
+
     fn flush_sample(&mut self, rec: &CycleRecord) {
         let interval = self.cycles_in_interval;
         let mem = *self
@@ -564,5 +664,89 @@ mod tests {
         assert_eq!(s.l2_misses[0], 7);
         assert_eq!(s.tlb_misses[0], 2);
         assert_eq!(pmu.mem_snapshot().served_by[3][0], 7);
+    }
+
+    #[test]
+    fn idle_span_is_equivalent_to_per_cycle_records() {
+        // Feed one PMU ten per-cycle idle records (T0 granted-but-
+        // blocked on odd cycles, T1 starved throughout) and another the
+        // same span as two batched chunks split at the sampling-interval
+        // edge. Every observable must match exactly.
+        let cycle_rec = |granted: Option<ThreadId>, attr0: CpiComponent| CycleRecord {
+            attr: [attr0, CpiComponent::DecodeStarved],
+            granted,
+            used: false,
+            stolen: false,
+            gct_occupancy: 5,
+            lmq_occupancy: 2,
+            committed: [100, 40],
+            priorities: [6, 1],
+        };
+        let mut per_cycle = Pmu::new(PmuConfig::sampling(8));
+        for c in 1..=10u64 {
+            let granted = (c % 2 == 1).then_some(ThreadId::T0);
+            let attr0 = if granted.is_some() {
+                CpiComponent::CacheMiss
+            } else {
+                CpiComponent::DecodeStarved
+            };
+            per_cycle.on_cycle(c, &cycle_rec(granted, attr0));
+        }
+
+        let mut batched = Pmu::new(PmuConfig::sampling(8));
+        let span = |cycles: u64, granted0: u64| IdleSpanRecord {
+            cycles,
+            granted: [granted0, 0],
+            blocked_attr: [CpiComponent::CacheMiss, CpiComponent::Idle],
+            idle_attr: [CpiComponent::DecodeStarved; 2],
+            gct_occupancy: 5,
+            lmq_occupancy: 2,
+            committed: [100, 40],
+            priorities: [6, 1],
+        };
+        // Cycles 1..=8 (five odd-granted slots... no: 1,3,5,7 -> 4),
+        // then 9..=10 (cycle 9 granted -> 1), split exactly at the
+        // sample edge as the engine's clamp guarantees.
+        assert_eq!(batched.cycles_until_sample_edge(), Some(8));
+        batched.on_idle_span(&span(8, 4));
+        assert_eq!(batched.cycles_until_sample_edge(), Some(8));
+        batched.on_idle_span(&span(2, 1));
+
+        assert_eq!(batched.cycles(), per_cycle.cycles());
+        assert_eq!(batched.stack(ThreadId::T0), per_cycle.stack(ThreadId::T0));
+        assert_eq!(batched.stack(ThreadId::T1), per_cycle.stack(ThreadId::T1));
+        assert_eq!(
+            format!("{:?}", batched.counters()),
+            format!("{:?}", per_cycle.counters())
+        );
+        assert_eq!(
+            format!("{:?}", batched.samples()),
+            format!("{:?}", per_cycle.samples())
+        );
+        batched.reconcile().unwrap();
+        per_cycle.reconcile().unwrap();
+    }
+
+    #[test]
+    fn idle_span_balancer_cause_counts_gate_cycles() {
+        let mut pmu = Pmu::new(PmuConfig::counters_only());
+        pmu.on_idle_span(&IdleSpanRecord {
+            cycles: 7,
+            granted: [3, 0],
+            blocked_attr: [CpiComponent::Balancer, CpiComponent::Idle],
+            idle_attr: [CpiComponent::DecodeStarved, CpiComponent::Idle],
+            gct_occupancy: 4,
+            lmq_occupancy: 1,
+            committed: [10, 0],
+            priorities: [4, 4],
+        });
+        assert_eq!(pmu.counters().balancer_gates[0], 3);
+        assert_eq!(pmu.counters().decode_granted[0], 3);
+        assert_eq!(pmu.stack(ThreadId::T0).get(CpiComponent::Balancer), 3);
+        assert_eq!(pmu.stack(ThreadId::T0).get(CpiComponent::DecodeStarved), 4);
+        assert_eq!(pmu.stack(ThreadId::T1).get(CpiComponent::Idle), 7);
+        assert_eq!(pmu.counters().gct_high_water, 4);
+        assert_eq!(pmu.counters().gct_occupancy_sum, 28);
+        pmu.reconcile().unwrap();
     }
 }

@@ -125,10 +125,11 @@ fn main() {
         match client::stats(&endpoint) {
             Ok(stats) => {
                 println!(
-                    "cache: {} hits, {} misses, {} entries, hit rate {:.1}%",
+                    "cache: {} hits, {} misses, {} entries, {} evicted, hit rate {:.1}%",
                     stats.hits,
                     stats.misses,
                     stats.entries,
+                    stats.evictions,
                     stats.hit_rate() * 100.0
                 );
             }

@@ -21,6 +21,12 @@ OPTIONS:
     --jobs N          simulation worker threads (default: all cores)
     --cache-dir DIR   persist the result cache to DIR/journal.jsonl and
                       resume it on restart (default: in-memory)
+    --cache-max-entries N
+                      bound the in-memory cache index to N records,
+                      evicting oldest-first; 0 means unbounded (the
+                      default). Eviction never touches the journal file
+                      — an evicted cell just re-simulates on its next
+                      request
     --help            print this help and exit
 
 The daemon prints one `listening on ...` line once the socket is ready,
@@ -80,6 +86,16 @@ fn main() {
         },
         None => ResultCache::in_memory(),
     };
+    if let Some(n) = value_of(&args, "--cache-max-entries") {
+        match n.parse::<usize>() {
+            Ok(0) => {}
+            Ok(max) => cache.set_max_entries(Some(max)),
+            Err(_) => {
+                eprintln!("--cache-max-entries expects a non-negative integer, got {n:?}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let bound = match (&unix, &tcp) {
         (Some(path), None) => Server::bind_unix(path, jobs, cache),

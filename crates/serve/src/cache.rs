@@ -42,6 +42,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct cell records currently held.
     pub entries: usize,
+    /// Records evicted by the entry bound
+    /// ([`ResultCache::set_max_entries`]) since daemon start.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -120,6 +123,16 @@ impl ResultCache {
         }
     }
 
+    /// Bounds the cache to at most `max` records, evicting oldest-first
+    /// immediately and on every future insert; `None` lifts the bound.
+    /// Eviction only shrinks the in-memory index — a persistent
+    /// journal's file stays append-only, and an evicted key simply
+    /// re-simulates on its next request (a correct miss, never a wrong
+    /// or torn result).
+    pub fn set_max_entries(&self, max: Option<usize>) {
+        self.journal.set_max_cells(max);
+    }
+
     /// Current counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -127,6 +140,7 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.journal.cell_count(),
+            evictions: self.journal.evicted(),
         }
     }
 

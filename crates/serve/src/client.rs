@@ -199,10 +199,12 @@ pub fn stats(endpoint: &Endpoint) -> Result<CacheStats, ClientError> {
             hits,
             misses,
             entries,
+            evictions,
         } => Ok(CacheStats {
             hits,
             misses,
             entries,
+            evictions,
         }),
         Response::Error { message } => Err(ClientError::Server(message)),
         other => Err(ClientError::Protocol(format!(

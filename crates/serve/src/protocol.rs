@@ -339,6 +339,9 @@ pub enum Response {
         misses: u64,
         /// Distinct cell records currently in the cache.
         entries: usize,
+        /// Records evicted by the daemon's `--cache-max-entries` bound
+        /// since start (0 when unbounded).
+        evictions: u64,
     },
     /// The request failed; the connection closes after this line.
     Error {
@@ -373,11 +376,13 @@ impl Response {
                 hits,
                 misses,
                 entries,
+                evictions,
             } => JsonObject::new()
                 .field("kind", "stats")
                 .field("hits", *hits)
                 .field("misses", *misses)
                 .field("entries", *entries)
+                .field("evictions", *evictions)
                 .build(),
             Response::Error { message } => JsonObject::new()
                 .field("kind", "error")
@@ -430,6 +435,8 @@ impl Response {
                 misses: int("misses")?,
                 entries: usize::try_from(int("entries")?)
                     .map_err(|_| "entries overflow".to_string())?,
+                // Absent from pre-bound daemons' replies; default 0.
+                evictions: v.get("evictions").and_then(JsonValue::as_u64).unwrap_or(0),
             }),
             Some("error") => Ok(Response::Error {
                 message: v

@@ -327,6 +327,7 @@ fn handle_connection(shared: &Shared, conn: Conn) {
                     hits: stats.hits,
                     misses: stats.misses,
                     entries: stats.entries,
+                    evictions: stats.evictions,
                 },
             );
         }

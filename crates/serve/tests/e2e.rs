@@ -284,6 +284,45 @@ fn sampled_and_detailed_plans_use_disjoint_cache_entries() {
 }
 
 #[test]
+fn bounded_cache_evicts_without_serving_wrong_results() {
+    // A bound smaller than the campaign: the oldest cells are evicted
+    // as the newest are recorded, so a resubmission re-simulates the
+    // evicted ones — and every measurement, hit or re-miss, stays
+    // bit-identical to the unbounded run.
+    let baseline = offline_baseline();
+    let cache = ResultCache::in_memory();
+    cache.set_max_entries(Some(2));
+    let (endpoint, handle) = start_server(1, cache);
+
+    let cold = client::run_campaign(&endpoint, &request(true)).expect("cold");
+    assert_eq!(cold.cached, 0);
+    assert_bit_identical(&baseline, &cold.result, "bounded cold");
+
+    let stats = client::stats(&endpoint).expect("stats");
+    assert_eq!(stats.entries, 2, "index holds exactly the bound");
+    assert_eq!(
+        stats.evictions as usize,
+        cells().len() - 2,
+        "everything past the bound was evicted oldest-first"
+    );
+
+    // Rerun: at most 2 cells can hit; the evicted ones re-simulate to
+    // the same bytes (never a wrong or torn replay).
+    let rerun = client::run_campaign(&endpoint, &request(true)).expect("rerun");
+    assert!(
+        rerun.cached <= 2,
+        "evicted cells must not be served: {} hits",
+        rerun.cached
+    );
+    assert_bit_identical(&baseline, &rerun.result, "bounded rerun");
+    let stats = client::stats(&endpoint).expect("stats after rerun");
+    assert_eq!(stats.entries, 2);
+    assert!(stats.evictions as usize >= cells().len() - 2);
+
+    shutdown_and_join(&endpoint, handle);
+}
+
+#[test]
 fn concurrent_clients_all_get_complete_campaigns() {
     let (endpoint, handle) = start_server(4, ResultCache::in_memory());
     let baseline = client::run_campaign(&endpoint, &request(true)).expect("warmup");

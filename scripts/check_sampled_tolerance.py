@@ -1,20 +1,53 @@
 #!/usr/bin/env python3
-"""CI gate: sampled-plan Table 3 must agree with the detailed reference.
+"""CI gate: sampled-plan artifacts must agree with the detailed reference.
 
 Usage: check_sampled_tolerance.py DETAILED_JSON SAMPLED_JSON
 
-Compares every row of the two `table3.json` artifacts. A sampled value
-passes when it sits within max(4 x its own ci95 half-width, 5% of the
-detailed value, 0.02 IPC absolute) of the detailed answer. Both runs
-are seeded and deterministic, so this gate cannot flake: a failure
-means the sampling estimator drifted, not that the host was noisy.
+Compares every row of two matching artifacts. Two shapes are understood,
+with different gate semantics:
 
-Exits 0 when every cell is within tolerance, 1 otherwise (printing
-each offending cell).
+* `table3.json` — IPC rows carrying their own confidence intervals.
+  Every value must sit within max(4 x its own ci95 half-width, 5% of
+  the detailed value, 0.02 absolute) of the detailed answer.
+* sweep ratio artifacts (`fig2.json` etc.) — `(pthread, sthread, diff)`
+  rows with one derived ratio (speedup, slowdown, ...) and no CI. Ratios
+  amplify estimator error, and the projections divide by baselines the
+  figure code itself clamps against zero (`pt_ipc.max(1e-12)`), so a few
+  contention-resonant cells are chaotic at quick fidelity: the detailed
+  answer swings by integer factors on microscopic perturbations, and no
+  per-cell tolerance is meaningful there. The gate is therefore per-row
+  tolerance max(15% of detailed, 0.05 absolute) with a **95% coverage**
+  threshold — broad estimator drift still fails, the chaotic tail is
+  excused but every offender is printed.
+
+Both runs are seeded and deterministic, so this gate cannot flake: a
+failure means the sampling estimator drifted, not that the host was
+noisy.
+
+Exits 0 within tolerance, 1 otherwise (printing each offending cell).
 """
 
 import json
 import sys
+
+# Fraction of ratio-artifact values allowed outside tolerance (the
+# chaotic-baseline tail); CI-carrying artifacts allow none.
+RATIO_COVERAGE = 0.95
+
+
+def value_specs(row):
+    """(value_key, ci_key-or-None) pairs present in this artifact's rows."""
+    if "pt_ipc" in row:
+        return (("pt_ipc", "pt_ci95"), ("total_ipc", "total_ci95"))
+    for key in ("speedup", "slowdown", "relative_throughput"):
+        if key in row:
+            return ((key, None),)
+    raise SystemExit(f"unrecognized row shape: {sorted(row)}")
+
+
+def row_id(row):
+    cell = (row["pthread"], row["sthread"])
+    return cell + (row["diff"],) if "diff" in row else cell
 
 
 def main() -> int:
@@ -25,41 +58,62 @@ def main() -> int:
         detailed = json.load(f)
     with open(sys.argv[2], encoding="utf-8") as f:
         sampled = json.load(f)
-    if detailed["schema_version"] != sampled["schema_version"]:
-        print(
-            f"schema mismatch: detailed v{detailed['schema_version']} "
-            f"vs sampled v{sampled['schema_version']}"
-        )
-        return 1
+    for meta in ("schema_version", "artifact"):
+        if detailed.get(meta) != sampled.get(meta):
+            print(
+                f"{meta} mismatch: detailed {detailed.get(meta)!r} "
+                f"vs sampled {sampled.get(meta)!r}"
+            )
+            return 1
     drows, srows = detailed["rows"], sampled["rows"]
     if len(drows) != len(srows):
         print(f"row count mismatch: {len(drows)} vs {len(srows)}")
         return 1
 
+    has_ci = "pt_ipc" in drows[0] if drows else True
     failures = 0
+    total = 0
     worst = 0.0
     for d, s in zip(drows, srows):
-        cell = (d["pthread"], d["sthread"])
-        if cell != (s["pthread"], s["sthread"]):
-            print(f"row order mismatch: {cell} vs {(s['pthread'], s['sthread'])}")
+        cell = row_id(d)
+        if cell != row_id(s):
+            print(f"row order mismatch: {cell} vs {row_id(s)}")
             return 1
-        for value_key, ci_key in (("pt_ipc", "pt_ci95"), ("total_ipc", "total_ci95")):
+        for value_key, ci_key in value_specs(d):
             dv, sv = d[value_key], s[value_key]
             err = abs(sv - dv)
-            tol = max(4.0 * s[ci_key], 0.05 * abs(dv), 0.02)
+            if ci_key is None:
+                tol = max(0.15 * abs(dv), 0.05)
+            else:
+                tol = max(4.0 * s[ci_key], 0.05 * abs(dv), 0.02)
+            total += 1
             worst = max(worst, err / tol)
             if err > tol:
+                ci = f", ci95 {s[ci_key]:.4f}" if ci_key is not None else ""
                 print(
-                    f"OUT OF TOLERANCE: {cell[0]}/{cell[1]} {value_key}: "
+                    f"OUT OF TOLERANCE: {'/'.join(map(str, cell))} {value_key}: "
                     f"detailed {dv:.4f}, sampled {sv:.4f} "
-                    f"(err {err:.4f} > tol {tol:.4f}, ci95 {s[ci_key]:.4f})"
+                    f"(err {err:.4f} > tol {tol:.4f}{ci})"
                 )
                 failures += 1
-    n = 2 * len(drows)
-    if failures:
-        print(f"sampled tolerance: {failures}/{n} values out of tolerance")
+    allowed = 0 if has_ci else int(total * (1.0 - RATIO_COVERAGE))
+    if failures > allowed:
+        print(
+            f"sampled tolerance: {failures}/{total} values out of tolerance "
+            f"(allowed {allowed})"
+        )
         return 1
-    print(f"sampled tolerance: {n} values within tolerance (worst at {worst:.0%} of budget)")
+    if failures:
+        print(
+            f"sampled tolerance: {total - failures}/{total} values within "
+            f"tolerance (coverage gate {RATIO_COVERAGE:.0%}, "
+            f"{failures} chaotic cells excused)"
+        )
+    else:
+        print(
+            f"sampled tolerance: {total} values within tolerance "
+            f"(worst at {worst:.0%} of budget)"
+        )
     return 0
 
 

@@ -52,6 +52,33 @@ if ! diff -r artifacts/jobs1 artifacts/reuse_on > artifacts/warm_reuse.diff; the
 fi
 rm artifacts/warm_reuse.diff
 
+# Idle-skip determinism: the event-horizon idle skip is wall-clock only
+# (DESIGN.md §17) — a P5_IDLE_SKIP=0 run of the quick table3 grid and of
+# the PMU artifacts (CPI stacks + Chrome trace) must be byte-identical
+# to the default skip-on run. The diff stays in artifacts/ on failure.
+echo "== idle-skip determinism: P5_IDLE_SKIP=0 artifacts vs default =="
+mkdir -p artifacts/idle_skip_off/table3 artifacts/idle_skip_on/pmu artifacts/idle_skip_off/pmu
+P5_IDLE_SKIP=0 cargo run --release --offline -p p5-experiments --bin repro -- \
+  --quick --only table3 --jobs 2 \
+  --csv-dir artifacts/idle_skip_off/table3 --json-dir artifacts/idle_skip_off/table3 > /dev/null
+if ! diff -r artifacts/jobs1 artifacts/idle_skip_off/table3 > artifacts/idle_skip.diff; then
+  echo "IDLE-SKIP GATE FAILED: P5_IDLE_SKIP=0 table3 artifacts differ from the skip-on run"
+  cat artifacts/idle_skip.diff
+  exit 1
+fi
+cargo run --release --offline -p p5-experiments --bin repro -- \
+  --quick --only pmu --pmu --trace artifacts/idle_skip_on/pmu/trace.json \
+  --json-dir artifacts/idle_skip_on/pmu > /dev/null
+P5_IDLE_SKIP=0 cargo run --release --offline -p p5-experiments --bin repro -- \
+  --quick --only pmu --pmu --trace artifacts/idle_skip_off/pmu/trace.json \
+  --json-dir artifacts/idle_skip_off/pmu > /dev/null
+if ! diff -r artifacts/idle_skip_on/pmu artifacts/idle_skip_off/pmu > artifacts/idle_skip.diff; then
+  echo "IDLE-SKIP GATE FAILED: P5_IDLE_SKIP=0 PMU artifacts differ from the skip-on run"
+  cat artifacts/idle_skip.diff
+  exit 1
+fi
+rm artifacts/idle_skip.diff
+
 # Sampled-plan tolerance: the three-speed `sampled` measure must land
 # within confidence-interval distance of the detailed quick Table 3
 # (DESIGN.md §15). Both runs are seeded and deterministic, so the gate
@@ -64,6 +91,26 @@ cargo run --release --offline -p p5-experiments --bin repro -- \
 if ! python3 scripts/check_sampled_tolerance.py \
   artifacts/jobs1/table3.json artifacts/sampled/table3.json; then
   echo "SAMPLED GATE FAILED: --plan sampled table3 out of tolerance vs detailed"
+  exit 1
+fi
+
+# Sampled-plan Figure 2 tolerance: the ratio-shaped priority sweep
+# (speedup vs the (4,4) baseline) under --plan sampled vs detailed,
+# through the same checker. Ratio rows carry no confidence intervals and
+# divide by clamped baselines, so the checker coverage-gates them (95%
+# of cells within a 15% band; the chaotic contention-resonant tail is
+# printed and excused — see the checker's docstring).
+echo "== sampled fig2 tolerance: --plan sampled fig2 vs detailed =="
+mkdir -p artifacts/fig2_detailed artifacts/fig2_sampled
+cargo run --release --offline -p p5-experiments --bin repro -- \
+  --quick --only fig2 --jobs 2 \
+  --csv-dir artifacts/fig2_detailed --json-dir artifacts/fig2_detailed > /dev/null
+cargo run --release --offline -p p5-experiments --bin repro -- \
+  --quick --only fig2 --jobs 2 --plan sampled \
+  --csv-dir artifacts/fig2_sampled --json-dir artifacts/fig2_sampled > /dev/null
+if ! python3 scripts/check_sampled_tolerance.py \
+  artifacts/fig2_detailed/fig2.json artifacts/fig2_sampled/fig2.json; then
+  echo "SAMPLED-FIG2 GATE FAILED: --plan sampled fig2 out of tolerance vs detailed"
   exit 1
 fi
 
@@ -205,12 +252,12 @@ test -s artifacts/pmu.json
 
 # Smoke-sized run (--quick): gates PMU overhead, the two-speed warmup
 # speedup, the warm-reuse speedup/bit-identity, the result-journal
-# write overhead, and the sampled-plan speedup without the full
-# snapshot's cost. The committed
+# write overhead, the sampled-plan speedup, and the idle-skip
+# speedup/bit-identity without the full snapshot's cost. The committed
 # BENCH_repro.json is the full-methodology snapshot, refreshed manually
 # on perf-relevant changes (see PERF.md), so the quick artifact stays in
 # artifacts/ and does not overwrite it.
-echo "== perf smoke: PMU overhead + two-speed warmup + warm-reuse + journal + sampled gates =="
+echo "== perf smoke: PMU overhead + two-speed warmup + warm-reuse + journal + sampled + idle-skip gates =="
 cargo run --release --offline -p p5-experiments --bin perf_snapshot -- \
   --out artifacts/BENCH_quick.json --check --quick
 
